@@ -1,0 +1,671 @@
+//! The Push-Sum family (§5.1–5.5).
+//!
+//! Push-Sum maintains a value mass `y` and a weight mass `z`, both
+//! rescattered each round in equal shares over the sender's out-edges
+//! (eqs. 6–7); the output is the ratio `x = y / z`. Column-stochasticity
+//! of the rescattering conserves both totals, and a finite dynamic
+//! diameter forces the ratios to consensus on the *quot-sum*
+//! `Σ v / Σ w` (Theorem 5.2). With unit weights the quot-sum is the
+//! average; with per-value unit masses it is the frequency vector
+//! (Algorithm 1); with weights seeded only at `ℓ` known leaders it
+//! recovers exact multiplicities (§5.5).
+//!
+//! Push-Sum requires **outdegree awareness** (the shares are `1/d⁻`),
+//! uses no persistent memory beyond the masses, is not self-stabilizing,
+//! but tolerates asynchronous starts (§5.3): run it under
+//! [`kya_runtime::adversary::AsyncStarts`] and it still converges.
+//!
+//! Two arithmetic backends are provided: `f64` (fast; what any practical
+//! deployment would use) and exact [`BigRational`] (the simulator's
+//! referee: mass conservation holds *exactly*, which the property tests
+//! exploit).
+
+use kya_arith::{BigInt, BigRational};
+use kya_runtime::IsotropicAlgorithm;
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------
+// Scalar Push-Sum, f64 backend
+// ---------------------------------------------------------------------
+
+/// Scalar Push-Sum over `f64` (Theorem 5.2): output converges to
+/// `Σ v_i / Σ w_i`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PushSum;
+
+/// State of scalar Push-Sum: the two masses.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PushSumState {
+    /// Value mass `y`.
+    pub y: f64,
+    /// Weight mass `z` (positive).
+    pub z: f64,
+}
+
+impl PushSumState {
+    /// Initial state from input value `v` and weight `w > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w <= 0` (the paper requires `w_i ∈ ℝ_{>0}`).
+    pub fn new(v: f64, w: f64) -> PushSumState {
+        assert!(w > 0.0, "push-sum weights must be positive");
+        PushSumState { y: v, z: w }
+    }
+
+    /// Unit-weight initial states (computes the average of `values`).
+    pub fn averaging(values: &[f64]) -> Vec<PushSumState> {
+        values.iter().map(|&v| PushSumState::new(v, 1.0)).collect()
+    }
+}
+
+impl IsotropicAlgorithm for PushSum {
+    type State = PushSumState;
+    type Msg = (f64, f64);
+    type Output = f64;
+
+    fn message(&self, state: &PushSumState, outdegree: usize) -> (f64, f64) {
+        let d = outdegree as f64;
+        (state.y / d, state.z / d)
+    }
+
+    fn transition(&self, _state: &PushSumState, inbox: &[(f64, f64)]) -> PushSumState {
+        let mut y = 0.0;
+        let mut z = 0.0;
+        for &(ys, zs) in inbox {
+            y += ys;
+            z += zs;
+        }
+        PushSumState { y, z }
+    }
+
+    fn output(&self, state: &PushSumState) -> f64 {
+        state.y / state.z
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scalar Push-Sum, exact backend
+// ---------------------------------------------------------------------
+
+/// Scalar Push-Sum over exact rationals: identical dynamics, exact mass
+/// conservation. Used as the referee in property tests and in the
+/// lifting-lemma demonstrations (floating point would break exact state
+/// equality between a base execution and its lift).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PushSumExact;
+
+/// State of exact Push-Sum.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PushSumExactState {
+    /// Value mass.
+    pub y: BigRational,
+    /// Weight mass (positive).
+    pub z: BigRational,
+}
+
+impl PushSumExactState {
+    /// Initial state from value `v` and weight `w > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not positive.
+    pub fn new(v: BigRational, w: BigRational) -> PushSumExactState {
+        assert!(w.is_positive(), "push-sum weights must be positive");
+        PushSumExactState { y: v, z: w }
+    }
+
+    /// Unit-weight initial states from integer values.
+    pub fn averaging(values: &[i64]) -> Vec<PushSumExactState> {
+        values
+            .iter()
+            .map(|&v| PushSumExactState::new(BigRational::from_integer(v), BigRational::one()))
+            .collect()
+    }
+}
+
+impl IsotropicAlgorithm for PushSumExact {
+    type State = PushSumExactState;
+    type Msg = (BigRational, BigRational);
+    type Output = BigRational;
+
+    fn message(&self, state: &PushSumExactState, outdegree: usize) -> Self::Msg {
+        let d = BigRational::from_integer(outdegree as i64);
+        (&state.y / &d, &state.z / &d)
+    }
+
+    fn transition(&self, _state: &PushSumExactState, inbox: &[Self::Msg]) -> PushSumExactState {
+        let y = inbox.iter().map(|(ys, _)| ys).sum();
+        let z = inbox.iter().map(|(_, zs)| zs).sum();
+        PushSumExactState { y, z }
+    }
+
+    fn output(&self, state: &PushSumExactState) -> BigRational {
+        &state.y / &state.z
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frequency Push-Sum (Algorithm 1) with optional leaders and rounding
+// ---------------------------------------------------------------------
+
+/// Push-Sum for the frequency function (the paper's Algorithm 1), with
+/// the §5.5 leader variant folded in.
+///
+/// Each agent runs one Push-Sum instance per *value* it has heard of. On
+/// first hearing of a value `ω`, an agent joins that instance with
+/// `y[ω] = 0` and `z[ω] = 1` — except in leader mode, where non-leaders
+/// join with `z[ω] = 0` and only the `ℓ` leaders carry weight, so
+/// `ℓ · x[ω]` converges to the exact multiplicity of `ω`.
+#[derive(Clone, Copy, Debug)]
+pub struct PushSumFrequency {
+    /// `None`: frequency mode (every agent weighs 1). `Some(ell)`:
+    /// leader mode with `ell` leaders known to everyone.
+    pub leaders: Option<usize>,
+}
+
+impl PushSumFrequency {
+    /// Standard frequency mode (Algorithm 1).
+    pub fn frequency() -> PushSumFrequency {
+        PushSumFrequency { leaders: None }
+    }
+
+    /// Leader mode with `ell >= 1` known leaders (§5.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ell == 0`.
+    pub fn with_leaders(ell: usize) -> PushSumFrequency {
+        assert!(ell >= 1, "leader mode needs at least one leader");
+        PushSumFrequency { leaders: Some(ell) }
+    }
+}
+
+/// Per-value mass pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mass {
+    /// Value mass for this input value.
+    pub y: f64,
+    /// Weight mass for this input value.
+    pub z: f64,
+}
+
+/// State of [`PushSumFrequency`]: masses per known value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrequencyState {
+    /// Whether this agent is a leader (meaningful in leader mode only).
+    pub is_leader: bool,
+    /// Per-value masses; keys are the values heard of so far.
+    pub masses: BTreeMap<u64, Mass>,
+}
+
+impl FrequencyState {
+    /// Initial state for an agent with input `value`.
+    ///
+    /// In frequency mode pass `is_leader = false` for everyone. In leader
+    /// mode the weight mass starts at 1 for leaders and 0 otherwise
+    /// (§5.5: "its variables `z_i[ω]` are initially set to zero instead of
+    /// one" for non-leaders).
+    pub fn new(value: u64, is_leader: bool, leader_mode: bool) -> FrequencyState {
+        let z0 = if leader_mode && !is_leader { 0.0 } else { 1.0 };
+        let mut masses = BTreeMap::new();
+        masses.insert(value, Mass { y: 1.0, z: z0 });
+        FrequencyState { is_leader, masses }
+    }
+
+    /// Initial states for plain frequency mode.
+    pub fn initial(values: &[u64]) -> Vec<FrequencyState> {
+        values
+            .iter()
+            .map(|&v| FrequencyState::new(v, false, false))
+            .collect()
+    }
+
+    /// Initial states for leader mode: `leaders[i]` flags agent `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn initial_with_leaders(values: &[u64], leaders: &[bool]) -> Vec<FrequencyState> {
+        assert_eq!(values.len(), leaders.len(), "one leader flag per agent");
+        values
+            .iter()
+            .zip(leaders)
+            .map(|(&v, &l)| FrequencyState::new(v, l, true))
+            .collect()
+    }
+
+    fn join_mass(&self, leader_mode: bool) -> f64 {
+        if leader_mode && !self.is_leader {
+            0.0
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The frequency estimate vector: per value, the current `x[ω] = y/z`
+/// (`f64::INFINITY` while `z[ω] = 0`, which the paper notes happens only
+/// finitely often in leader mode).
+pub type FrequencyEstimate = BTreeMap<u64, f64>;
+
+impl IsotropicAlgorithm for PushSumFrequency {
+    type State = FrequencyState;
+    type Msg = BTreeMap<u64, Mass>;
+    type Output = FrequencyEstimate;
+
+    fn message(&self, state: &FrequencyState, outdegree: usize) -> Self::Msg {
+        let d = outdegree as f64;
+        state
+            .masses
+            .iter()
+            .map(|(&v, m)| {
+                (
+                    v,
+                    Mass {
+                        y: m.y / d,
+                        z: m.z / d,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn transition(&self, state: &FrequencyState, inbox: &[Self::Msg]) -> FrequencyState {
+        let leader_mode = self.leaders.is_some();
+        // Values heard of before this round: they participate in the sums.
+        // Newly discovered values: the agent joins that instance *now*
+        // (Algorithm 1, lines 9-12): its own contribution for the value is
+        // (y, z) = (0, join), added on top of the received shares.
+        let mut next: BTreeMap<u64, Mass> = BTreeMap::new();
+        for msg in inbox {
+            for (&v, share) in msg {
+                let e = next.entry(v).or_insert(Mass { y: 0.0, z: 0.0 });
+                e.y += share.y;
+                e.z += share.z;
+            }
+        }
+        // Join newly heard instances with the appropriate weight.
+        for (v, mass) in next.iter_mut() {
+            if !state.masses.contains_key(v) {
+                mass.z += state.join_mass(leader_mode);
+            }
+        }
+        FrequencyState {
+            is_leader: state.is_leader,
+            masses: next,
+        }
+    }
+
+    fn output(&self, state: &FrequencyState) -> FrequencyEstimate {
+        state
+            .masses
+            .iter()
+            .map(|(&v, m)| {
+                let x = if m.z > 0.0 { m.y / m.z } else { f64::INFINITY };
+                let x = match self.leaders {
+                    Some(ell) => x * ell as f64,
+                    None => x,
+                };
+                (v, x)
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exact frequency Push-Sum
+// ---------------------------------------------------------------------
+
+/// Algorithm 1 over **exact rationals**: per-value masses in ℚ, so the
+/// per-value mass invariants (`Σ_i y_i[ω] = multiplicity(ω)` and, once
+/// everyone has joined, `Σ_i z_i[ω] = n`) hold *exactly* at every round.
+/// The referee implementation for the `f64` variant and the engine of
+/// exactness tests; denominators grow with the round number, so prefer
+/// the `f64` variant for long runs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PushSumFrequencyExact;
+
+/// Per-value exact mass pair.
+pub type ExactMass = (BigRational, BigRational);
+
+/// State of [`PushSumFrequencyExact`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExactFrequencyState {
+    /// Per-value `(y, z)` masses.
+    pub masses: BTreeMap<u64, ExactMass>,
+}
+
+impl ExactFrequencyState {
+    /// Initial states: each agent starts the instance of its own value
+    /// with `(y, z) = (1, 1)`.
+    pub fn initial(values: &[u64]) -> Vec<ExactFrequencyState> {
+        values
+            .iter()
+            .map(|&v| {
+                let mut masses = BTreeMap::new();
+                masses.insert(v, (BigRational::one(), BigRational::one()));
+                ExactFrequencyState { masses }
+            })
+            .collect()
+    }
+}
+
+impl IsotropicAlgorithm for PushSumFrequencyExact {
+    type State = ExactFrequencyState;
+    type Msg = BTreeMap<u64, ExactMass>;
+    type Output = BTreeMap<u64, BigRational>;
+
+    fn message(&self, state: &ExactFrequencyState, outdegree: usize) -> Self::Msg {
+        let d = BigRational::from_integer(outdegree as i64);
+        state
+            .masses
+            .iter()
+            .map(|(&v, (y, z))| (v, (y / &d, z / &d)))
+            .collect()
+    }
+
+    fn transition(&self, state: &ExactFrequencyState, inbox: &[Self::Msg]) -> ExactFrequencyState {
+        let mut next: BTreeMap<u64, ExactMass> = BTreeMap::new();
+        for msg in inbox {
+            for (&v, (ys, zs)) in msg {
+                let e = next
+                    .entry(v)
+                    .or_insert_with(|| (BigRational::zero(), BigRational::zero()));
+                e.0 = &e.0 + ys;
+                e.1 = &e.1 + zs;
+            }
+        }
+        for (v, mass) in next.iter_mut() {
+            if !state.masses.contains_key(v) {
+                mass.1 = &mass.1 + &BigRational::one();
+            }
+        }
+        ExactFrequencyState { masses: next }
+    }
+
+    fn output(&self, state: &ExactFrequencyState) -> Self::Output {
+        state
+            .masses
+            .iter()
+            .filter(|(_, (_, z))| z.is_positive())
+            .map(|(&v, (y, z))| (v, y / z))
+            .collect()
+    }
+}
+
+/// Round a raw frequency estimate to the grid `ℚ_N` (§5.4): each
+/// estimate is snapped to the nearest rational with denominator at most
+/// `bound`. With `bound >= n`, the snapped values are *exactly* the input
+/// frequencies once the estimates are within `1/(2 bound²)` — turning
+/// asymptotic convergence into finite-time exact computation
+/// (Corollary 5.3).
+///
+/// Non-finite estimates (leader mode before weight arrives) round to 0.
+pub fn round_to_grid(estimate: &FrequencyEstimate, bound: usize) -> BTreeMap<u64, BigRational> {
+    let n = BigInt::from(bound.max(1));
+    estimate
+        .iter()
+        .map(|(&v, &x)| {
+            let snapped = BigRational::from_f64(x)
+                .map(|r| r.best_approximation(&n))
+                .unwrap_or_else(BigRational::zero);
+            (v, snapped)
+        })
+        .collect()
+}
+
+/// Normalize a raw estimate into a frequency function (the `x̄` of §5.4:
+/// divide by the sum so entries sum to one), for use when *no* bound on
+/// the network size is known and only continuous-in-frequency functions
+/// are computable (Corollary 5.5).
+///
+/// Returns an empty map if the estimate sums to zero or is not finite.
+pub fn normalize_estimate(estimate: &FrequencyEstimate) -> BTreeMap<u64, f64> {
+    let total: f64 = estimate.values().sum();
+    if !total.is_finite() || total <= 0.0 {
+        return BTreeMap::new();
+    }
+    estimate.iter().map(|(&v, &x)| (v, x / total)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kya_graph::{generators, DynamicGraph, RandomDynamicGraph, StaticGraph};
+    use kya_runtime::adversary::AsyncStarts;
+    use kya_runtime::{Execution, Isotropic};
+
+    #[test]
+    fn averaging_on_static_ring() {
+        let values = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let net = StaticGraph::new(generators::directed_ring(5));
+        let mut exec = Execution::new(Isotropic(PushSum), PushSumState::averaging(&values));
+        exec.run(&net, 400);
+        let avg = values.iter().sum::<f64>() / 5.0;
+        for x in exec.outputs() {
+            assert!((x - avg).abs() < 1e-9, "{x} != {avg}");
+        }
+    }
+
+    #[test]
+    fn quot_sum_with_weights() {
+        // quot-sum = (1*2 + 3*4) / (2 + 4) — wait, quot-sum is
+        // sum(v)/sum(w): (1 + 3) / (2 + 4) = 2/3.
+        let net = StaticGraph::new(generators::complete(4));
+        let inits = vec![
+            PushSumState::new(1.0, 2.0),
+            PushSumState::new(3.0, 4.0),
+            PushSumState::new(0.0, 1.0),
+            PushSumState::new(0.0, 1.0),
+        ];
+        let mut exec = Execution::new(Isotropic(PushSum), inits);
+        exec.run(&net, 200);
+        let target = 4.0 / 8.0;
+        for x in exec.outputs() {
+            assert!((x - target).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn exact_push_sum_conserves_mass() {
+        let net = StaticGraph::new(generators::random_strongly_connected(6, 5, 2));
+        let inits = PushSumExactState::averaging(&[3, 1, 4, 1, 5, 9]);
+        let total_y: BigRational = inits.iter().map(|s| &s.y).sum();
+        let total_z: BigRational = inits.iter().map(|s| &s.z).sum();
+        let mut exec = Execution::new(Isotropic(PushSumExact), inits);
+        exec.run(&net, 25);
+        let y_now: BigRational = exec.states().iter().map(|s| &s.y).sum();
+        let z_now: BigRational = exec.states().iter().map(|s| &s.z).sum();
+        assert_eq!(y_now, total_y, "y mass is conserved exactly");
+        assert_eq!(z_now, total_z, "z mass is conserved exactly");
+    }
+
+    #[test]
+    fn averaging_on_dynamic_graphs() {
+        let net = RandomDynamicGraph::directed(8, 6, 77);
+        let values: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let mut exec = Execution::new(Isotropic(PushSum), PushSumState::averaging(&values));
+        exec.run(&net, 600);
+        let avg = 3.5;
+        for x in exec.outputs() {
+            assert!((x - avg).abs() < 1e-8, "{x}");
+        }
+    }
+
+    #[test]
+    fn tolerates_asynchronous_starts() {
+        let inner = StaticGraph::new(generators::bidirectional_ring(6));
+        let net = AsyncStarts::new(inner, vec![1, 4, 2, 7, 3, 1]);
+        let values = [6.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let mut exec = Execution::new(Isotropic(PushSum), PushSumState::averaging(&values));
+        exec.run(&net, 800);
+        for x in exec.outputs() {
+            assert!((x - 1.0).abs() < 1e-8, "{x}");
+        }
+    }
+
+    #[test]
+    fn frequency_estimates_converge() {
+        // Values: three 1s and one 9 → frequencies 3/4 and 1/4.
+        let values = [1u64, 1, 1, 9];
+        let net = StaticGraph::new(generators::complete(4));
+        let mut exec = Execution::new(
+            Isotropic(PushSumFrequency::frequency()),
+            FrequencyState::initial(&values),
+        );
+        exec.run(&net, 300);
+        for est in exec.outputs() {
+            assert!((est[&1] - 0.75).abs() < 1e-9);
+            assert!((est[&9] - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rounding_gives_exact_frequencies() {
+        let values = [5u64, 5, 7];
+        let net = StaticGraph::new(generators::directed_ring(3));
+        let mut exec = Execution::new(
+            Isotropic(PushSumFrequency::frequency()),
+            FrequencyState::initial(&values),
+        );
+        exec.run(&net, 150);
+        // Bound N = 4 >= n = 3.
+        for est in exec.outputs() {
+            let grid = round_to_grid(&est, 4);
+            assert_eq!(grid[&5], BigRational::from_i64(2, 3));
+            assert_eq!(grid[&7], BigRational::from_i64(1, 3));
+        }
+    }
+
+    #[test]
+    fn leader_mode_recovers_multiplicities() {
+        // 5 agents, one leader; values: two 3s, three 8s.
+        let values = [3u64, 8, 3, 8, 8];
+        let leaders = [true, false, false, false, false];
+        let net = StaticGraph::new(generators::complete(5));
+        let mut exec = Execution::new(
+            Isotropic(PushSumFrequency::with_leaders(1)),
+            FrequencyState::initial_with_leaders(&values, &leaders),
+        );
+        exec.run(&net, 400);
+        for est in exec.outputs() {
+            assert!((est[&3] - 2.0).abs() < 1e-8, "mult of 3: {}", est[&3]);
+            assert!((est[&8] - 3.0).abs() < 1e-8, "mult of 8: {}", est[&8]);
+        }
+    }
+
+    #[test]
+    fn normalized_estimates_sum_to_one() {
+        let values = [2u64, 2, 4, 6];
+        let net = StaticGraph::new(generators::directed_torus(2, 2));
+        let mut exec = Execution::new(
+            Isotropic(PushSumFrequency::frequency()),
+            FrequencyState::initial(&values),
+        );
+        exec.run(&net, 120);
+        for est in exec.outputs() {
+            let norm = normalize_estimate(&est);
+            let total: f64 = norm.values().sum();
+            assert!((total - 1.0).abs() < 1e-12);
+            assert!((norm[&2] - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nonpositive_weight_rejected() {
+        let _ = PushSumState::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn exact_frequency_masses_are_invariant() {
+        // Per-value y mass equals the multiplicity at every round, and z
+        // mass reaches exactly n once everyone has joined the instance.
+        let values = [4u64, 9, 4, 4];
+        let n = values.len();
+        let net = StaticGraph::new(generators::directed_ring(n));
+        let mut exec = Execution::new(
+            Isotropic(PushSumFrequencyExact),
+            ExactFrequencyState::initial(&values),
+        );
+        for round in 1..=12u64 {
+            let g = net.graph(round);
+            exec.step(&g);
+            for omega in [4u64, 9] {
+                let y_total: BigRational = exec
+                    .states()
+                    .iter()
+                    .filter_map(|s| s.masses.get(&omega).map(|(y, _)| y))
+                    .sum();
+                let mult = values.iter().filter(|&&v| v == omega).count() as i64;
+                assert_eq!(
+                    y_total,
+                    BigRational::from_integer(mult),
+                    "round {round} value {omega}"
+                );
+            }
+            if round >= n as u64 {
+                // Everyone joined: z mass is exactly n per value.
+                for omega in [4u64, 9] {
+                    let z_total: BigRational = exec
+                        .states()
+                        .iter()
+                        .filter_map(|s| s.masses.get(&omega).map(|(_, z)| z))
+                        .sum();
+                    assert_eq!(z_total, BigRational::from_integer(n as i64));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_and_f64_frequency_agree() {
+        let values = [1u64, 1, 7];
+        let net = StaticGraph::new(generators::complete(3));
+        let mut exact = Execution::new(
+            Isotropic(PushSumFrequencyExact),
+            ExactFrequencyState::initial(&values),
+        );
+        let mut float = Execution::new(
+            Isotropic(PushSumFrequency::frequency()),
+            FrequencyState::initial(&values),
+        );
+        exact.run(&net, 20);
+        float.run(&net, 20);
+        let e = exact.outputs()[0].clone();
+        let f = float.outputs()[0].clone();
+        for (v, x) in &f {
+            let ex = e[v].to_f64();
+            assert!((ex - x).abs() < 1e-9, "value {v}: {ex} vs {x}");
+        }
+    }
+
+    #[test]
+    fn convergence_rate_tracks_theorem_bound() {
+        // Theorem 5.2: within eps after O(n^2 D log(1/eps)) rounds. We
+        // check the much weaker empirical claim that halving eps adds at
+        // most ~linearly many rounds (geometric convergence).
+        let n = 6;
+        let net = StaticGraph::new(generators::directed_ring(n));
+        let values: Vec<f64> = (0..n).map(|i| (i * i) as f64).collect();
+        let avg = values.iter().sum::<f64>() / n as f64;
+        let mut exec = Execution::new(Isotropic(PushSum), PushSumState::averaging(&values));
+        let mut rounds_to = Vec::new();
+        let mut eps = 1e-2;
+        for _ in 0..4 {
+            while exec.outputs().iter().any(|x| (x - avg).abs() > eps) {
+                let g = net.graph(exec.round() + 1);
+                exec.step(&g);
+                assert!(exec.round() < 10_000, "no convergence");
+            }
+            rounds_to.push(exec.round());
+            eps /= 100.0;
+        }
+        // Each 100x tightening costs a bounded number of extra rounds.
+        let increments: Vec<u64> = rounds_to.windows(2).map(|w| w[1] - w[0]).collect();
+        for w in increments.windows(2) {
+            assert!(w[1] <= w[0] + 50, "super-geometric slowdown: {rounds_to:?}");
+        }
+    }
+}

@@ -1,0 +1,874 @@
+//! Arbitrary-precision signed integers.
+//!
+//! Sign-magnitude representation over little-endian `u64` limbs. The
+//! implementation favours simplicity and exactness over raw speed: the
+//! matrices arising from minimum bases of anonymous networks are small
+//! (one row per fibre), so schoolbook multiplication and binary long
+//! division are more than adequate.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Shl, Shr, Sub, SubAssign};
+use std::str::FromStr;
+
+/// Sign of a [`BigInt`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+impl Sign {
+    fn flip(self) -> Sign {
+        match self {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// Invariants: `mag` has no trailing zero limbs, and `sign == Sign::Zero`
+/// if and only if `mag` is empty.
+///
+/// ```
+/// use kya_arith::BigInt;
+/// let a: BigInt = "123456789012345678901234567890".parse()?;
+/// let b = BigInt::from(10_u64).pow(29);
+/// assert!(a > b);
+/// assert_eq!((&a - &a), BigInt::zero());
+/// # Ok::<(), kya_arith::ParseBigIntError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BigInt {
+    sign: Sign,
+    /// Little-endian magnitude; no trailing zeros.
+    mag: Vec<u64>,
+}
+
+/// Error returned when parsing a [`BigInt`] from a malformed string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseBigIntError {
+    kind: &'static str,
+}
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid big integer literal: {}", self.kind)
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+// ---------------------------------------------------------------------
+// magnitude helpers (unsigned little-endian Vec<u64>)
+// ---------------------------------------------------------------------
+
+fn mag_trim(mag: &mut Vec<u64>) {
+    while mag.last() == Some(&0) {
+        mag.pop();
+    }
+}
+
+fn mag_cmp(a: &[u64], b: &[u64]) -> Ordering {
+    if a.len() != b.len() {
+        return a.len().cmp(&b.len());
+    }
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+fn mag_add(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for i in 0..long.len() {
+        let x = long[i] as u128;
+        let y = *short.get(i).unwrap_or(&0) as u128;
+        let s = x + y + carry as u128;
+        out.push(s as u64);
+        carry = (s >> 64) as u64;
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// Requires `a >= b`.
+fn mag_sub(a: &[u64], b: &[u64]) -> Vec<u64> {
+    debug_assert!(mag_cmp(a, b) != Ordering::Less);
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0i128;
+    for i in 0..a.len() {
+        let x = a[i] as i128;
+        let y = *b.get(i).unwrap_or(&0) as i128;
+        let mut d = x - y - borrow;
+        if d < 0 {
+            d += 1i128 << 64;
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        out.push(d as u64);
+    }
+    debug_assert_eq!(borrow, 0);
+    mag_trim(&mut out);
+    out
+}
+
+fn mag_mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &y) in b.iter().enumerate() {
+            let cur = out[i + j] as u128 + x as u128 * y as u128 + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let cur = out[k] as u128 + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    mag_trim(&mut out);
+    out
+}
+
+fn mag_shl(a: &[u64], bits: usize) -> Vec<u64> {
+    if a.is_empty() {
+        return Vec::new();
+    }
+    let limb_shift = bits / 64;
+    let bit_shift = bits % 64;
+    let mut out = vec![0u64; limb_shift];
+    if bit_shift == 0 {
+        out.extend_from_slice(a);
+    } else {
+        let mut carry = 0u64;
+        for &x in a {
+            out.push((x << bit_shift) | carry);
+            carry = x >> (64 - bit_shift);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+    }
+    mag_trim(&mut out);
+    out
+}
+
+fn mag_shr(a: &[u64], bits: usize) -> Vec<u64> {
+    let limb_shift = bits / 64;
+    if limb_shift >= a.len() {
+        return Vec::new();
+    }
+    let bit_shift = bits % 64;
+    let mut out = Vec::with_capacity(a.len() - limb_shift);
+    if bit_shift == 0 {
+        out.extend_from_slice(&a[limb_shift..]);
+    } else {
+        let src = &a[limb_shift..];
+        for i in 0..src.len() {
+            let lo = src[i] >> bit_shift;
+            let hi = if i + 1 < src.len() {
+                src[i + 1] << (64 - bit_shift)
+            } else {
+                0
+            };
+            out.push(lo | hi);
+        }
+    }
+    mag_trim(&mut out);
+    out
+}
+
+fn mag_bits(a: &[u64]) -> usize {
+    match a.last() {
+        None => 0,
+        Some(&top) => 64 * (a.len() - 1) + (64 - top.leading_zeros() as usize),
+    }
+}
+
+/// Divide magnitude by a single non-zero limb; returns (quotient, remainder).
+fn mag_divmod_limb(a: &[u64], d: u64) -> (Vec<u64>, u64) {
+    debug_assert!(d != 0);
+    let mut q = vec![0u64; a.len()];
+    let mut rem = 0u128;
+    for i in (0..a.len()).rev() {
+        let cur = (rem << 64) | a[i] as u128;
+        q[i] = (cur / d as u128) as u64;
+        rem = cur % d as u128;
+    }
+    mag_trim(&mut q);
+    (q, rem as u64)
+}
+
+/// Full multi-limb division via binary long division.
+/// Returns (quotient, remainder) with `a = q*b + r`, `0 <= r < b`.
+fn mag_divmod(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    assert!(!b.is_empty(), "division by zero");
+    if mag_cmp(a, b) == Ordering::Less {
+        return (Vec::new(), a.to_vec());
+    }
+    if b.len() == 1 {
+        let (q, r) = mag_divmod_limb(a, b[0]);
+        return (q, if r == 0 { Vec::new() } else { vec![r] });
+    }
+    let shift = mag_bits(a) - mag_bits(b);
+    let mut q = vec![0u64; a.len()];
+    let mut rem = a.to_vec();
+    let mut d = mag_shl(b, shift);
+    for s in (0..=shift).rev() {
+        if mag_cmp(&rem, &d) != Ordering::Less {
+            rem = mag_sub(&rem, &d);
+            q[s / 64] |= 1u64 << (s % 64);
+        }
+        if s > 0 {
+            d = mag_shr(&d, 1);
+        }
+    }
+    mag_trim(&mut q);
+    mag_trim(&mut rem);
+    (q, rem)
+}
+
+// ---------------------------------------------------------------------
+// BigInt proper
+// ---------------------------------------------------------------------
+
+impl BigInt {
+    /// The integer `0`.
+    pub fn zero() -> BigInt {
+        BigInt {
+            sign: Sign::Zero,
+            mag: Vec::new(),
+        }
+    }
+
+    /// The integer `1`.
+    pub fn one() -> BigInt {
+        BigInt::from(1u64)
+    }
+
+    fn from_mag(sign: Sign, mut mag: Vec<u64>) -> BigInt {
+        mag_trim(&mut mag);
+        if mag.is_empty() {
+            BigInt::zero()
+        } else {
+            debug_assert!(sign != Sign::Zero);
+            BigInt { sign, mag }
+        }
+    }
+
+    /// Whether this integer is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Whether this integer is one.
+    pub fn is_one(&self) -> bool {
+        self.sign == Sign::Positive && self.mag == [1]
+    }
+
+    /// Whether this integer is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// Whether this integer is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// The sign of this integer.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        match self.sign {
+            Sign::Negative => BigInt {
+                sign: Sign::Positive,
+                mag: self.mag.clone(),
+            },
+            _ => self.clone(),
+        }
+    }
+
+    /// Number of significant bits of the magnitude (`0` for zero).
+    pub fn bits(&self) -> usize {
+        mag_bits(&self.mag)
+    }
+
+    /// Raise to a small non-negative power.
+    ///
+    /// ```
+    /// use kya_arith::BigInt;
+    /// assert_eq!(BigInt::from(3).pow(4), BigInt::from(81));
+    /// ```
+    pub fn pow(&self, mut exp: u32) -> BigInt {
+        let mut base = self.clone();
+        let mut acc = BigInt::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Simultaneous quotient and remainder (truncated toward zero, like
+    /// Rust's primitive `/` and `%`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn div_rem(&self, other: &BigInt) -> (BigInt, BigInt) {
+        assert!(!other.is_zero(), "division by zero");
+        if self.is_zero() {
+            return (BigInt::zero(), BigInt::zero());
+        }
+        let (q_mag, r_mag) = mag_divmod(&self.mag, &other.mag);
+        let q_sign = if q_mag.is_empty() {
+            Sign::Zero
+        } else if self.sign == other.sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        let r_sign = if r_mag.is_empty() {
+            Sign::Zero
+        } else {
+            self.sign
+        };
+        (
+            BigInt::from_mag(q_sign, q_mag),
+            BigInt::from_mag(r_sign, r_mag),
+        )
+    }
+
+    /// Approximate conversion to `f64` (may lose precision, may overflow to
+    /// infinity for huge magnitudes).
+    pub fn to_f64(&self) -> f64 {
+        let bits = self.bits();
+        let v = if bits <= 64 {
+            self.mag.first().copied().unwrap_or(0) as f64
+        } else {
+            // Take the top 64 bits and scale.
+            let top = mag_shr(&self.mag, bits - 64);
+            let top_val = top.first().copied().unwrap_or(0) as f64;
+            top_val * 2f64.powi((bits - 64) as i32)
+        };
+        match self.sign {
+            Sign::Negative => -v,
+            Sign::Zero => 0.0,
+            Sign::Positive => v,
+        }
+    }
+
+    /// Exact conversion to `i64` when the value fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => {
+                if self.mag.len() > 1 {
+                    None
+                } else {
+                    i64::try_from(self.mag[0]).ok()
+                }
+            }
+            Sign::Negative => {
+                if self.mag.len() > 1 {
+                    None
+                } else if self.mag[0] == 1u64 << 63 {
+                    Some(i64::MIN)
+                } else {
+                    i64::try_from(self.mag[0]).ok().map(|v| -v)
+                }
+            }
+        }
+    }
+
+    /// Exact conversion to `u64` when the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive if self.mag.len() == 1 => Some(self.mag[0]),
+            _ => None,
+        }
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> Self {
+        BigInt::zero()
+    }
+}
+
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> BigInt {
+                if v == 0 {
+                    BigInt::zero()
+                } else {
+                    BigInt { sign: Sign::Positive, mag: vec![v as u64] }
+                }
+            }
+        }
+    )*};
+}
+impl_from_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> BigInt {
+                match v.cmp(&0) {
+                    Ordering::Equal => BigInt::zero(),
+                    Ordering::Greater => BigInt { sign: Sign::Positive, mag: vec![v as u64] },
+                    Ordering::Less => BigInt {
+                        sign: Sign::Negative,
+                        mag: vec![(v as i128).unsigned_abs() as u64],
+                    },
+                }
+            }
+        }
+    )*};
+}
+impl_from_signed!(i8, i16, i32, i64, isize);
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> BigInt {
+        if v == 0 {
+            return BigInt::zero();
+        }
+        let sign = if v > 0 {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        let m = v.unsigned_abs();
+        let mut mag = vec![m as u64, (m >> 64) as u64];
+        mag_trim(&mut mag);
+        BigInt { sign, mag }
+    }
+}
+
+impl From<u128> for BigInt {
+    fn from(v: u128) -> BigInt {
+        if v == 0 {
+            return BigInt::zero();
+        }
+        let mut mag = vec![v as u64, (v >> 64) as u64];
+        mag_trim(&mut mag);
+        BigInt {
+            sign: Sign::Positive,
+            mag,
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (a, b) if a != b => a.cmp(&b),
+            (Sign::Zero, _) => Ordering::Equal,
+            (Sign::Positive, _) => mag_cmp(&self.mag, &other.mag),
+            (Sign::Negative, _) => mag_cmp(&other.mag, &self.mag),
+        }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt {
+            sign: self.sign.flip(),
+            mag: self.mag.clone(),
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        self.sign = self.sign.flip();
+        self
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt::from_mag(a, mag_add(&self.mag, &rhs.mag)),
+            (a, _) => match mag_cmp(&self.mag, &rhs.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt::from_mag(a, mag_sub(&self.mag, &rhs.mag)),
+                Ordering::Less => BigInt::from_mag(a.flip(), mag_sub(&rhs.mag, &self.mag)),
+            },
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        if self.is_zero() || rhs.is_zero() {
+            return BigInt::zero();
+        }
+        let sign = if self.sign == rhs.sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        BigInt::from_mag(sign, mag_mul(&self.mag, &rhs.mag))
+    }
+}
+
+impl Div for &BigInt {
+    type Output = BigInt;
+    fn div(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem for &BigInt {
+    type Output = BigInt;
+    fn rem(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).1
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($($trait:ident, $method:ident);*) => {$(
+        impl $trait for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt { (&self).$method(&rhs) }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt { (&self).$method(rhs) }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt { self.$method(&rhs) }
+        }
+    )*};
+}
+forward_owned_binop!(Add, add; Sub, sub; Mul, mul; Div, div; Rem, rem);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = &*self - rhs;
+    }
+}
+
+impl Shl<usize> for &BigInt {
+    type Output = BigInt;
+    fn shl(self, bits: usize) -> BigInt {
+        BigInt::from_mag(self.sign, mag_shl(&self.mag, bits))
+    }
+}
+
+impl Shr<usize> for &BigInt {
+    type Output = BigInt;
+    fn shr(self, bits: usize) -> BigInt {
+        let mag = mag_shr(&self.mag, bits);
+        let sign = if mag.is_empty() {
+            Sign::Zero
+        } else {
+            self.sign
+        };
+        BigInt::from_mag(sign, mag)
+    }
+}
+
+impl Shl<usize> for BigInt {
+    type Output = BigInt;
+    fn shl(self, bits: usize) -> BigInt {
+        &self << bits
+    }
+}
+
+impl Shr<usize> for BigInt {
+    type Output = BigInt;
+    fn shr(self, bits: usize) -> BigInt {
+        &self >> bits
+    }
+}
+
+impl Sum for BigInt {
+    fn sum<I: Iterator<Item = BigInt>>(iter: I) -> BigInt {
+        iter.fold(BigInt::zero(), |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a BigInt> for BigInt {
+    fn sum<I: Iterator<Item = &'a BigInt>>(iter: I) -> BigInt {
+        iter.fold(BigInt::zero(), |a, b| &a + b)
+    }
+}
+
+impl Product for BigInt {
+    fn product<I: Iterator<Item = BigInt>>(iter: I) -> BigInt {
+        iter.fold(BigInt::one(), |a, b| a * b)
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Repeatedly divide by 10^19 (largest power of ten in a u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut mag = self.mag.clone();
+        let mut chunks: Vec<u64> = Vec::new();
+        while !mag.is_empty() {
+            let (q, r) = mag_divmod_limb(&mag, CHUNK);
+            chunks.push(r);
+            mag = q;
+        }
+        let mut s = String::new();
+        for (i, c) in chunks.iter().rev().enumerate() {
+            if i == 0 {
+                s.push_str(&c.to_string());
+            } else {
+                s.push_str(&format!("{c:019}"));
+            }
+        }
+        f.pad_integral(self.sign != Sign::Negative, "", &s)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (neg, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() {
+            return Err(ParseBigIntError { kind: "empty" });
+        }
+        let mut acc = BigInt::zero();
+        let ten_pow_19 = BigInt::from(10_000_000_000_000_000_000u64);
+        let bytes = digits.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let end = (i + 19).min(bytes.len());
+            let chunk = &digits[i..end];
+            let v: u64 = chunk
+                .parse()
+                .map_err(|_| ParseBigIntError { kind: "non-digit" })?;
+            let scale = if end - i == 19 {
+                ten_pow_19.clone()
+            } else {
+                BigInt::from(10u64).pow((end - i) as u32)
+            };
+            acc = acc * scale + BigInt::from(v);
+            i = end;
+        }
+        if neg {
+            acc = -acc;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn big(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn construction_and_signs() {
+        assert!(BigInt::zero().is_zero());
+        assert!(BigInt::one().is_one());
+        assert!(big(-5).is_negative());
+        assert!(big(5).is_positive());
+        assert_eq!(big(-5).abs(), big(5));
+        assert_eq!(BigInt::default(), BigInt::zero());
+    }
+
+    #[test]
+    fn display_roundtrip_small() {
+        for v in [-1234567890123456789012345i128, -1, 0, 1, 42, i128::MAX] {
+            let b = big(v);
+            assert_eq!(b.to_string(), v.to_string());
+            assert_eq!(b.to_string().parse::<BigInt>().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<BigInt>().is_err());
+        assert!("-".parse::<BigInt>().is_err());
+        assert!("12a3".parse::<BigInt>().is_err());
+        assert!("+7".parse::<BigInt>().unwrap() == big(7));
+    }
+
+    #[test]
+    fn big_multiplication() {
+        let a: BigInt = "340282366920938463463374607431768211456".parse().unwrap(); // 2^128
+        assert_eq!(&a, &(&BigInt::from(1u64) << 128));
+        assert_eq!((&a * &a), (&BigInt::from(1u64) << 256));
+    }
+
+    #[test]
+    fn division_truncates_toward_zero() {
+        assert_eq!(big(7).div_rem(&big(2)), (big(3), big(1)));
+        assert_eq!(big(-7).div_rem(&big(2)), (big(-3), big(-1)));
+        assert_eq!(big(7).div_rem(&big(-2)), (big(-3), big(1)));
+        assert_eq!(big(-7).div_rem(&big(-2)), (big(3), big(-1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = big(1).div_rem(&BigInt::zero());
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(&big(1) << 200 >> 200, big(1));
+        assert_eq!(&big(0) << 5, BigInt::zero());
+        assert_eq!(&big(255) >> 4, big(15));
+    }
+
+    #[test]
+    fn to_f64_large() {
+        let a = &BigInt::from(1u64) << 100;
+        let f = a.to_f64();
+        assert!((f / 2f64.powi(100) - 1.0).abs() < 1e-12);
+        assert_eq!((-a).to_f64(), -f);
+    }
+
+    #[test]
+    fn to_primitive_bounds() {
+        assert_eq!(big(i64::MAX as i128).to_i64(), Some(i64::MAX));
+        assert_eq!(big(i64::MIN as i128).to_i64(), Some(i64::MIN));
+        assert_eq!(big(i64::MAX as i128 + 1).to_i64(), None);
+        assert_eq!(big(u64::MAX as i128).to_u64(), Some(u64::MAX));
+        assert_eq!(big(-1).to_u64(), None);
+    }
+
+    #[test]
+    fn pow_and_bits() {
+        assert_eq!(big(2).pow(10), big(1024));
+        assert_eq!(big(10).pow(0), big(1));
+        assert_eq!(BigInt::zero().bits(), 0);
+        assert_eq!(big(1).bits(), 1);
+        assert_eq!(big(255).bits(), 8);
+        assert_eq!((&big(1) << 64).bits(), 65);
+    }
+
+    #[test]
+    fn sum_and_product() {
+        let xs: Vec<BigInt> = (1..=5i64).map(BigInt::from).collect();
+        assert_eq!(xs.iter().sum::<BigInt>(), big(15));
+        assert_eq!(xs.into_iter().product::<BigInt>(), big(120));
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_i128(a in -(1i128<<100)..(1i128<<100), b in -(1i128<<100)..(1i128<<100)) {
+            prop_assert_eq!(big(a) + big(b), big(a + b));
+        }
+
+        #[test]
+        fn mul_matches_i128(a in -(1i128<<62)..(1i128<<62), b in -(1i128<<62)..(1i128<<62)) {
+            prop_assert_eq!(big(a) * big(b), big(a * b));
+        }
+
+        #[test]
+        fn divmod_matches_i128(a in any::<i128>(), b in any::<i128>()) {
+            prop_assume!(b != 0);
+            let (q, r) = big(a).div_rem(&big(b));
+            prop_assert_eq!(q, big(a / b));
+            prop_assert_eq!(r, big(a % b));
+        }
+
+        #[test]
+        fn divmod_reconstructs(a_s in "\\-?[0-9]{1,60}", b_s in "[1-9][0-9]{0,40}") {
+            let a: BigInt = a_s.parse().unwrap();
+            let b: BigInt = b_s.parse().unwrap();
+            let (q, r) = a.div_rem(&b);
+            prop_assert_eq!(&q * &b + &r, a);
+            prop_assert!(r.abs() < b);
+        }
+
+        #[test]
+        fn ordering_matches_i128(a in any::<i128>(), b in any::<i128>()) {
+            prop_assert_eq!(big(a).cmp(&big(b)), a.cmp(&b));
+        }
+
+        #[test]
+        fn display_parse_roundtrip(s in "\\-?[1-9][0-9]{0,80}") {
+            let a: BigInt = s.parse().unwrap();
+            prop_assert_eq!(a.to_string(), s);
+        }
+    }
+}

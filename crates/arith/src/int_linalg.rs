@@ -1,0 +1,325 @@
+//! Fraction-free integer linear algebra (Bareiss elimination).
+//!
+//! §4.2 of the paper has each agent run "Gaussian elimination over the
+//! Euclidean ring ℤ" on the fibre-count system. [`IMatrix`] implements
+//! that literally: Bareiss' fraction-free elimination keeps every
+//! intermediate entry an *integer* (each division is exact), bounds
+//! coefficient growth by Hadamard's inequality, and yields the
+//! determinant and a kernel basis without ever leaving ℤ.
+//!
+//! [`QMatrix`](crate::QMatrix) remains the general-purpose exact solver;
+//! the two are cross-checked against each other in tests and compared in
+//! the `linalg` benchmark.
+
+use crate::{gcd, BigInt};
+use std::fmt;
+
+/// A dense integer matrix.
+///
+/// ```
+/// use kya_arith::{BigInt, IMatrix};
+/// let m = IMatrix::from_i64_rows(&[&[2, 0], &[0, 3]]);
+/// assert_eq!(m.determinant(), BigInt::from(6));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct IMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<BigInt>,
+}
+
+impl IMatrix {
+    /// An `rows x cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> IMatrix {
+        IMatrix {
+            rows,
+            cols,
+            data: vec![BigInt::zero(); rows * cols],
+        }
+    }
+
+    /// Build from rows of machine integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths.
+    pub fn from_i64_rows(rows: &[&[i64]]) -> IMatrix {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        let mut m = IMatrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = BigInt::from(v);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul_vec(&self, v: &[BigInt]) -> Vec<BigInt> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| &self[(i, j)] * &v[j]).sum())
+            .collect()
+    }
+
+    /// Fraction-free row echelon form via Bareiss' algorithm; returns
+    /// `(echelon, pivot columns, determinant-ish pivot)`.
+    ///
+    /// Every intermediate division is exact (a property of the Bareiss
+    /// recurrence), so all entries stay integers. For a square
+    /// non-singular matrix the last pivot equals the determinant up to
+    /// the sign of the row swaps performed.
+    fn bareiss(&self) -> (IMatrix, Vec<usize>, BigInt, bool) {
+        let mut m = self.clone();
+        let mut pivots = Vec::new();
+        let mut prev = BigInt::one();
+        let mut row = 0usize;
+        let mut swapped_odd = false;
+        for col in 0..m.cols {
+            if row == m.rows {
+                break;
+            }
+            let Some(p) = (row..m.rows).find(|&r| !m[(r, col)].is_zero()) else {
+                continue;
+            };
+            if p != row {
+                for j in 0..m.cols {
+                    m.data.swap(row * m.cols + j, p * m.cols + j);
+                }
+                swapped_odd = !swapped_odd;
+            }
+            let pivot = m[(row, col)].clone();
+            for r in (row + 1)..m.rows {
+                for j in (col + 1)..m.cols {
+                    // Bareiss: m[r][j] = (pivot*m[r][j] - m[r][col]*m[row][j]) / prev
+                    let num = &(&pivot * &m[(r, j)]) - &(&m[(r, col)] * &m[(row, j)]);
+                    let (q, rem) = num.div_rem(&prev);
+                    debug_assert!(rem.is_zero(), "Bareiss division must be exact");
+                    m[(r, j)] = q;
+                }
+                m[(r, col)] = BigInt::zero();
+            }
+            prev = pivot;
+            pivots.push(col);
+            row += 1;
+        }
+        (m, pivots, prev, swapped_odd)
+    }
+
+    /// Rank over ℚ (= rank over ℤ as a ℚ-matrix).
+    pub fn rank(&self) -> usize {
+        self.bareiss().1.len()
+    }
+
+    /// Determinant of a square matrix (fraction-free; exact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn determinant(&self) -> BigInt {
+        assert_eq!(self.rows, self.cols, "determinant of non-square matrix");
+        if self.rows == 0 {
+            return BigInt::one();
+        }
+        let (_, pivots, last_pivot, swapped_odd) = self.bareiss();
+        if pivots.len() < self.rows {
+            return BigInt::zero();
+        }
+        if swapped_odd {
+            -last_pivot
+        } else {
+            last_pivot
+        }
+    }
+
+    /// An integer basis of the kernel: one vector per free column, each
+    /// with coprime entries. Entirely within ℤ — back-substitution on
+    /// the Bareiss echelon form clears denominators as it goes.
+    pub fn integer_kernel_basis(&self) -> Vec<Vec<BigInt>> {
+        let (e, pivots, _, _) = self.bareiss();
+        let rank = pivots.len();
+        let mut pivot_of_col: Vec<Option<usize>> = vec![None; self.cols];
+        for (r, &c) in pivots.iter().enumerate() {
+            pivot_of_col[c] = Some(r);
+        }
+        let mut basis = Vec::new();
+        for free in 0..self.cols {
+            if pivot_of_col[free].is_some() {
+                continue;
+            }
+            // Solve E x = 0 with x[free] chosen to clear denominators:
+            // back-substitute from the bottom pivot row up, scaling the
+            // whole vector by each pivot to stay integral.
+            let mut x = vec![BigInt::zero(); self.cols];
+            x[free] = BigInt::one();
+            for r in (0..rank).rev() {
+                let pc = pivots[r];
+                // residual = sum_{j > pc} E[r][j] * x[j]
+                let residual: BigInt = ((pc + 1)..self.cols).map(|j| &e[(r, j)] * &x[j]).sum();
+                if residual.is_zero() {
+                    continue;
+                }
+                let pivot = e[(r, pc)].clone();
+                let g = gcd(&pivot, &residual);
+                let scale = &pivot / &g;
+                // Scale everything so the division is exact, then set
+                // x[pc] = -residual_scaled / pivot.
+                if !scale.is_one() {
+                    for xi in &mut x {
+                        *xi = &*xi * &scale;
+                    }
+                }
+                let (q, rem) = (&residual * &scale).div_rem(&pivot);
+                debug_assert!(rem.is_zero());
+                x[pc] = -q;
+            }
+            // Reduce to coprime entries.
+            let g = x.iter().fold(BigInt::zero(), |acc, v| gcd(&acc, v));
+            if !g.is_zero() && !g.is_one() {
+                for xi in &mut x {
+                    *xi = &*xi / &g;
+                }
+            }
+            basis.push(x);
+        }
+        basis
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for IMatrix {
+    type Output = BigInt;
+    fn index(&self, (i, j): (usize, usize)) -> &BigInt {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for IMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut BigInt {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for IMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "IMatrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BigRational, QMatrix};
+    use proptest::prelude::*;
+
+    #[test]
+    fn determinants() {
+        assert_eq!(IMatrix::zeros(0, 0).determinant(), BigInt::one());
+        let id = IMatrix::from_i64_rows(&[&[1, 0], &[0, 1]]);
+        assert_eq!(id.determinant(), BigInt::from(1));
+        let m = IMatrix::from_i64_rows(&[&[1, 2], &[3, 4]]);
+        assert_eq!(m.determinant(), BigInt::from(-2));
+        let singular = IMatrix::from_i64_rows(&[&[1, 2], &[2, 4]]);
+        assert_eq!(singular.determinant(), BigInt::zero());
+        // Row swap parity.
+        let swapped = IMatrix::from_i64_rows(&[&[0, 1], &[1, 0]]);
+        assert_eq!(swapped.determinant(), BigInt::from(-1));
+    }
+
+    #[test]
+    fn rank_and_kernel_shapes() {
+        let m = IMatrix::from_i64_rows(&[&[1, 2, 3], &[2, 4, 6]]);
+        assert_eq!(m.rank(), 1);
+        let basis = m.integer_kernel_basis();
+        assert_eq!(basis.len(), 2);
+        for v in &basis {
+            assert!(m.mul_vec(v).iter().all(BigInt::is_zero));
+        }
+    }
+
+    #[test]
+    fn kernel_entries_are_coprime() {
+        let m = IMatrix::from_i64_rows(&[&[-8, 1, 2], &[2, -4, 2], &[6, 3, -4]]);
+        let basis = m.integer_kernel_basis();
+        assert_eq!(basis.len(), 1);
+        let v = &basis[0];
+        assert!(m.mul_vec(v).iter().all(BigInt::is_zero));
+        let g = v.iter().fold(BigInt::zero(), |acc, x| gcd(&acc, x));
+        assert!(g.is_one());
+        // Same ray as the rational solver's (up to sign).
+        let mut sorted: Vec<BigInt> = v.iter().map(BigInt::abs).collect();
+        sorted.sort();
+        assert_eq!(
+            sorted,
+            vec![BigInt::from(1), BigInt::from(2), BigInt::from(3)]
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Bareiss and rational elimination agree on rank and kernel
+        /// dimension, and Bareiss kernels annihilate the matrix.
+        #[test]
+        fn matches_rational_elimination(
+            rows in 1usize..5,
+            cols in 1usize..5,
+            seed in proptest::collection::vec(-9i64..9, 25),
+        ) {
+            let mut im = IMatrix::zeros(rows, cols);
+            let mut qm = QMatrix::zeros(rows, cols);
+            for i in 0..rows {
+                for j in 0..cols {
+                    im[(i, j)] = BigInt::from(seed[i * 5 + j]);
+                    qm[(i, j)] = BigRational::from_integer(seed[i * 5 + j]);
+                }
+            }
+            prop_assert_eq!(im.rank(), qm.rank());
+            let basis = im.integer_kernel_basis();
+            prop_assert_eq!(basis.len(), cols - im.rank());
+            for v in &basis {
+                prop_assert!(im.mul_vec(v).iter().all(BigInt::is_zero));
+            }
+        }
+
+        /// Determinant matches cofactor expansion for 3x3.
+        #[test]
+        fn det3_matches_rule_of_sarrus(vals in proptest::collection::vec(-20i64..20, 9)) {
+            let m = IMatrix::from_i64_rows(&[
+                &vals[0..3],
+                &vals[3..6],
+                &vals[6..9],
+            ]);
+            let (a, b, c, d, e, f, g, h, i) = (
+                vals[0], vals[1], vals[2], vals[3], vals[4], vals[5], vals[6], vals[7], vals[8],
+            );
+            let det = a * (e * i - f * h) - b * (d * i - f * g) + c * (d * h - e * g);
+            prop_assert_eq!(m.determinant(), BigInt::from(det));
+        }
+    }
+}

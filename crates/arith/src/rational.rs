@@ -1,0 +1,698 @@
+//! Exact rational numbers and best rational approximation.
+//!
+//! [`BigRational`] backs the exact fibre-frequency computations of §4 and
+//! the ℚ_N rounding step of §5.4 of the paper: an agent that knows an upper
+//! bound `N` on the network size snaps its asymptotic Push-Sum estimate to
+//! the nearest rational with denominator at most `N`, turning approximate
+//! convergence into exact stabilization.
+
+use crate::{gcd, BigInt};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+use std::str::FromStr;
+
+/// An exact rational number `num / den` with `den > 0` and
+/// `gcd(num, den) == 1`.
+///
+/// ```
+/// use kya_arith::BigRational;
+/// let third = BigRational::from_i64(1, 3);
+/// let sixth = BigRational::from_i64(1, 6);
+/// assert_eq!(&third + &sixth, BigRational::from_i64(1, 2));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BigRational {
+    num: BigInt,
+    den: BigInt,
+}
+
+/// Error returned when parsing a [`BigRational`] from a malformed string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseRationalError {
+    kind: &'static str,
+}
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {}", self.kind)
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl BigRational {
+    /// The rational `0`.
+    pub fn zero() -> BigRational {
+        BigRational {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// The rational `1`.
+    pub fn one() -> BigRational {
+        BigRational {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// Construct and normalize `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn new(num: BigInt, den: BigInt) -> BigRational {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        if num.is_zero() {
+            return BigRational::zero();
+        }
+        let g = gcd(&num, &den);
+        let (mut num, mut den) = (&num / &g, &den / &g);
+        if den.is_negative() {
+            num = -num;
+            den = -den;
+        }
+        BigRational { num, den }
+    }
+
+    /// Construct from machine integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn from_i64(num: i64, den: i64) -> BigRational {
+        BigRational::new(BigInt::from(num), BigInt::from(den))
+    }
+
+    /// The integer `v` as a rational.
+    pub fn from_integer(v: impl Into<BigInt>) -> BigRational {
+        BigRational {
+            num: v.into(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// Whether this rational is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Whether this rational is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Whether this rational is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Whether this rational is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigRational {
+        BigRational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    pub fn recip(&self) -> BigRational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        BigRational::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Approximate conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        // Scale so both parts fit comfortably in f64 range.
+        let nb = self.num.bits();
+        let db = self.den.bits();
+        if nb <= 900 && db <= 900 {
+            return self.num.to_f64() / self.den.to_f64();
+        }
+        let shift = nb.max(db) - 512;
+        let n = (&self.num >> shift).to_f64();
+        let d = (&self.den >> shift).to_f64();
+        n / d
+    }
+
+    /// Exact conversion from a finite `f64` (every finite float is a
+    /// dyadic rational).
+    ///
+    /// Returns `None` for NaN or infinities.
+    ///
+    /// ```
+    /// use kya_arith::BigRational;
+    /// assert_eq!(
+    ///     BigRational::from_f64(0.25),
+    ///     Some(BigRational::from_i64(1, 4)),
+    /// );
+    /// assert_eq!(BigRational::from_f64(f64::NAN), None);
+    /// ```
+    pub fn from_f64(v: f64) -> Option<BigRational> {
+        if !v.is_finite() {
+            return None;
+        }
+        if v == 0.0 {
+            return Some(BigRational::zero());
+        }
+        let bits = v.to_bits();
+        let sign = if bits >> 63 == 1 { -1i64 } else { 1 };
+        let exponent = ((bits >> 52) & 0x7ff) as i64;
+        let fraction = bits & 0xf_ffff_ffff_ffff;
+        let (mantissa, exp) = if exponent == 0 {
+            (fraction, -1074i64)
+        } else {
+            (fraction | (1 << 52), exponent - 1075)
+        };
+        let m = BigInt::from(mantissa) * BigInt::from(sign);
+        Some(if exp >= 0 {
+            BigRational::from_integer(&m << exp as usize)
+        } else {
+            BigRational::new(m, &BigInt::one() << (-exp) as usize)
+        })
+    }
+
+    /// Floor: the largest integer `<= self`.
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_negative() {
+            q - BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Ceiling: the smallest integer `>= self`.
+    pub fn ceil(&self) -> BigInt {
+        -(&(-self).floor())
+    }
+
+    /// Round to the nearest integer (ties away from zero).
+    pub fn round(&self) -> BigInt {
+        let half = BigRational::from_i64(1, 2);
+        if self.is_negative() {
+            -(&(-self).round())
+        } else {
+            (self + &half).floor()
+        }
+    }
+
+    /// Raise to an integer power (negative exponents invert).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero and `exp < 0`.
+    pub fn pow(&self, exp: i32) -> BigRational {
+        if exp < 0 {
+            return self.recip().pow(-exp);
+        }
+        BigRational {
+            num: self.num.pow(exp as u32),
+            den: self.den.pow(exp as u32),
+        }
+    }
+
+    /// The continued-fraction expansion `[a0; a1, a2, ...]`: the unique
+    /// finite sequence with `a0 = floor(self)` and `a_i >= 1` for
+    /// `i >= 1` whose value is `self` (the last coefficient is `>= 2`
+    /// for non-integers, making the expansion canonical).
+    ///
+    /// ```
+    /// use kya_arith::{BigInt, BigRational};
+    /// let x = BigRational::from_i64(355, 113);
+    /// let cf: Vec<i64> = x
+    ///     .continued_fraction()
+    ///     .iter()
+    ///     .map(|a| a.to_i64().unwrap())
+    ///     .collect();
+    /// assert_eq!(cf, vec![3, 7, 16]);
+    /// ```
+    pub fn continued_fraction(&self) -> Vec<BigInt> {
+        let mut out = Vec::new();
+        let mut p = self.num.clone();
+        let mut q = self.den.clone();
+        // First coefficient uses floor division to handle negatives.
+        let a0 = self.floor();
+        out.push(a0.clone());
+        let r = &p - &(&a0 * &q);
+        p = q;
+        q = r;
+        while !q.is_zero() {
+            let (a, r) = p.div_rem(&q);
+            out.push(a);
+            p = q;
+            q = r;
+        }
+        out
+    }
+
+    /// Rebuild a rational from a continued-fraction expansion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cf` is empty or some tail coefficient is zero (which
+    /// would divide by zero).
+    pub fn from_continued_fraction(cf: &[BigInt]) -> BigRational {
+        assert!(!cf.is_empty(), "empty continued fraction");
+        let mut acc = BigRational::from_integer(cf.last().expect("non-empty").clone());
+        for a in cf[..cf.len() - 1].iter().rev() {
+            acc = &BigRational::from_integer(a.clone()) + &acc.recip();
+        }
+        acc
+    }
+
+    /// The best rational approximation to `self` with denominator at most
+    /// `max_den`, via the continued-fraction (Stern–Brocot) construction.
+    ///
+    /// This is the ℚ_N rounding primitive of the paper's §5.4: snapping the
+    /// asymptotic Push-Sum output to the frequency grid
+    /// `ℚ_N = { p/q : 0 <= p <= q <= N }` (here generalized to all
+    /// rationals) yields exact finite-time stabilization when a bound `N`
+    /// on the network size is known.
+    ///
+    /// Ties (two grid points equidistant from `self`) resolve to the one
+    /// with the smaller denominator, matching the classical best
+    /// approximation theory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_den < 1`.
+    ///
+    /// ```
+    /// use kya_arith::{BigInt, BigRational};
+    /// // 0.333 snaps to 1/3 on the N = 10 grid.
+    /// let x = BigRational::from_i64(333, 1000);
+    /// let best = x.best_approximation(&BigInt::from(10));
+    /// assert_eq!(best, BigRational::from_i64(1, 3));
+    /// ```
+    pub fn best_approximation(&self, max_den: &BigInt) -> BigRational {
+        assert!(
+            max_den >= &BigInt::one(),
+            "best_approximation requires max_den >= 1"
+        );
+        if self.den <= *max_den {
+            return self.clone();
+        }
+        // Continued fraction: maintain convergents (h0/k0, h1/k1).
+        let mut p = self.num.clone();
+        let mut q = self.den.clone();
+        let mut h0 = BigInt::one();
+        let mut k0 = BigInt::zero();
+        let mut h1 = self.floor();
+        let mut k1 = BigInt::one();
+        // Consume the integer part.
+        let a0 = self.floor();
+        let r = &p - &(&a0 * &q);
+        p = q;
+        q = r;
+        while !q.is_zero() {
+            let (a, r) = p.div_rem(&q);
+            let h2 = &a * &h1 + &h0;
+            let k2 = &a * &k1 + &k0;
+            if k2 > *max_den {
+                // Largest t such that k0 + t*k1 <= max_den gives the best
+                // semiconvergent; compare it with the previous convergent.
+                let t = (max_den - &k0) / &k1;
+                let semi_valid = &t + &t >= a; // t >= a/2 (classical criterion)
+                let semi = BigRational::new(&h0 + &(&t * &h1), &k0 + &(&t * &k1));
+                let conv = BigRational::new(h1.clone(), k1.clone());
+                if semi_valid {
+                    let d_semi = (&semi - self).abs();
+                    let d_conv = (&conv - self).abs();
+                    return match d_semi.cmp(&d_conv) {
+                        Ordering::Less => semi,
+                        Ordering::Greater => conv,
+                        Ordering::Equal => {
+                            if semi.denom() < conv.denom() {
+                                semi
+                            } else {
+                                conv
+                            }
+                        }
+                    };
+                }
+                return conv;
+            }
+            h0 = h1;
+            k0 = k1;
+            h1 = h2;
+            k1 = k2;
+            p = q;
+            q = r;
+        }
+        BigRational::new(h1, k1)
+    }
+}
+
+impl Default for BigRational {
+    fn default() -> Self {
+        BigRational::zero()
+    }
+}
+
+impl From<BigInt> for BigRational {
+    fn from(v: BigInt) -> Self {
+        BigRational::from_integer(v)
+    }
+}
+
+impl From<i64> for BigRational {
+    fn from(v: i64) -> Self {
+        BigRational::from_integer(v)
+    }
+}
+
+impl PartialOrd for BigRational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigRational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Denominators are positive, so cross-multiplication preserves order.
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Add for &BigRational {
+    type Output = BigRational;
+    fn add(self, rhs: &BigRational) -> BigRational {
+        BigRational::new(
+            &self.num * &rhs.den + &rhs.num * &self.den,
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Sub for &BigRational {
+    type Output = BigRational;
+    fn sub(self, rhs: &BigRational) -> BigRational {
+        BigRational::new(
+            &self.num * &rhs.den - &rhs.num * &self.den,
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Mul for &BigRational {
+    type Output = BigRational;
+    fn mul(self, rhs: &BigRational) -> BigRational {
+        BigRational::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Div for &BigRational {
+    type Output = BigRational;
+    fn div(self, rhs: &BigRational) -> BigRational {
+        assert!(!rhs.is_zero(), "division by zero rational");
+        BigRational::new(&self.num * &rhs.den, &self.den * &rhs.num)
+    }
+}
+
+macro_rules! forward_owned_binop_rat {
+    ($($trait:ident, $method:ident);*) => {$(
+        impl $trait for BigRational {
+            type Output = BigRational;
+            fn $method(self, rhs: BigRational) -> BigRational { (&self).$method(&rhs) }
+        }
+        impl $trait<&BigRational> for BigRational {
+            type Output = BigRational;
+            fn $method(self, rhs: &BigRational) -> BigRational { (&self).$method(rhs) }
+        }
+        impl $trait<BigRational> for &BigRational {
+            type Output = BigRational;
+            fn $method(self, rhs: BigRational) -> BigRational { self.$method(&rhs) }
+        }
+    )*};
+}
+forward_owned_binop_rat!(Add, add; Sub, sub; Mul, mul; Div, div);
+
+impl Neg for &BigRational {
+    type Output = BigRational;
+    fn neg(self) -> BigRational {
+        BigRational {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
+    }
+}
+
+impl Neg for BigRational {
+    type Output = BigRational;
+    fn neg(mut self) -> BigRational {
+        self.num = -self.num;
+        self
+    }
+}
+
+impl Sum for BigRational {
+    fn sum<I: Iterator<Item = BigRational>>(iter: I) -> BigRational {
+        iter.fold(BigRational::zero(), |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a BigRational> for BigRational {
+    fn sum<I: Iterator<Item = &'a BigRational>>(iter: I) -> BigRational {
+        iter.fold(BigRational::zero(), |a, b| &a + b)
+    }
+}
+
+impl fmt::Display for BigRational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for BigRational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigRational({self})")
+    }
+}
+
+impl FromStr for BigRational {
+    type Err = ParseRationalError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once('/') {
+            None => {
+                let n: BigInt = s
+                    .parse()
+                    .map_err(|_| ParseRationalError { kind: "numerator" })?;
+                Ok(BigRational::from_integer(n))
+            }
+            Some((ns, ds)) => {
+                let n: BigInt = ns
+                    .parse()
+                    .map_err(|_| ParseRationalError { kind: "numerator" })?;
+                let d: BigInt = ds.parse().map_err(|_| ParseRationalError {
+                    kind: "denominator",
+                })?;
+                if d.is_zero() {
+                    return Err(ParseRationalError {
+                        kind: "zero denominator",
+                    });
+                }
+                Ok(BigRational::new(n, d))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rat(n: i64, d: i64) -> BigRational {
+        BigRational::from_i64(n, d)
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(rat(2, 4), rat(1, 2));
+        assert_eq!(rat(-2, -4), rat(1, 2));
+        assert_eq!(rat(2, -4), rat(-1, 2));
+        assert_eq!(rat(0, 7), BigRational::zero());
+        assert!(rat(3, 1).is_integer());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = rat(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(rat(1, 2) + rat(1, 3), rat(5, 6));
+        assert_eq!(rat(1, 2) - rat(1, 3), rat(1, 6));
+        assert_eq!(rat(2, 3) * rat(3, 4), rat(1, 2));
+        assert_eq!(rat(1, 2) / rat(1, 4), rat(2, 1));
+        assert_eq!(-rat(1, 2), rat(-1, 2));
+        assert_eq!(rat(-3, 7).abs(), rat(3, 7));
+        assert_eq!(rat(2, 5).recip(), rat(5, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(rat(1, 3) < rat(1, 2));
+        assert!(rat(-1, 2) < rat(-1, 3));
+        assert!(rat(7, 7) == rat(1, 1));
+    }
+
+    #[test]
+    fn floor_values() {
+        assert_eq!(rat(7, 2).floor(), BigInt::from(3));
+        assert_eq!(rat(-7, 2).floor(), BigInt::from(-4));
+        assert_eq!(rat(4, 2).floor(), BigInt::from(2));
+        assert_eq!(rat(-4, 2).floor(), BigInt::from(-2));
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        for v in [0.0, 0.5, -0.25, 1.0 / 3.0, 1e-10, 12345.6789] {
+            let r = BigRational::from_f64(v).unwrap();
+            assert_eq!(r.to_f64(), v);
+        }
+        assert_eq!(BigRational::from_f64(f64::INFINITY), None);
+    }
+
+    #[test]
+    fn display_parse() {
+        assert_eq!(rat(1, 3).to_string(), "1/3");
+        assert_eq!(rat(4, 2).to_string(), "2");
+        assert_eq!("-5/10".parse::<BigRational>().unwrap(), rat(-1, 2));
+        assert_eq!("17".parse::<BigRational>().unwrap(), rat(17, 1));
+        assert!("1/0".parse::<BigRational>().is_err());
+        assert!("a/2".parse::<BigRational>().is_err());
+    }
+
+    #[test]
+    fn best_approximation_examples() {
+        // pi ~ 355/113 with denominators up to 200.
+        let pi = BigRational::from_f64(std::f64::consts::PI).unwrap();
+        assert_eq!(pi.best_approximation(&BigInt::from(200)), rat(355, 113));
+        // Already exact values pass through.
+        assert_eq!(rat(1, 3).best_approximation(&BigInt::from(10)), rat(1, 3));
+        // Integer budget 1 snaps to nearest integer.
+        assert_eq!(rat(7, 5).best_approximation(&BigInt::from(1)), rat(1, 1));
+    }
+
+    #[test]
+    fn best_approximation_is_optimal_exhaustive() {
+        // Against brute force on the N = 12 grid.
+        let n = 12i64;
+        for num in -30..30i64 {
+            for den in [37i64, 41, 97] {
+                let x = rat(num, den);
+                let best = x.best_approximation(&BigInt::from(n));
+                let err = (&best - &x).abs();
+                for p in -40..40 {
+                    for q in 1..=n {
+                        let cand = rat(p, q);
+                        let cand_err = (&cand - &x).abs();
+                        assert!(cand_err >= err, "{x}: candidate {cand} beats chosen {best}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ceil_round_pow() {
+        assert_eq!(rat(7, 2).ceil(), BigInt::from(4));
+        assert_eq!(rat(-7, 2).ceil(), BigInt::from(-3));
+        assert_eq!(rat(6, 2).ceil(), BigInt::from(3));
+        assert_eq!(rat(5, 2).round(), BigInt::from(3));
+        assert_eq!(rat(-5, 2).round(), BigInt::from(-3));
+        assert_eq!(rat(7, 3).round(), BigInt::from(2));
+        assert_eq!(rat(2, 3).pow(3), rat(8, 27));
+        assert_eq!(rat(2, 3).pow(-2), rat(9, 4));
+        assert_eq!(rat(5, 7).pow(0), rat(1, 1));
+    }
+
+    #[test]
+    fn continued_fraction_examples() {
+        let cf = rat(355, 113).continued_fraction();
+        assert_eq!(cf, vec![BigInt::from(3), BigInt::from(7), BigInt::from(16)]);
+        assert_eq!(rat(3, 1).continued_fraction(), vec![BigInt::from(3)]);
+        // Negative values: floor-based first coefficient.
+        let cf = rat(-7, 2).continued_fraction();
+        assert_eq!(BigRational::from_continued_fraction(&cf), rat(-7, 2));
+    }
+
+    proptest! {
+        #[test]
+        fn continued_fraction_roundtrip(n in -400i64..400, d in 1i64..120) {
+            let x = rat(n, d);
+            let cf = x.continued_fraction();
+            prop_assert_eq!(BigRational::from_continued_fraction(&cf), x);
+            // Tail coefficients are >= 1.
+            prop_assert!(cf[1..].iter().all(|a| a >= &BigInt::one()));
+        }
+
+        #[test]
+        fn floor_ceil_round_consistency(n in -300i64..300, d in 1i64..60) {
+            let x = rat(n, d);
+            let fl = BigRational::from_integer(x.floor());
+            let ce = BigRational::from_integer(x.ceil());
+            prop_assert!(fl <= x && x <= ce);
+            prop_assert!((&ce - &fl) <= BigRational::one());
+            let ro = BigRational::from_integer(x.round());
+            prop_assert!((&ro - &x).abs() <= BigRational::from_i64(1, 2));
+        }
+
+        #[test]
+        fn add_commutes(a in -1000i64..1000, b in 1i64..100, c in -1000i64..1000, d in 1i64..100) {
+            let x = rat(a, b);
+            let y = rat(c, d);
+            prop_assert_eq!(&x + &y, &y + &x);
+        }
+
+        #[test]
+        fn mul_distributes(a in -50i64..50, b in 1i64..20, c in -50i64..50, d in 1i64..20, e in -50i64..50, f in 1i64..20) {
+            let x = rat(a, b);
+            let y = rat(c, d);
+            let z = rat(e, f);
+            prop_assert_eq!(&x * &(&y + &z), &(&x * &y) + &(&x * &z));
+        }
+
+        #[test]
+        fn best_approx_within_grid(num in -500i64..500, den in 1i64..500, n in 1i64..30) {
+            let x = rat(num, den);
+            let best = x.best_approximation(&BigInt::from(n));
+            prop_assert!(best.denom() <= &BigInt::from(n));
+            // Error is at most the distance to the floor integer.
+            let floor = BigRational::from_integer(x.floor());
+            prop_assert!((&best - &x).abs() <= (&floor - &x).abs() + BigRational::one());
+        }
+    }
+}

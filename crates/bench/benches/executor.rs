@@ -1,0 +1,42 @@
+//! Criterion bench: sequential vs parallel executor stepping at growing
+//! network sizes (the parallel path pays off once per-agent work
+//! dominates the thread handoff).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kya_algos::gossip::SetGossip;
+use kya_graph::generators;
+use kya_runtime::{Broadcast, Execution};
+use std::time::Duration;
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor_step_20_rounds");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    for n in [32usize, 128] {
+        let g = generators::random_strongly_connected(n, 2 * n, 5).with_self_loops();
+        let inits: Vec<Vec<u64>> = (0..n as u64).map(|v| vec![v % 16]).collect();
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+            b.iter(|| {
+                let mut exec = Execution::new(Broadcast(SetGossip), inits.clone());
+                for _ in 0..20 {
+                    exec.step(&g);
+                }
+                exec.round()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("parallel_4", n), &n, |b, _| {
+            b.iter(|| {
+                let mut exec = Execution::new(Broadcast(SetGossip), inits.clone());
+                for _ in 0..20 {
+                    exec.step_parallel(&g, 4);
+                }
+                exec.round()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

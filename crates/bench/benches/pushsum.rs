@@ -1,0 +1,46 @@
+//! Criterion bench: Push-Sum round cost and convergence work, per
+//! network size (feeds Table 2's positive cells and F1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kya_algos::push_sum::{PushSum, PushSumState};
+use kya_bench::pushsum_rounds_to;
+use kya_graph::{generators, StaticGraph};
+use kya_runtime::{Execution, Isotropic};
+use std::time::Duration;
+
+fn bench_pushsum_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pushsum_100_rounds");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    for n in [8usize, 16, 32] {
+        let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let net = StaticGraph::new(generators::random_strongly_connected(n, n, 1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut exec = Execution::new(Isotropic(PushSum), PushSumState::averaging(&values));
+                exec.run(&net, 100);
+                exec.outputs()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pushsum_to_eps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pushsum_to_1e-6");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    for n in [8usize, 16] {
+        let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let net = StaticGraph::new(generators::directed_ring(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| pushsum_rounds_to(&net, &values, 1e-6, 1_000_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pushsum_rounds, bench_pushsum_to_eps);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench: one representative positive cell per table — the
+//! workloads the `table1`/`table2` harnesses run, timed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kya_algos::frequency::CensusOutdegree;
+use kya_algos::gossip::SetGossip;
+use kya_algos::min_base::ViewState;
+use kya_algos::push_sum::{FrequencyState, PushSumFrequency};
+use kya_graph::{generators, RandomDynamicGraph, StaticGraph};
+use kya_runtime::{Broadcast, Execution, Isotropic};
+use std::time::Duration;
+
+fn bench_table1_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+
+    let g = generators::random_strongly_connected(10, 8, 7);
+    let values: Vec<u64> = (0..10).map(|i| (i % 3) as u64).collect();
+    let net = StaticGraph::new(g.clone());
+    let rounds = kya_bench::stabilization_budget(&g);
+
+    group.bench_function("broadcast_set_based_gossip", |b| {
+        b.iter(|| {
+            let mut exec = Execution::new(Broadcast(SetGossip), SetGossip::initial(&values));
+            exec.run(&net, rounds);
+            exec.outputs()
+        })
+    });
+    group.bench_function("outdegree_frequency_census", |b| {
+        b.iter(|| {
+            let mut exec = Execution::new(Isotropic(CensusOutdegree), ViewState::initial(&values));
+            exec.run(&net, rounds);
+            exec.outputs()[0].clone()
+        })
+    });
+    group.finish();
+}
+
+fn bench_table2_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group
+        .measurement_time(Duration::from_secs(4))
+        .sample_size(10);
+
+    let values: Vec<u64> = vec![3, 3, 5, 3, 5, 5, 5, 9];
+    let net = RandomDynamicGraph::directed(8, 4, 42);
+    group.bench_function("outdegree_pushsum_frequency_300_rounds", |b| {
+        b.iter(|| {
+            let mut exec = Execution::new(
+                Isotropic(PushSumFrequency::frequency()),
+                FrequencyState::initial(&values),
+            );
+            exec.run(&net, 300);
+            exec.outputs()[0].clone()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_cells, bench_table2_cells);
+criterion_main!(benches);

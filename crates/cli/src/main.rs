@@ -1,0 +1,373 @@
+//! `kya` — the know-your-audience command line.
+//!
+//! ```text
+//! kya tables                       print the paper's computability tables
+//! kya minbase  --graph SPEC --values VALS
+//!                                  centralized minimum base + fibre census
+//! kya census   --graph SPEC --values VALS --model MODEL [--n | --leader K]
+//!                                  run the distributed census to stabilization
+//! kya pushsum  --n N --values VALS [--rounds R] [--bound B] [--seed S]
+//!                                  Push-Sum frequencies on a random dynamic net
+//! kya gossip   --graph SPEC --values VALS
+//!                                  flood the value set (simple broadcast)
+//! ```
+//!
+//! Graph specs: `ring:6`, `biring:6`, `star:5`, `path:4`, `complete:4`,
+//! `torus:3x3`, `hypercube:3`, `debruijn:2x3`, `kautz:2x1`,
+//! `random:N:EXTRA:SEED`, `randbi:N:EXTRA:SEED`.
+//! Value lists: `1,2,3` or `5x3,7` (repeat shorthand).
+
+mod spec;
+
+use kya_algos::frequency::{CensusOutdegree, CensusPorts, CensusSymmetric, FibreCensus};
+use kya_algos::gossip::SetGossip;
+use kya_algos::min_base::ViewState;
+use kya_algos::push_sum::{round_to_grid, FrequencyState, PushSumFrequency};
+use kya_core::table::{render_table, NetworkKind};
+use kya_fibration::MinimumBase;
+use kya_graph::{connectivity, Digraph, RandomDynamicGraph, StaticGraph};
+use kya_runtime::{Broadcast, Execution, Isotropic};
+use spec::{parse_graph, parse_values, SpecError};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  kya tables
+  kya minbase --graph SPEC --values VALS
+  kya census  --graph SPEC --values VALS --model outdegree|symmetric|ports [--n | --leader K]
+  kya pushsum --n N --values VALS [--rounds R] [--bound B] [--seed S]
+  kya gossip  --graph SPEC --values VALS
+
+graph specs: ring:6 biring:6 star:5 path:4 complete:4 torus:3x3
+             hypercube:3 debruijn:2x3 kautz:2x1 random:N:EXTRA:SEED randbi:N:EXTRA:SEED
+value lists: 1,2,3 or 5x3,7 (repeat shorthand)";
+
+/// Minimal flag parser: `--key value` pairs after the subcommand.
+struct Args {
+    flags: BTreeMap<String, String>,
+    bare: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, SpecError> {
+        let mut flags = BTreeMap::new();
+        let mut bare = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(key) = a.strip_prefix("--") {
+                // Boolean flags (no value) are stored as "true".
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    flags.insert(key.to_string(), argv[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.insert(key.to_string(), "true".to_string());
+                    i += 1;
+                }
+            } else {
+                bare.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok(Args { flags, bare })
+    }
+
+    fn required(&self, key: &str) -> Result<&str, SpecError> {
+        self.flags
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| SpecError(format!("missing required flag --{key}")))
+    }
+
+    fn optional(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+}
+
+fn graph_and_values(args: &Args) -> Result<(Digraph, Vec<u64>), SpecError> {
+    let g = parse_graph(args.required("graph")?)?;
+    let values = parse_values(args.required("values")?)?;
+    if values.len() != g.n() {
+        return Err(SpecError(format!(
+            "graph has {} agents but {} values were given",
+            g.n(),
+            values.len()
+        )));
+    }
+    Ok((g, values))
+}
+
+fn print_census(census: &FibreCensus, n: usize, args: &Args) {
+    println!("fibre census (ray {:?}):", census.ray());
+    for (v, f) in census.frequencies() {
+        println!("  value {v}: frequency {f}");
+    }
+    if args.optional("n").is_some() {
+        match census.multiplicities_known_n(n) {
+            Ok(mults) => {
+                println!("with n = {n} known:");
+                for (v, m) in mults {
+                    println!("  value {v}: multiplicity {m}");
+                }
+            }
+            Err(e) => println!("with n known: {e}"),
+        }
+    }
+    if let Some(k) = args.optional("leader") {
+        let ell: usize = k.parse().unwrap_or(1);
+        match census.multiplicities_with_leaders(ell, kya_core::value::is_leader) {
+            Ok(mults) => {
+                println!("with {ell} leader(s):");
+                for (v, m) in mults {
+                    let (payload, lead) = kya_core::value::decode(v);
+                    println!(
+                        "  value {payload}{}: multiplicity {m}",
+                        if lead { " (leader)" } else { "" }
+                    );
+                }
+            }
+            Err(e) => println!("with leader(s): {e}"),
+        }
+    }
+}
+
+fn cmd_tables() -> Result<(), SpecError> {
+    println!("{}", render_table(NetworkKind::Static));
+    println!("{}", render_table(NetworkKind::Dynamic));
+    Ok(())
+}
+
+fn cmd_minbase(args: &Args) -> Result<(), SpecError> {
+    let (g, values) = graph_and_values(args)?;
+    if !connectivity::is_strongly_connected(&g) {
+        return Err(SpecError("graph is not strongly connected".into()));
+    }
+    let closed = g.with_self_loops();
+    let mb = MinimumBase::compute(&closed, &values);
+    println!(
+        "minimum base: {} fibres (graph is {}fibration prime)",
+        mb.base().n(),
+        if mb.is_prime() { "" } else { "not " }
+    );
+    for (i, members) in mb.partition().members().iter().enumerate() {
+        println!(
+            "  fibre {i}: value {}, size {}, members {:?}",
+            mb.base_values()[i],
+            members.len(),
+            members
+        );
+    }
+    println!("base multiplicities {:?}", mb.base().multiplicity_matrix());
+    Ok(())
+}
+
+fn cmd_census(args: &Args) -> Result<(), SpecError> {
+    let (g, mut values) = graph_and_values(args)?;
+    if !connectivity::is_strongly_connected(&g) {
+        return Err(SpecError("graph is not strongly connected".into()));
+    }
+    if args.optional("leader").is_some() {
+        // Flag agent 0 as (the first) leader through its value.
+        values[0] = kya_core::value::encode(values[0], true);
+    }
+    let d = connectivity::diameter(&g.with_self_loops()).unwrap_or(g.n());
+    let rounds = (g.n() + d + 6) as u64;
+    let net = StaticGraph::new(g.clone());
+    let model = args.required("model")?;
+    let census = match model {
+        "outdegree" => {
+            let mut exec = Execution::new(Isotropic(CensusOutdegree), ViewState::initial(&values));
+            exec.run(&net, rounds);
+            exec.outputs()[0].clone()
+        }
+        "symmetric" => {
+            if !g.is_bidirectional() {
+                return Err(SpecError(
+                    "the symmetric model needs a bidirectional graph".into(),
+                ));
+            }
+            let mut exec = Execution::new(Broadcast(CensusSymmetric), ViewState::initial(&values));
+            exec.run(&net, rounds);
+            exec.outputs()[0].clone()
+        }
+        "ports" => {
+            let mut exec = Execution::new(CensusPorts, ViewState::initial(&values));
+            exec.run(&net, rounds);
+            exec.outputs()[0].clone()
+        }
+        other => {
+            return Err(SpecError(format!(
+                "unknown model `{other}` (outdegree, symmetric, ports)"
+            )))
+        }
+    };
+    match census {
+        Some(census) => {
+            println!("stabilized after at most {rounds} rounds (n + D + slack)");
+            print_census(&census, g.n(), args);
+            Ok(())
+        }
+        None => Err(SpecError(
+            "census did not stabilize within n + D + slack rounds".into(),
+        )),
+    }
+}
+
+fn cmd_pushsum(args: &Args) -> Result<(), SpecError> {
+    let n: usize = args
+        .required("n")?
+        .parse()
+        .map_err(|_| SpecError("--n must be a number".into()))?;
+    let values = parse_values(args.required("values")?)?;
+    if values.len() != n {
+        return Err(SpecError(format!(
+            "--n {n} but {} values were given",
+            values.len()
+        )));
+    }
+    let rounds: u64 = args
+        .optional("rounds")
+        .map_or(Ok(600), str::parse)
+        .map_err(|_| SpecError("--rounds must be a number".into()))?;
+    let seed: u64 = args
+        .optional("seed")
+        .map_or(Ok(42), str::parse)
+        .map_err(|_| SpecError("--seed must be a number".into()))?;
+    let net = RandomDynamicGraph::directed(n, (n / 2).max(1), seed);
+    let mut exec = Execution::new(
+        Isotropic(PushSumFrequency::frequency()),
+        FrequencyState::initial(&values),
+    );
+    exec.run(&net, rounds);
+    let est = exec.outputs()[0].clone();
+    println!("push-sum frequency estimates after {rounds} rounds (agent 0):");
+    for (v, x) in &est {
+        println!("  value {v}: {x:.9}");
+    }
+    if let Some(b) = args.optional("bound") {
+        let bound: usize = b
+            .parse()
+            .map_err(|_| SpecError("--bound must be a number".into()))?;
+        println!("rounded to the grid Q_{bound}:");
+        for (v, f) in round_to_grid(&est, bound) {
+            println!("  value {v}: {f}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_gossip(args: &Args) -> Result<(), SpecError> {
+    let (g, values) = graph_and_values(args)?;
+    let d = connectivity::diameter(&g.with_self_loops())
+        .ok_or_else(|| SpecError("graph is not strongly connected".into()))?;
+    let net = StaticGraph::new(g);
+    let mut exec = Execution::new(Broadcast(SetGossip), SetGossip::initial(&values));
+    exec.run(&net, d as u64 + 1);
+    println!(
+        "value set after D + 1 = {} rounds: {:?}",
+        d + 1,
+        exec.outputs()[0]
+    );
+    Ok(())
+}
+
+fn run() -> Result<(), SpecError> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        return Err(SpecError(USAGE.into()));
+    };
+    let args = Args::parse(&argv[1..])?;
+    if !args.bare.is_empty() {
+        return Err(SpecError(format!(
+            "unexpected arguments {:?}\n\n{USAGE}",
+            args.bare
+        )));
+    }
+    match cmd.as_str() {
+        "tables" => cmd_tables(),
+        "minbase" => cmd_minbase(&args),
+        "census" => cmd_census(&args),
+        "pushsum" => cmd_pushsum(&args),
+        "gossip" => cmd_gossip(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(SpecError(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("kya: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let a = args(&["--graph", "ring:5", "--n", "--values", "1,2"]);
+        assert_eq!(a.required("graph").unwrap(), "ring:5");
+        assert_eq!(a.optional("n"), Some("true"));
+        assert_eq!(a.optional("values"), Some("1,2"));
+        assert!(a.required("missing").is_err());
+        assert!(a.bare.is_empty());
+    }
+
+    #[test]
+    fn bare_arguments_detected() {
+        let a = args(&["oops", "--graph", "ring:3"]);
+        assert_eq!(a.bare, vec!["oops".to_string()]);
+    }
+
+    #[test]
+    fn graph_and_values_length_check() {
+        let a = args(&["--graph", "ring:3", "--values", "1,2"]);
+        assert!(graph_and_values(&a).is_err());
+        let a = args(&["--graph", "ring:3", "--values", "1,2,3"]);
+        let (g, v) = graph_and_values(&a).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn subcommands_run() {
+        assert!(cmd_tables().is_ok());
+        let a = args(&["--graph", "star:4", "--values", "7,1,1,1"]);
+        assert!(cmd_minbase(&a).is_ok());
+        assert!(cmd_gossip(&a).is_ok());
+        let a = args(&[
+            "--graph",
+            "star:4",
+            "--values",
+            "7,1,1,1",
+            "--model",
+            "symmetric",
+        ]);
+        assert!(cmd_census(&a).is_ok());
+        let a = args(&[
+            "--graph",
+            "ring:4",
+            "--values",
+            "7,1,1,1",
+            "--model",
+            "symmetric",
+        ]);
+        assert!(cmd_census(&a).is_err(), "directed ring is not symmetric");
+        let a = args(&[
+            "--n", "4", "--values", "1x2,9x2", "--rounds", "200", "--bound", "4",
+        ]);
+        assert!(cmd_pushsum(&a).is_ok());
+    }
+}

@@ -1,0 +1,435 @@
+//! Function classes and canonical representatives (§2.3).
+//!
+//! A function `f: ⋃_n Ω^n -> X` of arbitrary arity is
+//!
+//! - **set-based** if it depends only on the *support* of its argument,
+//! - **frequency-based** if it depends only on the support and the
+//!   relative frequencies,
+//! - **multiset-based** (symmetric) if it is invariant under permutation.
+//!
+//! The inclusions `set ⊊ frequency ⊊ multiset` are strict: max is
+//! set-based, the average is frequency-based but not set-based, and the
+//! sum is multiset-based but not frequency-based. The paper's entire
+//! computability landscape is phrased in these three classes.
+
+use kya_arith::{BigInt, BigRational};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The three function classes of the paper, ordered by inclusion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FunctionClass {
+    /// Depends only on the set of input values.
+    SetBased,
+    /// Depends only on the set of values and their relative frequencies.
+    FrequencyBased,
+    /// Depends only on the multiset of values (any symmetric function).
+    MultisetBased,
+}
+
+impl FunctionClass {
+    /// Whether every function of `self` also belongs to `other`
+    /// (the inclusion `set ⊆ frequency ⊆ multiset`).
+    pub fn is_subclass_of(self, other: FunctionClass) -> bool {
+        self <= other
+    }
+
+    /// The canonical representative used by the experiment harness to
+    /// *witness* computability of the class.
+    pub fn representative(self) -> &'static str {
+        match self {
+            FunctionClass::SetBased => "max",
+            FunctionClass::FrequencyBased => "average",
+            FunctionClass::MultisetBased => "sum",
+        }
+    }
+
+    /// The least class *strictly larger* in the chain, if any — the class
+    /// whose representative witnesses the impossibility side of a cell.
+    pub fn next_larger(self) -> Option<FunctionClass> {
+        match self {
+            FunctionClass::SetBased => Some(FunctionClass::FrequencyBased),
+            FunctionClass::FrequencyBased => Some(FunctionClass::MultisetBased),
+            FunctionClass::MultisetBased => None,
+        }
+    }
+}
+
+impl fmt::Display for FunctionClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FunctionClass::SetBased => "set-based",
+            FunctionClass::FrequencyBased => "frequency-based",
+            FunctionClass::MultisetBased => "multiset-based",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A frequency function `ν: Ω -> ℚ≥0` with finite support summing to 1
+/// (§2.3), over `u64`-encoded values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrequencyFunction {
+    freqs: BTreeMap<u64, BigRational>,
+}
+
+impl FrequencyFunction {
+    /// The frequency function `ν_v` of a non-empty input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is empty.
+    pub fn of(input: &[u64]) -> FrequencyFunction {
+        assert!(!input.is_empty(), "frequency of an empty vector");
+        let n = BigRational::from_integer(input.len() as i64);
+        let mut counts: BTreeMap<u64, i64> = BTreeMap::new();
+        for &v in input {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        let freqs = counts
+            .into_iter()
+            .map(|(v, c)| (v, &BigRational::from_integer(c) / &n))
+            .collect();
+        FrequencyFunction { freqs }
+    }
+
+    /// Build from explicit (value, frequency) pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequencies are not positive or do not sum to 1.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u64, BigRational)>) -> FrequencyFunction {
+        let freqs: BTreeMap<u64, BigRational> = pairs.into_iter().collect();
+        assert!(
+            freqs.values().all(BigRational::is_positive),
+            "frequencies must be positive"
+        );
+        let total: BigRational = freqs.values().sum();
+        assert_eq!(total, BigRational::one(), "frequencies must sum to 1");
+        FrequencyFunction { freqs }
+    }
+
+    /// The frequency of a value (`0` if absent).
+    pub fn frequency(&self, v: u64) -> BigRational {
+        self.freqs
+            .get(&v)
+            .cloned()
+            .unwrap_or_else(BigRational::zero)
+    }
+
+    /// The support, sorted.
+    pub fn support(&self) -> Vec<u64> {
+        self.freqs.keys().copied().collect()
+    }
+
+    /// Iterate over `(value, frequency)` pairs in value order.
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &BigRational)> {
+        self.freqs.iter()
+    }
+
+    /// The canonical vector `⟨ν⟩` (§2.3): the shortest vector whose
+    /// frequency function is `ν`, values in increasing order. Its length
+    /// is the lcm of the frequency denominators.
+    pub fn canonical_vector(&self) -> Vec<u64> {
+        let q = self
+            .freqs
+            .values()
+            .fold(BigInt::one(), |acc, f| kya_arith::lcm(&acc, f.denom()));
+        let mut out = Vec::new();
+        for (&v, f) in &self.freqs {
+            // multiplicity = f * q, exact by construction.
+            let mult = f.numer() * &(&q / f.denom());
+            let reps = mult.to_u64().expect("canonical multiplicities fit u64");
+            out.extend(std::iter::repeat_n(v, reps as usize));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Canonical representative functions
+// ---------------------------------------------------------------------
+
+/// Maximum — **set-based**.
+///
+/// # Panics
+///
+/// Panics on empty input.
+pub fn maximum(input: &[u64]) -> u64 {
+    *input.iter().max().expect("non-empty input")
+}
+
+/// Minimum — **set-based**.
+///
+/// # Panics
+///
+/// Panics on empty input.
+pub fn minimum(input: &[u64]) -> u64 {
+    *input.iter().min().expect("non-empty input")
+}
+
+/// Exact average — **frequency-based** (the paper's flagship example).
+///
+/// # Panics
+///
+/// Panics on empty input.
+pub fn average(input: &[u64]) -> BigRational {
+    assert!(!input.is_empty(), "average of an empty vector");
+    let sum: BigInt = input.iter().map(|&v| BigInt::from(v)).sum();
+    BigRational::new(sum, BigInt::from(input.len()))
+}
+
+/// The threshold frequency predicate `Φ_r^ω` (§5.4): `1` iff the
+/// frequency of `omega` is at least `r`. Frequency-based for every `r`;
+/// *continuous in frequency* (and hence approximately computable without
+/// a size bound) exactly when `r` is irrational.
+pub fn threshold_predicate(input: &[u64], omega: u64, r: &BigRational) -> bool {
+    let nu = FrequencyFunction::of(input);
+    nu.frequency(omega) >= *r
+}
+
+/// Sum — **multiset-based** but *not* frequency-based: the paper's
+/// running example of what outdegree awareness alone cannot compute.
+pub fn sum(input: &[u64]) -> BigInt {
+    input.iter().map(|&v| BigInt::from(v)).sum()
+}
+
+/// The full multiset as sorted `(value, multiplicity)` pairs —
+/// the universal **multiset-based** function (every symmetric function
+/// factors through it).
+pub fn multiset(input: &[u64]) -> Vec<(u64, usize)> {
+    let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
+    for &v in input {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+/// Number of distinct values — **set-based**.
+pub fn count_distinct(input: &[u64]) -> usize {
+    let mut sorted: Vec<u64> = input.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+/// The mode (most frequent value; smallest on ties) — **frequency-based**
+/// but not set-based: duplicating one value can change the winner.
+///
+/// # Panics
+///
+/// Panics on empty input.
+pub fn mode(input: &[u64]) -> u64 {
+    assert!(!input.is_empty(), "mode of an empty vector");
+    multiset(input)
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|(v, _)| v)
+        .expect("non-empty")
+}
+
+/// Whether `omega` holds a strict majority — **frequency-based** (it is
+/// the threshold predicate at `r` slightly above one half).
+pub fn has_majority(input: &[u64], omega: u64) -> bool {
+    let count = input.iter().filter(|&&v| v == omega).count();
+    2 * count > input.len()
+}
+
+// ---------------------------------------------------------------------
+// Empirical class membership
+// ---------------------------------------------------------------------
+
+/// Empirically check that `f` is **multiset-based**: invariant under a
+/// few rotations/reversals of each probe vector. (Necessary condition
+/// only — a sound certificate requires proof; the paper's Lemma 3.3 shows
+/// every computable function must pass this.)
+pub fn respects_multiset<X: PartialEq>(f: impl Fn(&[u64]) -> X, probes: &[Vec<u64>]) -> bool {
+    probes.iter().all(|p| {
+        let base = f(p);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        let mut reversed = p.clone();
+        reversed.reverse();
+        f(&sorted) == base && f(&reversed) == base
+    })
+}
+
+/// Empirically check that `f` is **frequency-based**: equal on each probe
+/// and its `k`-fold repetitions (equal frequencies, different
+/// multiplicities), for `k` in `2..=4`.
+pub fn respects_frequency<X: PartialEq>(f: impl Fn(&[u64]) -> X, probes: &[Vec<u64>]) -> bool {
+    if !respects_multiset(&f, probes) {
+        return false;
+    }
+    probes.iter().all(|p| {
+        let base = f(p);
+        (2..=4usize).all(|k| {
+            let repeated: Vec<u64> = p.iter().copied().cycle().take(p.len() * k).collect();
+            f(&repeated) == base
+        })
+    })
+}
+
+/// Empirically check that `f` is **set-based**: frequency-based and equal
+/// on probes whose multiplicities are skewed while the support is kept.
+pub fn respects_set<X: PartialEq>(f: impl Fn(&[u64]) -> X, probes: &[Vec<u64>]) -> bool {
+    if !respects_frequency(&f, probes) {
+        return false;
+    }
+    probes.iter().all(|p| {
+        let base = f(p);
+        // Skew: duplicate the first element a few extra times.
+        let mut skewed = p.clone();
+        if let Some(&first) = p.first() {
+            skewed.extend(std::iter::repeat_n(first, 3));
+        }
+        f(&skewed) == base
+    })
+}
+
+/// Classify `f` empirically against the chain, returning the *smallest*
+/// class it appears to inhabit (or `None` if it is not even
+/// multiset-based).
+pub fn classify<X: PartialEq>(
+    f: impl Fn(&[u64]) -> X,
+    probes: &[Vec<u64>],
+) -> Option<FunctionClass> {
+    if respects_set(&f, probes) {
+        Some(FunctionClass::SetBased)
+    } else if respects_frequency(&f, probes) {
+        Some(FunctionClass::FrequencyBased)
+    } else if respects_multiset(&f, probes) {
+        Some(FunctionClass::MultisetBased)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probes() -> Vec<Vec<u64>> {
+        vec![
+            vec![1, 2, 3],
+            vec![5, 5, 7],
+            vec![0, 0, 0, 9],
+            vec![2, 4, 4, 4, 8],
+        ]
+    }
+
+    #[test]
+    fn class_ordering() {
+        use FunctionClass::*;
+        assert!(SetBased.is_subclass_of(FrequencyBased));
+        assert!(FrequencyBased.is_subclass_of(MultisetBased));
+        assert!(!MultisetBased.is_subclass_of(FrequencyBased));
+        assert!(SetBased.is_subclass_of(SetBased));
+        assert_eq!(SetBased.next_larger(), Some(FrequencyBased));
+        assert_eq!(MultisetBased.next_larger(), None);
+        assert_eq!(FrequencyBased.to_string(), "frequency-based");
+    }
+
+    #[test]
+    fn frequency_function_of_vector() {
+        let nu = FrequencyFunction::of(&[3, 3, 5, 3]);
+        assert_eq!(nu.frequency(3), BigRational::from_i64(3, 4));
+        assert_eq!(nu.frequency(5), BigRational::from_i64(1, 4));
+        assert_eq!(nu.frequency(8), BigRational::zero());
+        assert_eq!(nu.support(), vec![3, 5]);
+        assert_eq!(nu.canonical_vector(), vec![3, 3, 3, 5]);
+    }
+
+    #[test]
+    fn canonical_vector_is_minimal() {
+        // Frequencies 2/6 and 4/6 reduce to denominators 3: ⟨ν⟩ has
+        // length 3.
+        let nu = FrequencyFunction::of(&[1, 1, 2, 2, 2, 2]);
+        assert_eq!(nu.canonical_vector(), vec![1, 2, 2]);
+        // Round-trip: same frequency function.
+        assert_eq!(FrequencyFunction::of(&nu.canonical_vector()), nu);
+    }
+
+    #[test]
+    fn from_pairs_validation() {
+        let ok = FrequencyFunction::from_pairs([
+            (1, BigRational::from_i64(1, 2)),
+            (2, BigRational::from_i64(1, 2)),
+        ]);
+        assert_eq!(ok.support(), vec![1, 2]);
+        assert!(std::panic::catch_unwind(|| {
+            FrequencyFunction::from_pairs([(1, BigRational::from_i64(1, 3))])
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn representatives() {
+        assert_eq!(maximum(&[3, 9, 2]), 9);
+        assert_eq!(minimum(&[3, 9, 2]), 2);
+        assert_eq!(average(&[1, 2, 4]), BigRational::from_i64(7, 3));
+        assert_eq!(sum(&[10, 20, 30]), BigInt::from(60));
+        assert_eq!(multiset(&[5, 3, 5]), vec![(3, 1), (5, 2)]);
+        assert!(threshold_predicate(
+            &[1, 1, 2],
+            1,
+            &BigRational::from_i64(1, 2)
+        ));
+        assert!(!threshold_predicate(
+            &[1, 2, 2],
+            1,
+            &BigRational::from_i64(1, 2)
+        ));
+    }
+
+    #[test]
+    fn classification_of_representatives() {
+        let p = probes();
+        assert_eq!(classify(maximum, &p), Some(FunctionClass::SetBased));
+        assert_eq!(classify(minimum, &p), Some(FunctionClass::SetBased));
+        assert_eq!(classify(average, &p), Some(FunctionClass::FrequencyBased));
+        assert_eq!(classify(sum, &p), Some(FunctionClass::MultisetBased));
+        // First element: order-dependent, not even multiset-based.
+        assert_eq!(classify(|v: &[u64]| v[0], &p), None);
+    }
+
+    #[test]
+    fn strict_inclusions_witnessed() {
+        let p = probes();
+        // average is frequency-based but not set-based.
+        assert!(respects_frequency(average, &p));
+        assert!(!respects_set(average, &p));
+        // sum is multiset-based but not frequency-based.
+        assert!(respects_multiset(sum, &p));
+        assert!(!respects_frequency(sum, &p));
+    }
+
+    #[test]
+    fn extra_representatives_classify_correctly() {
+        let p = probes();
+        assert_eq!(classify(count_distinct, &p), Some(FunctionClass::SetBased));
+        assert_eq!(classify(mode, &p), Some(FunctionClass::FrequencyBased));
+        assert_eq!(
+            classify(|v| has_majority(v, 4), &p),
+            Some(FunctionClass::FrequencyBased)
+        );
+        assert_eq!(mode(&[3, 1, 3, 1, 1]), 1);
+        assert_eq!(mode(&[5]), 5);
+        // Tie resolves to the smallest value.
+        assert_eq!(mode(&[2, 1]), 1);
+        assert!(has_majority(&[7, 7, 3], 7));
+        assert!(!has_majority(&[7, 3], 7));
+        assert_eq!(count_distinct(&[1, 1, 2, 9]), 3);
+    }
+
+    #[test]
+    fn threshold_is_frequency_based() {
+        let p = probes();
+        let half = BigRational::from_i64(1, 2);
+        assert_eq!(
+            classify(|v| threshold_predicate(v, 4, &half), &p),
+            Some(FunctionClass::FrequencyBased)
+        );
+    }
+}

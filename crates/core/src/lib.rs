@@ -1,0 +1,42 @@
+//! The paper's characterization layer: function classes, frequency
+//! functions, and the computability tables.
+//!
+//! This crate is the public face of the reproduction of Charron-Bost &
+//! Lambein-Monette, *Know your audience* (PODC 2024 BA). It provides:
+//!
+//! - [`functions`]: the three function classes of §2.3 —
+//!   **set-based** ⊊ **frequency-based** ⊊ **multiset-based** — with the
+//!   canonical representatives (max, average, threshold predicates, sum),
+//!   frequency functions `ν` and their canonical vectors `⟨ν⟩`, and
+//!   empirical class-membership checkers;
+//! - [`table`]: the paper's Table 1 (static networks) and Table 2
+//!   (dynamic networks) as a queryable oracle
+//!   ([`table::computable_class`]) with per-cell citations, plus pretty
+//!   printers used by the experiment harness;
+//! - [`value`]: the `u64` value-encoding conventions shared by the
+//!   algorithms (payload + leader flag packing).
+//!
+//! # Example: query the characterization
+//!
+//! ```
+//! use kya_core::table::{computable_class, CentralizedHelp, NetworkKind};
+//! use kya_core::functions::FunctionClass;
+//! use kya_runtime::CommunicationModel;
+//!
+//! let cell = computable_class(
+//!     NetworkKind::Static,
+//!     CommunicationModel::OutdegreeAware,
+//!     CentralizedHelp::SizeKnown,
+//! );
+//! assert_eq!(cell.class, Some(FunctionClass::MultisetBased));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod functions;
+pub mod table;
+pub mod value;
+
+pub use functions::FunctionClass;
+pub use table::{computable_class, CellVerdict, CentralizedHelp, NetworkKind};

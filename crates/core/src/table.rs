@@ -1,0 +1,342 @@
+//! The computability tables (Tables 1 and 2 of the paper) as an oracle.
+//!
+//! Every cell records the exact class of computable functions for a
+//! (network kind, communication model, centralized help) triple, with the
+//! paper's citation. Two dynamic cells are open questions in the paper
+//! and are reported as such (`class: None`).
+
+use crate::functions::FunctionClass;
+use kya_runtime::CommunicationModel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The "centralized help" rows of the tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CentralizedHelp {
+    /// No global information at all.
+    None,
+    /// An upper bound `N >= n` on the network size is known to all.
+    BoundKnown,
+    /// The exact network size `n` is known to all.
+    SizeKnown,
+    /// One agent (or a known number `ℓ` of agents) is distinguished as a
+    /// leader.
+    Leader,
+}
+
+impl CentralizedHelp {
+    /// All rows, in the order of the paper's tables.
+    pub const ALL: [CentralizedHelp; 4] = [
+        CentralizedHelp::None,
+        CentralizedHelp::BoundKnown,
+        CentralizedHelp::SizeKnown,
+        CentralizedHelp::Leader,
+    ];
+}
+
+impl fmt::Display for CentralizedHelp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CentralizedHelp::None => "no centralized help",
+            CentralizedHelp::BoundKnown => "a bound over n is known",
+            CentralizedHelp::SizeKnown => "n is known",
+            CentralizedHelp::Leader => "one leader",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static vs dynamic networks (Table 1 vs Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkKind {
+    /// Static, strongly connected networks (Table 1).
+    Static,
+    /// Dynamic networks with finite dynamic diameter (Table 2).
+    Dynamic,
+}
+
+impl fmt::Display for NetworkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NetworkKind::Static => "static",
+            NetworkKind::Dynamic => "dynamic",
+        })
+    }
+}
+
+/// One cell of a computability table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellVerdict {
+    /// The exact class of computable functions, or `None` for the
+    /// paper's open cells ("?").
+    pub class: Option<FunctionClass>,
+    /// The paper's citation / qualifier for this cell.
+    pub note: &'static str,
+}
+
+impl fmt::Display for CellVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            Some(c) => write!(f, "{c} ({})", self.note),
+            None => write!(f, "? ({})", self.note),
+        }
+    }
+}
+
+/// The oracle: the exact class of `δ`-computable functions for the given
+/// network kind, communication model, and centralized help — the contents
+/// of Tables 1 and 2.
+///
+/// Output port awareness is only meaningful for static networks (§2.2);
+/// querying it for dynamic networks returns the symmetric-column verdict
+/// shape of the paper's discussion — specifically, it is reported as an
+/// open/meaningless cell.
+pub fn computable_class(
+    kind: NetworkKind,
+    model: CommunicationModel,
+    help: CentralizedHelp,
+) -> CellVerdict {
+    use CentralizedHelp as H;
+    use CommunicationModel as M;
+    use FunctionClass::*;
+    use NetworkKind as K;
+
+    match (kind, model, help) {
+        // ----- Table 1: static, strongly connected -----
+        (K::Static, M::SimpleBroadcast, H::None) => CellVerdict {
+            class: Some(SetBased),
+            note: "Hendrickx et al. [20]",
+        },
+        (K::Static, M::SimpleBroadcast, H::BoundKnown) => CellVerdict {
+            class: Some(SetBased),
+            note: "Boldi & Vigna [6]",
+        },
+        (K::Static, M::SimpleBroadcast, H::SizeKnown) => CellVerdict {
+            class: Some(SetBased),
+            note: "Boldi & Vigna [6], n >= 4 (Chalopin)",
+        },
+        (K::Static, M::SimpleBroadcast, H::Leader) => CellVerdict {
+            class: Some(SetBased),
+            note: "Boldi & Vigna [6], impossibility adapted",
+        },
+        (K::Static, _, H::None) => CellVerdict {
+            class: Some(FrequencyBased),
+            note: "Theorem 4.1",
+        },
+        (K::Static, _, H::BoundKnown) => CellVerdict {
+            class: Some(FrequencyBased),
+            note: "Corollary 4.2",
+        },
+        (K::Static, _, H::SizeKnown) => CellVerdict {
+            class: Some(MultisetBased),
+            note: "Corollary 4.3",
+        },
+        (K::Static, _, H::Leader) => CellVerdict {
+            class: Some(MultisetBased),
+            note: "Corollary 4.4",
+        },
+
+        // ----- Table 2: dynamic, finite dynamic diameter -----
+        (K::Dynamic, M::SimpleBroadcast, _) => CellVerdict {
+            class: Some(SetBased),
+            note: "Hendrickx et al. [20]",
+        },
+        (K::Dynamic, M::OutdegreeAware, H::None) => CellVerdict {
+            class: None,
+            note: "open; continuous-in-frequency computable, Corollary 5.5",
+        },
+        (K::Dynamic, M::OutdegreeAware, H::BoundKnown) => CellVerdict {
+            class: Some(FrequencyBased),
+            note: "Corollary 5.3",
+        },
+        (K::Dynamic, M::OutdegreeAware, H::SizeKnown) => CellVerdict {
+            class: Some(MultisetBased),
+            note: "Corollary 5.4",
+        },
+        (K::Dynamic, M::OutdegreeAware, H::Leader) => CellVerdict {
+            class: None,
+            note: "open; multiset asymptotically via §5.5 leader Push-Sum",
+        },
+        (K::Dynamic, M::Symmetric, H::None) => CellVerdict {
+            class: Some(FrequencyBased),
+            note: "Di Luna & Viglietta [26]",
+        },
+        (K::Dynamic, M::Symmetric, H::BoundKnown) => CellVerdict {
+            class: Some(FrequencyBased),
+            note: "Charron-Bost & Lambein-Monette [11]",
+        },
+        (K::Dynamic, M::Symmetric, H::SizeKnown) => CellVerdict {
+            class: Some(MultisetBased),
+            note: "Charron-Bost & Lambein-Monette [11]",
+        },
+        (K::Dynamic, M::Symmetric, H::Leader) => CellVerdict {
+            class: Some(MultisetBased),
+            note: "Di Luna & Viglietta [25]",
+        },
+        (K::Dynamic, M::OutputPortAware, _) => CellVerdict {
+            class: None,
+            note: "output ports are only meaningful in static networks (§2.2)",
+        },
+    }
+}
+
+/// The models forming the columns of a table.
+pub fn columns(kind: NetworkKind) -> &'static [CommunicationModel] {
+    match kind {
+        NetworkKind::Static => &[
+            CommunicationModel::SimpleBroadcast,
+            CommunicationModel::OutdegreeAware,
+            CommunicationModel::Symmetric,
+            CommunicationModel::OutputPortAware,
+        ],
+        NetworkKind::Dynamic => &[
+            CommunicationModel::SimpleBroadcast,
+            CommunicationModel::OutdegreeAware,
+            CommunicationModel::Symmetric,
+        ],
+    }
+}
+
+/// Render a whole table as aligned text (used by the `table1`/`table2`
+/// harness binaries; also handy in docs and tests).
+pub fn render_table(kind: NetworkKind) -> String {
+    let cols = columns(kind);
+    let mut out = String::new();
+    let title = match kind {
+        NetworkKind::Static => "Table 1: static, strongly connected networks",
+        NetworkKind::Dynamic => "Table 2: dynamic networks, finite dynamic diameter",
+    };
+    out.push_str(title);
+    out.push('\n');
+    let width = 28;
+    out.push_str(&format!("{:width$}", ""));
+    for m in cols {
+        out.push_str(&format!("| {:width$}", m.to_string()));
+    }
+    out.push('\n');
+    for help in CentralizedHelp::ALL {
+        out.push_str(&format!("{:width$}", help.to_string()));
+        for &m in cols {
+            let cell = computable_class(kind, m, help);
+            let text = match cell.class {
+                Some(c) => c.to_string(),
+                None => "?".to_string(),
+            };
+            out.push_str(&format!("| {text:width$}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_table_matches_paper() {
+        use CentralizedHelp as H;
+        use CommunicationModel as M;
+        use FunctionClass::*;
+        // Column 1: set-based everywhere.
+        for h in H::ALL {
+            assert_eq!(
+                computable_class(NetworkKind::Static, M::SimpleBroadcast, h).class,
+                Some(SetBased)
+            );
+        }
+        // Other columns: frequency / frequency / multiset / multiset.
+        for m in [M::OutdegreeAware, M::Symmetric, M::OutputPortAware] {
+            assert_eq!(
+                computable_class(NetworkKind::Static, m, H::None).class,
+                Some(FrequencyBased)
+            );
+            assert_eq!(
+                computable_class(NetworkKind::Static, m, H::BoundKnown).class,
+                Some(FrequencyBased)
+            );
+            assert_eq!(
+                computable_class(NetworkKind::Static, m, H::SizeKnown).class,
+                Some(MultisetBased)
+            );
+            assert_eq!(
+                computable_class(NetworkKind::Static, m, H::Leader).class,
+                Some(MultisetBased)
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_table_matches_paper() {
+        use CentralizedHelp as H;
+        use CommunicationModel as M;
+        use FunctionClass::*;
+        let k = NetworkKind::Dynamic;
+        for h in H::ALL {
+            assert_eq!(
+                computable_class(k, M::SimpleBroadcast, h).class,
+                Some(SetBased)
+            );
+        }
+        assert_eq!(computable_class(k, M::OutdegreeAware, H::None).class, None);
+        assert_eq!(
+            computable_class(k, M::OutdegreeAware, H::BoundKnown).class,
+            Some(FrequencyBased)
+        );
+        assert_eq!(
+            computable_class(k, M::OutdegreeAware, H::SizeKnown).class,
+            Some(MultisetBased)
+        );
+        assert_eq!(
+            computable_class(k, M::OutdegreeAware, H::Leader).class,
+            None
+        );
+        assert_eq!(
+            computable_class(k, M::Symmetric, H::None).class,
+            Some(FrequencyBased)
+        );
+        assert_eq!(
+            computable_class(k, M::Symmetric, H::Leader).class,
+            Some(MultisetBased)
+        );
+    }
+
+    #[test]
+    fn monotonicity_in_help() {
+        // More help never shrinks the class (where both cells are known).
+        for kind in [NetworkKind::Static, NetworkKind::Dynamic] {
+            for &m in columns(kind) {
+                let mut last: Option<FunctionClass> = None;
+                for h in CentralizedHelp::ALL {
+                    // Leader and SizeKnown are incomparable forms of help
+                    // in general, but in these tables the column verdicts
+                    // are monotone in the row order.
+                    if let Some(c) = computable_class(kind, m, h).class {
+                        if let Some(prev) = last {
+                            assert!(prev.is_subclass_of(c), "{kind} {m} {h}: {prev} !<= {c}");
+                        }
+                        last = Some(c);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rendered_tables_contain_all_rows() {
+        let t1 = render_table(NetworkKind::Static);
+        assert!(t1.contains("Table 1"));
+        assert!(t1.contains("no centralized help"));
+        assert!(t1.contains("one leader"));
+        assert_eq!(t1.lines().count(), 6);
+        let t2 = render_table(NetworkKind::Dynamic);
+        assert!(t2.contains("?"));
+        assert_eq!(t2.lines().count(), 6);
+    }
+
+    #[test]
+    fn columns_shapes() {
+        assert_eq!(columns(NetworkKind::Static).len(), 4);
+        assert_eq!(columns(NetworkKind::Dynamic).len(), 3);
+    }
+}

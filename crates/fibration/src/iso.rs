@@ -1,0 +1,224 @@
+//! Exact isomorphism testing for small valued, port-colored multigraphs.
+//!
+//! Minimum bases are unique only *up to isomorphism* (§3.2), so comparing
+//! the output of two minimum-base computations — e.g. the centralized
+//! partition refinement against the distributed view-based algorithm —
+//! requires an exact isomorphism test. Bases are small (one vertex per
+//! fibre), so a backtracking search with degree/value pruning is entirely
+//! adequate.
+
+use kya_graph::{Digraph, Vertex};
+use std::collections::BTreeMap;
+
+/// A vertex signature used to prune the isomorphism search: value,
+/// in-degree, out-degree, and sorted loop/port profile.
+fn signature(g: &Digraph, values: &[u64], v: Vertex) -> (u64, usize, usize, Vec<Option<u32>>) {
+    let mut ports: Vec<Option<u32>> = g.out_edges(v).map(|e| g.edges()[e].port).collect();
+    ports.sort_unstable();
+    (values[v], g.indegree(v), g.outdegree(v), ports)
+}
+
+/// The multiset of `(dst, port)` over the out-edges of `v`, remapped by
+/// `perm` where assigned (`usize::MAX` marks unassigned vertices).
+fn out_profile(g: &Digraph, v: Vertex) -> BTreeMap<(Vertex, Option<u32>), usize> {
+    let mut m = BTreeMap::new();
+    for e in g.out_edges(v) {
+        let edge = g.edges()[e];
+        *m.entry((edge.dst, edge.port)).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Check whether mapping `perm` (partial, `usize::MAX` = unassigned) is
+/// consistent on all edges between assigned vertices.
+fn consistent(g: &Digraph, h: &Digraph, perm: &[Vertex], v: Vertex) -> bool {
+    // Edges out of v to assigned vertices must match h's multiplicities.
+    let hv = perm[v];
+    let mut need: BTreeMap<(Vertex, Option<u32>), usize> = BTreeMap::new();
+    for e in g.out_edges(v) {
+        let edge = g.edges()[e];
+        if perm[edge.dst] != usize::MAX {
+            *need.entry((perm[edge.dst], edge.port)).or_insert(0) += 1;
+        }
+    }
+    let have = out_profile(h, hv);
+    for (key, count) in &need {
+        if have.get(key) != Some(count) {
+            return false;
+        }
+    }
+    // Edges into v from assigned vertices.
+    let mut need_in: BTreeMap<(Vertex, Option<u32>), usize> = BTreeMap::new();
+    for e in g.in_edges(v) {
+        let edge = g.edges()[e];
+        if perm[edge.src] != usize::MAX {
+            *need_in.entry((perm[edge.src], edge.port)).or_insert(0) += 1;
+        }
+    }
+    let mut have_in: BTreeMap<(Vertex, Option<u32>), usize> = BTreeMap::new();
+    for e in h.in_edges(hv) {
+        let edge = h.edges()[e];
+        *have_in.entry((edge.src, edge.port)).or_insert(0) += 1;
+    }
+    for (key, count) in &need_in {
+        if have_in.get(key) != Some(count) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Decide whether the valued, port-colored multigraphs `(g, g_values)`
+/// and `(h, h_values)` are isomorphic; returns a witness vertex bijection
+/// when they are.
+///
+/// Intended for small graphs (minimum bases); the search is exponential in
+/// the worst case.
+///
+/// # Panics
+///
+/// Panics if value slices do not match the vertex counts.
+///
+/// ```
+/// use kya_graph::generators;
+/// use kya_fibration::iso::are_isomorphic;
+///
+/// let a = generators::directed_ring(4);
+/// let b = a.relabel(&[2, 3, 0, 1]);
+/// assert!(are_isomorphic(&a, &vec![0; 4], &b, &vec![0; 4]).is_some());
+/// ```
+pub fn are_isomorphic(
+    g: &Digraph,
+    g_values: &[u64],
+    h: &Digraph,
+    h_values: &[u64],
+) -> Option<Vec<Vertex>> {
+    assert_eq!(g_values.len(), g.n(), "value/vertex count mismatch");
+    assert_eq!(h_values.len(), h.n(), "value/vertex count mismatch");
+    if g.n() != h.n() || g.edge_count() != h.edge_count() {
+        return None;
+    }
+    let n = g.n();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    // Candidate lists by signature.
+    let h_sigs: Vec<_> = (0..n).map(|v| signature(h, h_values, v)).collect();
+    let mut candidates: Vec<Vec<Vertex>> = Vec::with_capacity(n);
+    for v in 0..n {
+        let s = signature(g, g_values, v);
+        let c: Vec<Vertex> = (0..n).filter(|&u| h_sigs[u] == s).collect();
+        if c.is_empty() {
+            return None;
+        }
+        candidates.push(c);
+    }
+    // Order vertices by fewest candidates first.
+    let mut order: Vec<Vertex> = (0..n).collect();
+    order.sort_by_key(|&v| candidates[v].len());
+
+    let mut perm = vec![usize::MAX; n];
+    let mut used = vec![false; n];
+    fn backtrack(
+        g: &Digraph,
+        h: &Digraph,
+        order: &[Vertex],
+        candidates: &[Vec<Vertex>],
+        perm: &mut Vec<Vertex>,
+        used: &mut Vec<bool>,
+        depth: usize,
+    ) -> bool {
+        if depth == order.len() {
+            return true;
+        }
+        let v = order[depth];
+        for &u in &candidates[v] {
+            if used[u] {
+                continue;
+            }
+            perm[v] = u;
+            used[u] = true;
+            if consistent(g, h, perm, v)
+                && backtrack(g, h, order, candidates, perm, used, depth + 1)
+            {
+                return true;
+            }
+            perm[v] = usize::MAX;
+            used[u] = false;
+        }
+        false
+    }
+    if backtrack(g, h, &order, &candidates, &mut perm, &mut used, 0) {
+        Some(perm)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kya_graph::generators;
+
+    #[test]
+    fn ring_relabelings_are_isomorphic() {
+        let g = generators::directed_ring(5);
+        let perm = vec![3, 4, 0, 1, 2];
+        let h = g.relabel(&perm);
+        let witness = are_isomorphic(&g, &[0; 5], &h, &[0; 5]).expect("isomorphic");
+        // The witness must be a valid isomorphism: check edge preservation.
+        for e in g.edges() {
+            assert!(h.multiplicity(witness[e.src], witness[e.dst]) > 0);
+        }
+    }
+
+    #[test]
+    fn values_matter() {
+        let g = generators::directed_ring(3);
+        assert!(are_isomorphic(&g, &[1, 0, 0], &g, &[0, 1, 0]).is_some());
+        assert!(are_isomorphic(&g, &[1, 0, 0], &g, &[1, 1, 0]).is_none());
+    }
+
+    #[test]
+    fn multiplicities_matter() {
+        let a = Digraph::from_edges(2, [(0, 1), (0, 1), (1, 0)]);
+        let b = Digraph::from_edges(2, [(0, 1), (1, 0), (1, 0)]);
+        // Isomorphic by swapping vertices.
+        assert!(are_isomorphic(&a, &[0, 0], &b, &[0, 0]).is_some());
+        let c = Digraph::from_edges(2, [(0, 1), (0, 1), (0, 1)]);
+        assert!(are_isomorphic(&a, &[0, 0], &c, &[0, 0]).is_none());
+    }
+
+    #[test]
+    fn ports_matter() {
+        let mut a = Digraph::new(2);
+        a.add_edge_with_port(0, 1, Some(0));
+        a.add_edge_with_port(0, 1, Some(1));
+        let mut b = Digraph::new(2);
+        b.add_edge_with_port(0, 1, Some(0));
+        b.add_edge_with_port(0, 1, Some(0));
+        assert!(are_isomorphic(&a, &[0, 0], &b, &[0, 0]).is_none());
+        assert!(are_isomorphic(&a, &[0, 0], &a, &[0, 0]).is_some());
+    }
+
+    #[test]
+    fn non_isomorphic_same_degrees() {
+        // Two 3-regular-ish graphs with same degree sequence but different
+        // structure: C6 vs two triangles.
+        let c6 = generators::bidirectional_ring(6);
+        let mut tri2 = Digraph::new(6);
+        for (a, b) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            tri2.add_edge(a, b);
+            tri2.add_edge(b, a);
+        }
+        assert!(are_isomorphic(&c6, &[0; 6], &tri2, &[0; 6]).is_none());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = Digraph::new(0);
+        assert_eq!(are_isomorphic(&e, &[], &e, &[]), Some(vec![]));
+        let s = Digraph::from_edges(1, [(0, 0)]);
+        assert!(are_isomorphic(&s, &[7], &s, &[7]).is_some());
+    }
+}

@@ -1,0 +1,322 @@
+//! The directed multigraph type.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A vertex identifier: vertices of an `n`-vertex graph are `0..n`.
+///
+/// The paper writes `[n] = {1, ..., n}`; we use zero-based indices.
+pub type Vertex = usize;
+
+/// An edge identifier: index into [`Digraph::edges`].
+pub type EdgeId = usize;
+
+/// A directed edge of a multigraph, optionally labelled with an output
+/// port.
+///
+/// Output ports implement the paper's *output port awareness* model
+/// (§2.2): the outgoing edges of each vertex carry locally-unique labels
+/// `0..outdegree`, and a sender may emit a different message on each port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: Vertex,
+    /// Target vertex.
+    pub dst: Vertex,
+    /// Output-port label, if the graph is port-colored.
+    pub port: Option<u32>,
+}
+
+/// A directed multigraph on vertices `0..n()`, stored as an explicit edge
+/// list with per-vertex adjacency indices.
+///
+/// Parallel edges are permitted (minimum bases need them); self-loops are
+/// ordinary edges. Use [`Digraph::with_self_loops`] to obtain the closure
+/// the communication model requires (§2.1: "a self-loop at each vertex in
+/// each graph").
+///
+/// ```
+/// use kya_graph::Digraph;
+/// let mut g = Digraph::new(3);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// g.add_edge(2, 0);
+/// assert_eq!(g.outdegree(0), 1);
+/// assert_eq!(g.in_neighbors(1).collect::<Vec<_>>(), vec![0]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Digraph {
+    n: usize,
+    edges: Vec<Edge>,
+    out_adj: Vec<Vec<EdgeId>>,
+    in_adj: Vec<Vec<EdgeId>>,
+}
+
+impl Digraph {
+    /// An edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Digraph {
+        Digraph {
+            n,
+            edges: Vec::new(),
+            out_adj: vec![Vec::new(); n],
+            in_adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Build a graph from an edge list over `n` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (Vertex, Vertex)>) -> Digraph {
+        let mut g = Digraph::new(n);
+        for (src, dst) in edges {
+            g.add_edge(src, dst);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges (counting multiplicities).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All edges, in insertion order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Append an unlabelled edge; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, src: Vertex, dst: Vertex) -> EdgeId {
+        self.add_edge_with_port(src, dst, None)
+    }
+
+    /// Append an edge with an optional port label; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge_with_port(&mut self, src: Vertex, dst: Vertex, port: Option<u32>) -> EdgeId {
+        assert!(src < self.n && dst < self.n, "edge endpoint out of range");
+        let id = self.edges.len();
+        self.edges.push(Edge { src, dst, port });
+        self.out_adj[src].push(id);
+        self.in_adj[dst].push(id);
+        id
+    }
+
+    /// Outdegree of `v` (counting multiplicities and self-loops).
+    pub fn outdegree(&self, v: Vertex) -> usize {
+        self.out_adj[v].len()
+    }
+
+    /// Indegree of `v` (counting multiplicities and self-loops).
+    pub fn indegree(&self, v: Vertex) -> usize {
+        self.in_adj[v].len()
+    }
+
+    /// Ids of the edges leaving `v`.
+    pub fn out_edges(&self, v: Vertex) -> impl Iterator<Item = EdgeId> + '_ {
+        self.out_adj[v].iter().copied()
+    }
+
+    /// Ids of the edges entering `v`.
+    pub fn in_edges(&self, v: Vertex) -> impl Iterator<Item = EdgeId> + '_ {
+        self.in_adj[v].iter().copied()
+    }
+
+    /// Targets of edges leaving `v` (with multiplicity).
+    pub fn out_neighbors(&self, v: Vertex) -> impl Iterator<Item = Vertex> + '_ {
+        self.out_adj[v].iter().map(move |&e| self.edges[e].dst)
+    }
+
+    /// Sources of edges entering `v` (with multiplicity).
+    pub fn in_neighbors(&self, v: Vertex) -> impl Iterator<Item = Vertex> + '_ {
+        self.in_adj[v].iter().map(move |&e| self.edges[e].src)
+    }
+
+    /// Number of parallel `src -> dst` edges.
+    pub fn multiplicity(&self, src: Vertex, dst: Vertex) -> usize {
+        self.out_adj[src]
+            .iter()
+            .filter(|&&e| self.edges[e].dst == dst)
+            .count()
+    }
+
+    /// Whether `v` carries at least one self-loop.
+    pub fn has_self_loop(&self, v: Vertex) -> bool {
+        self.out_adj[v].iter().any(|&e| self.edges[e].dst == v)
+    }
+
+    /// A copy with a self-loop added at every vertex that lacks one, as
+    /// the communication model of §2.1 requires.
+    pub fn with_self_loops(&self) -> Digraph {
+        let mut g = self.clone();
+        for v in 0..g.n {
+            if !g.has_self_loop(v) {
+                g.add_edge(v, v);
+            }
+        }
+        g
+    }
+
+    /// Whether the *edge relation* is symmetric: `(i, j)` present iff
+    /// `(j, i)` present (set semantics, ignoring multiplicity), the
+    /// condition defining the paper's class of symmetric networks.
+    pub fn is_bidirectional(&self) -> bool {
+        self.edges
+            .iter()
+            .all(|e| self.multiplicity(e.dst, e.src) > 0)
+    }
+
+    /// The transpose graph (all edges reversed; port labels dropped since
+    /// they are meaningless after reversal).
+    pub fn transpose(&self) -> Digraph {
+        let mut g = Digraph::new(self.n);
+        for e in &self.edges {
+            g.add_edge(e.dst, e.src);
+        }
+        g
+    }
+
+    /// Assign canonical output ports: the outgoing edges of each vertex
+    /// are labelled `0..outdegree` in insertion order.
+    ///
+    /// This models a static network whose output ports are fixed once and
+    /// for all, the setting in which the paper's output port awareness is
+    /// meaningful (§2.2).
+    pub fn with_canonical_ports(&self) -> Digraph {
+        let mut g = self.clone();
+        for v in 0..g.n {
+            for (k, &e) in g.out_adj[v].iter().enumerate() {
+                g.edges[e].port = Some(k as u32);
+            }
+        }
+        g
+    }
+
+    /// The `n x n` matrix of edge multiplicities: entry `(i, j)` counts
+    /// `i -> j` edges.
+    pub fn multiplicity_matrix(&self) -> Vec<Vec<usize>> {
+        let mut m = vec![vec![0usize; self.n]; self.n];
+        for e in &self.edges {
+            m[e.src][e.dst] += 1;
+        }
+        m
+    }
+
+    /// Relabel vertices by `perm` (vertex `v` becomes `perm[v]`); used to
+    /// realize graph isomorphisms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..n`.
+    pub fn relabel(&self, perm: &[Vertex]) -> Digraph {
+        assert_eq!(perm.len(), self.n, "permutation length mismatch");
+        let mut seen = vec![false; self.n];
+        for &p in perm {
+            assert!(p < self.n && !seen[p], "not a permutation");
+            seen[p] = true;
+        }
+        let mut g = Digraph::new(self.n);
+        for e in &self.edges {
+            g.add_edge_with_port(perm[e.src], perm[e.dst], e.port);
+        }
+        g
+    }
+}
+
+impl fmt::Debug for Digraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digraph(n={}, edges=[", self.n)?;
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match e.port {
+                Some(p) => write!(f, "{}-[{}]->{}", e.src, p, e.dst)?,
+                None => write!(f, "{}->{}", e.src, e.dst)?,
+            }
+        }
+        write!(f, "])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_adjacency() {
+        let g = Digraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 1)]);
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.outdegree(0), 2);
+        assert_eq!(g.indegree(1), 2);
+        assert_eq!(g.multiplicity(0, 1), 2);
+        assert_eq!(g.multiplicity(1, 0), 0);
+        assert_eq!(g.out_neighbors(0).collect::<Vec<_>>(), vec![1, 1]);
+    }
+
+    #[test]
+    fn self_loops() {
+        let g = Digraph::from_edges(2, [(0, 1)]);
+        assert!(!g.has_self_loop(0));
+        let closed = g.with_self_loops();
+        assert!(closed.has_self_loop(0) && closed.has_self_loop(1));
+        assert_eq!(closed.edge_count(), 3);
+        // Idempotent.
+        assert_eq!(closed.with_self_loops().edge_count(), 3);
+    }
+
+    #[test]
+    fn bidirectional_check() {
+        let sym = Digraph::from_edges(3, [(0, 1), (1, 0), (1, 2), (2, 1)]);
+        assert!(sym.is_bidirectional());
+        let asym = Digraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        assert!(!asym.is_bidirectional());
+        // Multiplicity does not matter for the set-semantics check.
+        let multi = Digraph::from_edges(2, [(0, 1), (0, 1), (1, 0)]);
+        assert!(multi.is_bidirectional());
+    }
+
+    #[test]
+    fn transpose_and_relabel() {
+        let g = Digraph::from_edges(3, [(0, 1), (1, 2)]);
+        let t = g.transpose();
+        assert_eq!(t.multiplicity(1, 0), 1);
+        assert_eq!(t.multiplicity(2, 1), 1);
+        let r = g.relabel(&[2, 0, 1]);
+        assert_eq!(r.multiplicity(2, 0), 1);
+        assert_eq!(r.multiplicity(0, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn relabel_rejects_non_permutation() {
+        let g = Digraph::new(2);
+        let _ = g.relabel(&[0, 0]);
+    }
+
+    #[test]
+    fn canonical_ports() {
+        let g = Digraph::from_edges(3, [(0, 1), (0, 2), (1, 0)]).with_canonical_ports();
+        let ports: Vec<Option<u32>> = g.out_edges(0).map(|e| g.edges()[e].port).collect();
+        assert_eq!(ports, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn multiplicity_matrix() {
+        let g = Digraph::from_edges(2, [(0, 1), (0, 1), (1, 1)]);
+        assert_eq!(g.multiplicity_matrix(), vec![vec![0, 2], vec![0, 1]]);
+    }
+}

@@ -1,0 +1,396 @@
+//! The round-by-round executor.
+
+use crate::algorithm::Algorithm;
+use kya_graph::{Digraph, DynamicGraph};
+
+/// An execution of an [`Algorithm`] on a network: the sequence of global
+/// states `C^0, C^1, ...` of §2.2, advanced one communication-closed round
+/// at a time.
+///
+/// The executor is model-agnostic: the communication-model discipline is
+/// in the algorithm's type (see [`crate::Broadcast`] /
+/// [`crate::Isotropic`]). Port assignment within a round uses the graph's
+/// port labels when present (sorted by label) and edge insertion order
+/// otherwise, so port-aware algorithms require port-colored static
+/// graphs to be meaningful — exactly the paper's proviso (§2.2).
+#[derive(Clone, Debug)]
+pub struct Execution<A: Algorithm> {
+    algo: A,
+    states: Vec<A::State>,
+    round: u64,
+}
+
+/// The result of running until outputs stabilize (discrete-metric
+/// convergence, §2.3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StabilizationReport<O> {
+    /// The common stabilized outputs, indexed by agent.
+    pub outputs: Vec<O>,
+    /// First round at the end of which the outputs held their final value
+    /// (0 = already stable initially).
+    pub stabilized_at: u64,
+    /// Total rounds executed (stabilization was confirmed over the
+    /// remaining window).
+    pub rounds_run: u64,
+}
+
+impl<A: Algorithm> Execution<A> {
+    /// Start an execution from the given initial states (one per agent).
+    pub fn new(algo: A, initial_states: Vec<A::State>) -> Execution<A> {
+        Execution {
+            algo,
+            states: initial_states,
+            round: 0,
+        }
+    }
+
+    /// Number of agents.
+    pub fn n(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Current states, indexed by agent.
+    pub fn states(&self) -> &[A::State] {
+        &self.states
+    }
+
+    /// Current outputs, indexed by agent.
+    pub fn outputs(&self) -> Vec<A::Output> {
+        self.states.iter().map(|s| self.algo.output(s)).collect()
+    }
+
+    /// The algorithm being executed.
+    pub fn algorithm(&self) -> &A {
+        &self.algo
+    }
+
+    /// Execute one round on the given communication graph.
+    ///
+    /// The graph must have `n()` vertices and a self-loop at every vertex
+    /// (§2.1); [`Digraph::with_self_loops`] provides the closure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vertex count mismatches, a self-loop is missing, or
+    /// the algorithm returns the wrong number of port messages.
+    pub fn step(&mut self, graph: &Digraph) {
+        assert_eq!(graph.n(), self.states.len(), "graph size != agent count");
+        self.round += 1;
+        let n = graph.n();
+        let mut inboxes: Vec<Vec<A::Msg>> = (0..n)
+            .map(|v| Vec::with_capacity(graph.indegree(v)))
+            .collect();
+        for v in 0..n {
+            assert!(
+                graph.has_self_loop(v),
+                "round {}: vertex {v} lacks a self-loop",
+                self.round
+            );
+            let outdeg = graph.outdegree(v);
+            let msgs = self.algo.send(&self.states[v], outdeg);
+            assert_eq!(
+                msgs.len(),
+                outdeg,
+                "algorithm produced {} messages for outdegree {outdeg}",
+                msgs.len()
+            );
+            // Port discipline: sort out-edges by (port, edge id).
+            let mut ports: Vec<(Option<u32>, usize)> = graph
+                .out_edges(v)
+                .map(|e| (graph.edges()[e].port, e))
+                .collect();
+            ports.sort_unstable();
+            for (msg, (_, e)) in msgs.into_iter().zip(ports) {
+                inboxes[graph.edges()[e].dst].push(msg);
+            }
+        }
+        for (v, inbox) in inboxes.into_iter().enumerate() {
+            self.states[v] = self.algo.transition(&self.states[v], &inbox);
+        }
+    }
+
+    /// Execute `rounds` rounds on a dynamic graph, starting from the round
+    /// after the current one.
+    pub fn run(&mut self, net: &dyn DynamicGraph, rounds: u64) {
+        for _ in 0..rounds {
+            let g = net.graph(self.round + 1);
+            self.step(&g);
+        }
+    }
+
+    /// Like [`Execution::step`], but computes sends and transitions in
+    /// parallel across agents (`threads` crossbeam workers).
+    ///
+    /// Semantically identical to `step` — the round is communication
+    /// closed, so per-agent work is embarrassingly parallel; per-agent
+    /// inboxes keep the same deterministic delivery order. Useful for
+    /// large-`n` simulations; for small networks the sequential `step`
+    /// is faster.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Execution::step`]; additionally panics if
+    /// `threads == 0`.
+    pub fn step_parallel(&mut self, graph: &Digraph, threads: usize)
+    where
+        A: Sync,
+        A::State: Send + Sync,
+        A::Msg: Send + Sync,
+    {
+        assert!(threads > 0, "at least one worker thread");
+        assert_eq!(graph.n(), self.states.len(), "graph size != agent count");
+        self.round += 1;
+        let n = graph.n();
+        for v in 0..n {
+            assert!(
+                graph.has_self_loop(v),
+                "round {}: vertex {v} lacks a self-loop",
+                self.round
+            );
+        }
+        let algo = &self.algo;
+        let states = &self.states;
+        let round = self.round;
+
+        // Phase 1: sends, sharded by agent.
+        let sends: Vec<Vec<A::Msg>> = {
+            let mut shards: Vec<Vec<Vec<A::Msg>>> = Vec::new();
+            crossbeam::scope(|scope| {
+                let mut handles = Vec::new();
+                for t in 0..threads {
+                    let handle = scope.spawn(move |_| {
+                        let mut local = Vec::new();
+                        let mut v = t;
+                        while v < n {
+                            let outdeg = graph.outdegree(v);
+                            let msgs = algo.send(&states[v], outdeg);
+                            assert_eq!(
+                                msgs.len(),
+                                outdeg,
+                                "round {round}: wrong message count from agent {v}"
+                            );
+                            local.push((v, msgs));
+                            v += threads;
+                        }
+                        local
+                    });
+                    handles.push(handle);
+                }
+                let mut collected: Vec<(usize, Vec<A::Msg>)> = Vec::with_capacity(n);
+                for h in handles {
+                    collected.extend(h.join().expect("send worker panicked"));
+                }
+                collected.sort_by_key(|(v, _)| *v);
+                shards.push(collected.into_iter().map(|(_, m)| m).collect());
+            })
+            .expect("crossbeam scope");
+            shards.pop().expect("one shard")
+        };
+
+        // Phase 2: route (sequential — cheap) with the same port order as
+        // the sequential step.
+        let mut inboxes: Vec<Vec<A::Msg>> = (0..n)
+            .map(|v| Vec::with_capacity(graph.indegree(v)))
+            .collect();
+        for (v, msgs) in sends.into_iter().enumerate() {
+            let mut ports: Vec<(Option<u32>, usize)> = graph
+                .out_edges(v)
+                .map(|e| (graph.edges()[e].port, e))
+                .collect();
+            ports.sort_unstable();
+            for (msg, (_, e)) in msgs.into_iter().zip(ports) {
+                inboxes[graph.edges()[e].dst].push(msg);
+            }
+        }
+
+        // Phase 3: transitions, sharded by agent.
+        let inboxes_ref = &inboxes;
+        let mut next: Vec<(usize, A::State)> = Vec::with_capacity(n);
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let handle = scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    let mut v = t;
+                    while v < n {
+                        local.push((v, algo.transition(&states[v], &inboxes_ref[v])));
+                        v += threads;
+                    }
+                    local
+                });
+                handles.push(handle);
+            }
+            for h in handles {
+                next.extend(h.join().expect("transition worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        next.sort_by_key(|(v, _)| *v);
+        self.states = next.into_iter().map(|(_, s)| s).collect();
+    }
+
+    /// Run until the outputs have been constant for `window` consecutive
+    /// rounds, or `max_rounds` rounds have elapsed.
+    ///
+    /// Returns `None` on timeout. Note that stabilization over a finite
+    /// window is *empirical*: the model itself has no termination
+    /// awareness (§2.3), so callers choose a window that the relevant
+    /// theory (e.g. the `n + D` bound of §3.2) justifies.
+    pub fn run_until_stable(
+        &mut self,
+        net: &dyn DynamicGraph,
+        max_rounds: u64,
+        window: u64,
+    ) -> Option<StabilizationReport<A::Output>> {
+        let mut last = self.outputs();
+        let mut stable_since = self.round;
+        while self.round < max_rounds {
+            let g = net.graph(self.round + 1);
+            self.step(&g);
+            let now = self.outputs();
+            if now != last {
+                last = now;
+                stable_since = self.round;
+            }
+            if self.round - stable_since >= window {
+                return Some(StabilizationReport {
+                    outputs: last,
+                    stabilized_at: stable_since,
+                    rounds_run: self.round,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{Broadcast, BroadcastAlgorithm};
+    use kya_graph::{generators, StaticGraph};
+
+    /// Gossip the set of seen values; output the set's maximum.
+    #[derive(Clone)]
+    struct SetGossip;
+    impl BroadcastAlgorithm for SetGossip {
+        type State = Vec<u32>; // sorted set
+        type Msg = Vec<u32>;
+        type Output = u32;
+        fn message(&self, state: &Vec<u32>) -> Vec<u32> {
+            state.clone()
+        }
+        fn transition(&self, state: &Vec<u32>, inbox: &[Vec<u32>]) -> Vec<u32> {
+            let mut merged = state.clone();
+            for m in inbox {
+                merged.extend_from_slice(m);
+            }
+            merged.sort_unstable();
+            merged.dedup();
+            merged
+        }
+        fn output(&self, state: &Vec<u32>) -> u32 {
+            *state.last().expect("non-empty set")
+        }
+    }
+
+    #[test]
+    fn gossip_floods_in_diameter_rounds() {
+        let net = StaticGraph::new(generators::directed_ring(6));
+        let inits: Vec<Vec<u32>> = [3, 9, 2, 9, 1, 4].iter().map(|&v| vec![v]).collect();
+        let mut exec = Execution::new(Broadcast(SetGossip), inits);
+        exec.run(&net, 5);
+        assert!(exec.outputs().iter().all(|&x| x == 9));
+        // All agents hold the full set.
+        assert!(exec.states().iter().all(|s| s == &vec![1, 2, 3, 4, 9]));
+    }
+
+    #[test]
+    fn stabilization_detection() {
+        let net = StaticGraph::new(generators::directed_ring(6));
+        let inits: Vec<Vec<u32>> = (0..6).map(|v| vec![v]).collect();
+        let mut exec = Execution::new(Broadcast(SetGossip), inits);
+        let report = exec
+            .run_until_stable(&net, 100, 10)
+            .expect("gossip stabilizes");
+        // Information needs diameter = 5 rounds to flood the ring.
+        assert_eq!(report.stabilized_at, 5);
+        assert!(report.outputs.iter().all(|&x| x == 5));
+    }
+
+    #[test]
+    fn stabilization_timeout() {
+        /// An algorithm that never stabilizes: counts rounds mod 2.
+        struct Blinker;
+        impl BroadcastAlgorithm for Blinker {
+            type State = u8;
+            type Msg = ();
+            type Output = u8;
+            fn message(&self, _: &u8) {}
+            fn transition(&self, state: &u8, _: &[()]) -> u8 {
+                1 - state
+            }
+            fn output(&self, state: &u8) -> u8 {
+                *state
+            }
+        }
+        let net = StaticGraph::new(generators::directed_ring(3));
+        let mut exec = Execution::new(Broadcast(Blinker), vec![0, 0, 0]);
+        assert!(exec.run_until_stable(&net, 20, 5).is_none());
+        assert_eq!(exec.round(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks a self-loop")]
+    fn missing_self_loop_rejected() {
+        let g = generators::directed_ring(3); // no self-loops
+        let mut exec = Execution::new(Broadcast(SetGossip), vec![vec![1], vec![2], vec![3]]);
+        exec.step(&g);
+    }
+
+    #[test]
+    #[should_panic(expected = "graph size")]
+    fn size_mismatch_rejected() {
+        let g = generators::directed_ring(4).with_self_loops();
+        let mut exec = Execution::new(Broadcast(SetGossip), vec![vec![1]]);
+        exec.step(&g);
+    }
+
+    #[test]
+    fn parallel_step_matches_sequential() {
+        let g = generators::random_strongly_connected(12, 10, 3).with_self_loops();
+        let inits: Vec<Vec<u32>> = (0..12).map(|v| vec![v % 4]).collect();
+        let mut seq = Execution::new(Broadcast(SetGossip), inits.clone());
+        let mut par = Execution::new(Broadcast(SetGossip), inits);
+        for _ in 0..8 {
+            seq.step(&g);
+            par.step_parallel(&g, 4);
+            assert_eq!(seq.states(), par.states());
+            assert_eq!(seq.round(), par.round());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn parallel_step_rejects_zero_threads() {
+        let g = generators::directed_ring(2).with_self_loops();
+        let mut exec = Execution::new(Broadcast(SetGossip), vec![vec![1], vec![2]]);
+        exec.step_parallel(&g, 0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let net = StaticGraph::new(generators::random_strongly_connected(8, 6, 11));
+        let inits: Vec<Vec<u32>> = (0..8).map(|v| vec![v * 7 % 5]).collect();
+        let mut a = Execution::new(Broadcast(SetGossip), inits.clone());
+        let mut b = Execution::new(Broadcast(SetGossip), inits);
+        a.run(&net, 10);
+        b.run(&net, 10);
+        assert_eq!(a.states(), b.states());
+    }
+}

@@ -1,0 +1,206 @@
+//! Test utilities enforcing the model's semantic contracts.
+//!
+//! The executor delivers inboxes in a deterministic order for
+//! reproducibility, but the *model* (§2.2) hands the transition function
+//! a **multiset**: an algorithm whose transition depends on delivery
+//! order is observing information that anonymous agents do not have.
+//! [`check_multiset_invariance`] shuffles inboxes and compares results,
+//! catching such violations in tests.
+//!
+//! Similarly, [`check_self_stabilization`] runs an algorithm from
+//! adversarial initial states and verifies that the outputs still
+//! converge to the target — the §2.2 notion of self-stabilization
+//! (tolerance of arbitrary initialization).
+
+use crate::algorithm::Algorithm;
+use crate::execution::Execution;
+use kya_graph::DynamicGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Check that `algo.transition(state, inbox)` is invariant under
+/// permutations of `inbox`: `trials` random shuffles are compared against
+/// the original order.
+///
+/// Returns `true` when every shuffle produced an equal state.
+pub fn check_multiset_invariance<A>(
+    algo: &A,
+    state: &A::State,
+    inbox: &[A::Msg],
+    trials: usize,
+    seed: u64,
+) -> bool
+where
+    A: Algorithm,
+    A::State: PartialEq,
+{
+    let reference = algo.transition(state, inbox);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shuffled: Vec<A::Msg> = inbox.to_vec();
+    for _ in 0..trials {
+        shuffled.shuffle(&mut rng);
+        if algo.transition(state, &shuffled) != reference {
+            return false;
+        }
+    }
+    true
+}
+
+/// Outcome of a self-stabilization probe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SelfStabOutcome<O> {
+    /// All outputs reached `target` and stayed there.
+    Stabilized {
+        /// First round at the end of which outputs held the target.
+        at_round: u64,
+    },
+    /// The run ended with some output away from the target.
+    Diverged {
+        /// Final outputs, for diagnostics.
+        outputs: Vec<O>,
+    },
+}
+
+/// Run `algo` from the (adversarial) states `corrupted` and check whether
+/// every output equals `target(agent)` by round `max_rounds` and for the
+/// remainder of the run.
+///
+/// This is the executable form of §2.2's self-stabilization: an
+/// algorithm is self-stabilizing for a task when *arbitrary*
+/// initialization still leads to the desired outputs. Callers craft the
+/// corruption (garbage views, wrong masses, ...) — the harness only
+/// observes outputs.
+pub fn check_self_stabilization<A, F>(
+    algo: A,
+    net: &dyn DynamicGraph,
+    corrupted: Vec<A::State>,
+    target: F,
+    max_rounds: u64,
+) -> SelfStabOutcome<A::Output>
+where
+    A: Algorithm,
+    F: Fn(usize) -> A::Output,
+{
+    let mut exec = Execution::new(algo, corrupted);
+    let mut entered: Option<u64> = None;
+    while exec.round() < max_rounds {
+        let g = net.graph(exec.round() + 1);
+        exec.step(&g);
+        let ok = exec
+            .outputs()
+            .iter()
+            .enumerate()
+            .all(|(i, o)| *o == target(i));
+        match (ok, entered) {
+            (true, None) => entered = Some(exec.round()),
+            (false, Some(_)) => entered = None,
+            _ => {}
+        }
+    }
+    match entered {
+        Some(at_round) => SelfStabOutcome::Stabilized { at_round },
+        None => SelfStabOutcome::Diverged {
+            outputs: exec.outputs(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{Broadcast, BroadcastAlgorithm};
+    use kya_graph::{generators, StaticGraph};
+
+    /// Order-respecting (BROKEN) algorithm: keeps the first message.
+    struct FirstWins;
+    impl BroadcastAlgorithm for FirstWins {
+        type State = u32;
+        type Msg = u32;
+        type Output = u32;
+        fn message(&self, s: &u32) -> u32 {
+            *s
+        }
+        fn transition(&self, s: &u32, inbox: &[u32]) -> u32 {
+            inbox.first().copied().unwrap_or(*s)
+        }
+        fn output(&self, s: &u32) -> u32 {
+            *s
+        }
+    }
+
+    /// Order-invariant algorithm: max.
+    struct MaxWins;
+    impl BroadcastAlgorithm for MaxWins {
+        type State = u32;
+        type Msg = u32;
+        type Output = u32;
+        fn message(&self, s: &u32) -> u32 {
+            *s
+        }
+        fn transition(&self, s: &u32, inbox: &[u32]) -> u32 {
+            inbox.iter().copied().max().unwrap_or(0).max(*s)
+        }
+        fn output(&self, s: &u32) -> u32 {
+            *s
+        }
+    }
+
+    #[test]
+    fn detects_order_dependence() {
+        let inbox = vec![1u32, 2, 3];
+        assert!(!check_multiset_invariance(
+            &Broadcast(FirstWins),
+            &0,
+            &inbox,
+            16,
+            7
+        ));
+        assert!(check_multiset_invariance(
+            &Broadcast(MaxWins),
+            &0,
+            &inbox,
+            16,
+            7
+        ));
+    }
+
+    #[test]
+    fn max_flood_is_self_stabilizing_for_its_fixpoint() {
+        // From any initial states, max-flooding stabilizes every output to
+        // the max of the *corrupted* states — which is its correct
+        // self-stabilization target (the algorithm's legitimate states
+        // are "everyone holds the global max").
+        let net = StaticGraph::new(generators::directed_ring(5));
+        let corrupted = vec![9, 2, 7, 1, 4];
+        let outcome = check_self_stabilization(Broadcast(MaxWins), &net, corrupted, |_| 9, 20);
+        assert!(matches!(outcome, SelfStabOutcome::Stabilized { at_round } if at_round <= 5));
+    }
+
+    #[test]
+    fn diverging_case_reports_outputs() {
+        // An algorithm that never changes state cannot stabilize to a
+        // different target.
+        struct Frozen;
+        impl BroadcastAlgorithm for Frozen {
+            type State = u32;
+            type Msg = ();
+            type Output = u32;
+            fn message(&self, _: &u32) {}
+            fn transition(&self, s: &u32, _: &[()]) -> u32 {
+                *s
+            }
+            fn output(&self, s: &u32) -> u32 {
+                *s
+            }
+        }
+        let net = StaticGraph::new(generators::directed_ring(3));
+        let outcome = check_self_stabilization(Broadcast(Frozen), &net, vec![1, 2, 3], |_| 0, 10);
+        assert_eq!(
+            outcome,
+            SelfStabOutcome::Diverged {
+                outputs: vec![1, 2, 3]
+            }
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Breaking anonymity with one leader: exact multiset recovery
+//! (Corollary 4.4 for static networks, §5.5 for dynamic ones).
+//!
+//! Run with `cargo run --example leader_census`.
+//!
+//! Without help, outdegree awareness yields frequencies only — the scale
+//! `n` is invisible. One designated leader pins the scale: its fibre has
+//! cardinality 1, so the census ray becomes exact multiplicities and any
+//! symmetric function (here: the sum) becomes computable.
+
+use know_your_audience::algos::frequency::CensusOutdegree;
+use know_your_audience::algos::min_base::ViewState;
+use know_your_audience::algos::push_sum::{FrequencyState, PushSumFrequency};
+use know_your_audience::arith::BigInt;
+use know_your_audience::core::functions::sum;
+use know_your_audience::core::value;
+use know_your_audience::graph::{generators, RandomDynamicGraph, StaticGraph};
+use know_your_audience::runtime::{Execution, Isotropic};
+
+fn main() {
+    // ----- Static case: census + leader scaling (Corollary 4.4) -----
+    let payloads: Vec<u64> = vec![6, 2, 6, 6, 2, 9, 6, 2];
+    let n = payloads.len();
+    let truth = sum(&payloads);
+    // Agent 0 is the leader; the flag is part of its input value.
+    let values: Vec<u64> = payloads
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| value::encode(p, i == 0))
+        .collect();
+
+    let g = generators::random_strongly_connected(n, 5, 8);
+    let net = StaticGraph::new(g);
+    let mut exec = Execution::new(Isotropic(CensusOutdegree), ViewState::initial(&values));
+    exec.run(&net, (n + 10) as u64);
+
+    let census = exec.outputs()[0].clone().expect("census stabilized");
+    let mults = census
+        .multiplicities_with_leaders(1, value::is_leader)
+        .expect("leader fibre pins the scale");
+    println!("static network, one leader — exact multiplicities:");
+    let mut recovered_sum = BigInt::zero();
+    let mut recovered_n = BigInt::zero();
+    for (v, m) in &mults {
+        let (payload, leader) = value::decode(*v);
+        println!(
+            "  value {payload}{}: x{m}",
+            if leader { " (leader)" } else { "" }
+        );
+        recovered_sum += &(&BigInt::from(payload) * m);
+        recovered_n += m;
+    }
+    println!("  recovered sum = {recovered_sum}, truth = {truth}");
+    println!("  recovered n   = {recovered_n}, truth = {n}");
+    assert_eq!(recovered_sum, truth);
+    assert_eq!(recovered_n, BigInt::from(n));
+
+    // ----- Dynamic case: leader Push-Sum (§5.5) -----
+    let int_values: Vec<u64> = vec![4, 7, 4, 4, 7];
+    let leaders = [true, false, false, false, false];
+    let topology = RandomDynamicGraph::directed(5, 4, 31);
+    let mut ps = Execution::new(
+        Isotropic(PushSumFrequency::with_leaders(1)),
+        FrequencyState::initial_with_leaders(&int_values, &leaders),
+    );
+    ps.run(&topology, 700);
+    println!("\ndynamic network, one leader — multiplicities via Push-Sum:");
+    let est = ps.outputs()[0].clone();
+    for (v, x) in &est {
+        println!(
+            "  value {v}: {x:.6} (true {})",
+            int_values.iter().filter(|&&w| w == *v).count()
+        );
+    }
+    for (v, x) in &est {
+        let true_mult = int_values.iter().filter(|&&w| w == *v).count() as f64;
+        assert!((x - true_mult).abs() < 1e-6, "value {v}");
+    }
+    println!("asymptotic multiset recovery OK — §5.5 in action");
+}

@@ -1,0 +1,72 @@
+//! Quorum sensing with threshold frequency predicates (§5.4).
+//!
+//! Run with `cargo run --example threshold_vote`.
+//!
+//! Agents vote yes/no; the network must decide whether the yes-fraction
+//! reaches a threshold `r`. The predicate `Φ_r` is frequency-based, so
+//! it is computable with outdegree awareness — but on dynamic networks
+//! *without a size bound* only if it is continuous in frequency, which
+//! holds exactly when `r` is irrational (an estimate converging to a
+//! frequency `ν != r` eventually lands strictly on one side of `r`; a
+//! rational `r` can equal `ν` itself and the estimate may hover forever).
+//! With a bound `N`, rounding to ℚ_N makes ANY threshold decidable in
+//! finite time.
+
+use know_your_audience::algos::push_sum::{round_to_grid, FrequencyState, PushSumFrequency};
+use know_your_audience::arith::{BigInt, BigRational};
+use know_your_audience::graph::RandomDynamicGraph;
+use know_your_audience::runtime::{Execution, Isotropic};
+
+const YES: u64 = 1;
+const NO: u64 = 0;
+
+fn main() {
+    // 5 yes out of 8: frequency 0.625.
+    let votes: Vec<u64> = vec![YES, NO, YES, YES, NO, YES, NO, YES];
+    let n = votes.len();
+    let yes_frac = votes.iter().filter(|&&v| v == YES).count() as f64 / n as f64;
+    println!("{n} agents, yes-fraction = {yes_frac}");
+
+    let net = RandomDynamicGraph::directed(n, 4, 404);
+    let mut exec = Execution::new(
+        Isotropic(PushSumFrequency::frequency()),
+        FrequencyState::initial(&votes),
+    );
+
+    // Irrational threshold 1/phi ~ 0.618: continuous in frequency, so
+    // the raw estimates decide it without any size knowledge.
+    let golden = (5f64.sqrt() - 1.0) / 2.0;
+    println!("\nirrational threshold r = 1/phi = {golden:.6} (no size bound needed)");
+    let mut verdict_history = Vec::new();
+    for _ in 0..12 {
+        exec.run(&net, 50);
+        let est = exec.outputs()[0].clone();
+        let yes_est = est.get(&YES).copied().unwrap_or(0.0) / est.values().sum::<f64>();
+        let verdict = yes_est >= golden;
+        verdict_history.push(verdict);
+        println!(
+            "  round {:4}: estimate {yes_est:.6} -> quorum: {verdict}",
+            exec.round()
+        );
+    }
+    // The verdict stabilizes to the truth.
+    let truth = yes_frac >= golden;
+    assert!(verdict_history.iter().rev().take(6).all(|&v| v == truth));
+    println!("verdict stabilized to {truth} — continuity in frequency at work");
+
+    // Rational threshold exactly at a possible frequency (5/8): without
+    // a bound, the hovering estimate is inconclusive; WITH the bound
+    // N = 8 the rounded frequency is exact and the comparison is final.
+    let r = BigRational::from_i64(5, 8);
+    let est = exec.outputs()[0].clone();
+    let grid = round_to_grid(&est, n);
+    let yes_exact = grid.get(&YES).cloned().unwrap_or_else(BigRational::zero);
+    println!(
+        "\nrational threshold r = {r} with bound N = {n}: exact frequency {yes_exact}, quorum: {}",
+        yes_exact >= r
+    );
+    assert_eq!(yes_exact, BigRational::from_i64(5, 8));
+    assert_eq!(grid.get(&NO), Some(&BigRational::from_i64(3, 8)));
+    let _ = BigInt::from(n);
+    println!("exact decision via Q_N rounding — Corollary 5.3 closes the gap");
+}

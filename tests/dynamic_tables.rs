@@ -1,0 +1,156 @@
+//! Integration: the positive cells of Table 2 (dynamic networks with
+//! finite dynamic diameter), end-to-end.
+
+use know_your_audience::algos::gossip::{set_functions, SetGossip};
+use know_your_audience::algos::metropolis::{FixedWeight, Metropolis};
+use know_your_audience::algos::push_sum::{
+    normalize_estimate, round_to_grid, FrequencyState, PushSumFrequency,
+};
+use know_your_audience::arith::BigRational;
+use know_your_audience::core::functions::{maximum, FrequencyFunction};
+use know_your_audience::graph::RandomDynamicGraph;
+use know_your_audience::runtime::adversary::AsyncStarts;
+use know_your_audience::runtime::{Broadcast, Execution, Isotropic};
+
+#[test]
+fn cell_dynamic_broadcast_set_based() {
+    // Simple broadcast on dynamic graphs: max via gossip, any help row.
+    for seed in [1u64, 2, 3] {
+        let net = RandomDynamicGraph::directed(9, 5, seed);
+        let values: Vec<u64> = (0..9).map(|i| (i * 13) % 7).collect();
+        let mut exec = Execution::new(Broadcast(SetGossip), SetGossip::initial(&values));
+        exec.run(&net, 20);
+        for out in exec.outputs() {
+            assert_eq!(set_functions::max(&out), Some(maximum(&values)));
+        }
+    }
+}
+
+#[test]
+fn cell_dynamic_outdegree_bound_known_frequency_based() {
+    // Corollary 5.3: Push-Sum frequencies + Q_N rounding = exact
+    // frequency computation in finite time, with only a bound N >= n.
+    let n = 7;
+    let bound = 10; // N >= n
+    let values: Vec<u64> = vec![3, 3, 5, 3, 5, 5, 5];
+    let truth = FrequencyFunction::of(&values);
+    let net = RandomDynamicGraph::directed(n, 4, 44);
+    let mut exec = Execution::new(
+        Isotropic(PushSumFrequency::frequency()),
+        FrequencyState::initial(&values),
+    );
+    exec.run(&net, 900);
+    for est in exec.outputs() {
+        let grid = round_to_grid(&est, bound);
+        for (v, f) in &grid {
+            assert_eq!(f, &truth.frequency(*v), "value {v}");
+        }
+    }
+}
+
+#[test]
+fn cell_dynamic_outdegree_known_n_multiset_based() {
+    // Corollary 5.4: with n known, frequencies scale to multiplicities.
+    let n = 6;
+    let values: Vec<u64> = vec![2, 9, 2, 2, 9, 4];
+    let net = RandomDynamicGraph::directed(n, 3, 91);
+    let mut exec = Execution::new(
+        Isotropic(PushSumFrequency::frequency()),
+        FrequencyState::initial(&values),
+    );
+    exec.run(&net, 900);
+    for est in exec.outputs() {
+        let grid = round_to_grid(&est, n);
+        for (v, f) in &grid {
+            let mult = &(f * &BigRational::from_integer(n as i64));
+            let true_mult = values.iter().filter(|&&w| w == *v).count() as i64;
+            assert_eq!(mult, &BigRational::from_integer(true_mult), "value {v}");
+        }
+    }
+}
+
+#[test]
+fn cell_dynamic_outdegree_no_help_continuous_in_frequency() {
+    // Corollary 5.5: without any bound, normalized estimates converge —
+    // enough for continuous-in-frequency functions such as the average.
+    let values: Vec<u64> = vec![10, 20, 10, 40];
+    let net = RandomDynamicGraph::directed(4, 3, 7);
+    let mut exec = Execution::new(
+        Isotropic(PushSumFrequency::frequency()),
+        FrequencyState::initial(&values),
+    );
+    exec.run(&net, 700);
+    let truth = 20.0; // (10+20+10+40)/4
+    for est in exec.outputs() {
+        let norm = normalize_estimate(&est);
+        let avg: f64 = norm.iter().map(|(&v, &f)| v as f64 * f).sum();
+        assert!((avg - truth).abs() < 1e-7, "avg {avg}");
+    }
+}
+
+#[test]
+fn cell_dynamic_symmetric_bound_known_frequency_based() {
+    // Symmetric column, bound known: average via fixed-weight 1/N
+    // consensus (pure broadcast, only the bound needed).
+    let n = 8;
+    let values: Vec<f64> = (0..n).map(|i| (3 * i % 11) as f64).collect();
+    let truth: f64 = values.iter().sum::<f64>() / n as f64;
+    let net = RandomDynamicGraph::symmetric(n, 3, 17);
+    let mut exec = Execution::new(Broadcast(FixedWeight::new(12)), values.clone());
+    exec.run(&net, 2500);
+    for x in exec.outputs() {
+        assert!((x - truth).abs() < 1e-7, "{x} vs {truth}");
+    }
+}
+
+#[test]
+fn cell_dynamic_symmetric_metropolis_with_outdegree() {
+    // The paper's own §5 route: Metropolis on symmetric dynamic networks
+    // under outdegree awareness.
+    let n = 7;
+    let values: Vec<f64> = (0..n).map(|i| (i as f64).powi(2)).collect();
+    let truth: f64 = values.iter().sum::<f64>() / n as f64;
+    let net = RandomDynamicGraph::symmetric(n, 2, 23);
+    let mut exec = Execution::new(Isotropic(Metropolis), values);
+    exec.run(&net, 1500);
+    for x in exec.outputs() {
+        assert!((x - truth).abs() < 1e-7);
+    }
+}
+
+#[test]
+fn cell_dynamic_leader_multiset_asymptotic() {
+    // §5.5: leader Push-Sum recovers multiplicities asymptotically.
+    let values: Vec<u64> = vec![1, 6, 6, 1, 6, 6];
+    let leaders = [false, false, true, false, false, false];
+    let net = RandomDynamicGraph::directed(6, 3, 61);
+    let mut exec = Execution::new(
+        Isotropic(PushSumFrequency::with_leaders(1)),
+        FrequencyState::initial_with_leaders(&values, &leaders),
+    );
+    exec.run(&net, 900);
+    for est in exec.outputs() {
+        assert!((est[&1] - 2.0).abs() < 1e-7);
+        assert!((est[&6] - 4.0).abs() < 1e-7);
+    }
+}
+
+#[test]
+fn async_starts_do_not_break_push_sum() {
+    // The §5.3 claim: Push-Sum tolerates asynchronous starts; the masked
+    // graph has dynamic diameter <= max(s_i) + D.
+    let n = 6;
+    let values: Vec<u64> = vec![4, 4, 4, 8, 8, 8];
+    let inner = RandomDynamicGraph::directed(n, 3, 5);
+    let net = AsyncStarts::new(inner, vec![1, 6, 2, 4, 3, 5]);
+    let mut exec = Execution::new(
+        Isotropic(PushSumFrequency::frequency()),
+        FrequencyState::initial(&values),
+    );
+    exec.run(&net, 1200);
+    for est in exec.outputs() {
+        let grid = round_to_grid(&est, n);
+        assert_eq!(grid[&4], BigRational::from_i64(1, 2));
+        assert_eq!(grid[&8], BigRational::from_i64(1, 2));
+    }
+}

@@ -1,0 +1,145 @@
+//! Integration: robustness regimes beyond the clean model — population
+//! protocols (pairwise interactions), self-stabilization, and the §6
+//! weak-connectivity regime — exercised through the public API.
+
+use know_your_audience::algos::gossip::SetGossip;
+use know_your_audience::algos::metropolis::FixedWeight;
+use know_your_audience::algos::min_base::{DepthCapped, MinBaseBroadcast, ViewState};
+use know_your_audience::algos::push_sum::{PushSum, PushSumState};
+use know_your_audience::algos::views::View;
+use know_your_audience::graph::{
+    generators, DynamicGraph, PairwiseMatching, RandomDynamicGraph, SparselyConnected, StaticGraph,
+};
+use know_your_audience::runtime::testing::{check_self_stabilization, SelfStabOutcome};
+use know_your_audience::runtime::{Broadcast, Execution, Isotropic};
+
+#[test]
+fn gossip_floods_over_pairwise_interactions() {
+    // The population-protocol network class (§2 footnote 2): gossip
+    // still floods, it just needs more rounds than a connected-per-round
+    // adversary.
+    let n = 8;
+    let values: Vec<u64> = (0..n as u64).map(|i| i % 3).collect();
+    let net = PairwiseMatching::new(n, n / 2, 99);
+    let mut exec = Execution::new(Broadcast(SetGossip), SetGossip::initial(&values));
+    exec.run(&net, 200);
+    for out in exec.outputs() {
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+}
+
+#[test]
+fn fixed_weight_averages_over_pairwise_interactions() {
+    let n = 6;
+    let values: Vec<f64> = vec![0.0, 6.0, 12.0, 0.0, 6.0, 12.0];
+    let net = PairwiseMatching::new(n, 3, 123);
+    let mut exec = Execution::new(Broadcast(FixedWeight::new(n)), values);
+    exec.run(&net, 5000);
+    for x in exec.outputs() {
+        assert!((x - 6.0).abs() < 1e-7, "{x}");
+    }
+}
+
+#[test]
+fn depth_capped_min_base_recovers_from_corruption_end_to_end() {
+    let g = generators::star(5);
+    let values = [9u64, 2, 2, 2, 2];
+    let cap = 14;
+    let net = StaticGraph::new(g.clone());
+
+    // Clean target output.
+    let clean = DepthCapped::new(Broadcast(MinBaseBroadcast), cap);
+    let mut reference = Execution::new(clean, ViewState::initial(&values));
+    reference.run(&net, 30);
+    let truth = reference.outputs()[0].clone().expect("stabilized");
+
+    // Adversarial garbage views of a consistent depth.
+    let corrupted: Vec<ViewState> = values
+        .iter()
+        .map(|&v| ViewState {
+            value: v,
+            view: View::node(1234, vec![(9, View::leaf(777))]),
+        })
+        .collect();
+    let algo = DepthCapped::new(Broadcast(MinBaseBroadcast), cap);
+    let outcome = check_self_stabilization(algo, &net, corrupted, |_| Some(truth.clone()), 60);
+    assert!(
+        matches!(outcome, SelfStabOutcome::Stabilized { .. }),
+        "depth-capped min base must self-stabilize"
+    );
+}
+
+#[test]
+fn push_sum_is_not_self_stabilizing() {
+    // §6: Push-Sum does not tolerate arbitrary initialization — corrupt
+    // the mass invariants and the quot-sum limit moves with them.
+    let values = [2.0, 4.0, 6.0];
+    let truth = 4.0;
+    let net = StaticGraph::new(generators::complete(3));
+    // Corrupted weights (z != 1) shift the limit away from the average.
+    let corrupted = vec![
+        PushSumState::new(2.0, 1.0),
+        PushSumState::new(4.0, 3.0), // bogus weight
+        PushSumState::new(6.0, 1.0),
+    ];
+    let mut exec = Execution::new(Isotropic(PushSum), corrupted);
+    exec.run(&net, 300);
+    let settled = exec.outputs()[0];
+    assert!(
+        (settled - truth).abs() > 0.5,
+        "corruption must be visible: {settled}"
+    );
+    // It converges — to the corrupted quot-sum, exactly as theory says.
+    let corrupted_target = (2.0 + 4.0 + 6.0) / (1.0 + 3.0 + 1.0);
+    assert!((settled - corrupted_target).abs() < 1e-9);
+    let _ = values;
+}
+
+#[test]
+fn weak_connectivity_still_converges_for_symmetric_consensus() {
+    // Geometric communication gaps: no finite dynamic diameter, yet the
+    // doubly-stochastic update keeps contracting (Moreau's regime).
+    let n = 6;
+    let values: Vec<f64> = vec![3.0, 9.0, 0.0, 6.0, 12.0, 6.0];
+    let target = 6.0;
+    let inner = RandomDynamicGraph::symmetric(n, 2, 5);
+    let net = SparselyConnected::geometric(inner, 1, 4000);
+    let mut exec = Execution::new(Broadcast(FixedWeight::new(n)), values);
+    let mut errors = Vec::new();
+    for _ in 0..11 {
+        exec.run(&net, 364);
+        let worst = exec
+            .outputs()
+            .iter()
+            .map(|x| (x - target).abs())
+            .fold(0.0f64, f64::max);
+        errors.push(worst);
+    }
+    // Strictly decreasing over communication epochs, and well below the
+    // initial spread at the end.
+    assert!(
+        errors.last().unwrap() < &0.5,
+        "final error {:?}",
+        errors.last()
+    );
+    assert!(errors.first().unwrap() > errors.last().unwrap());
+}
+
+#[test]
+fn parallel_execution_agrees_with_sequential_for_push_sum() {
+    let n = 10;
+    let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let net = RandomDynamicGraph::directed(n, 5, 777);
+    let mut seq = Execution::new(Isotropic(PushSum), PushSumState::averaging(&values));
+    let mut par = Execution::new(Isotropic(PushSum), PushSumState::averaging(&values));
+    for _ in 0..30 {
+        let g = net.graph(seq.round() + 1);
+        seq.step(&g);
+        par.step_parallel(&g, 3);
+    }
+    // Same messages, same per-agent sums, bit-identical trajectories.
+    for (a, b) in seq.states().iter().zip(par.states()) {
+        assert_eq!(a.y.to_bits(), b.y.to_bits());
+        assert_eq!(a.z.to_bits(), b.z.to_bits());
+    }
+}

@@ -1,0 +1,204 @@
+//! Integration: every positive cell of Table 1 (static networks),
+//! exercised end-to-end through the public API of the umbrella crate.
+//!
+//! For each (model, help) cell the test computes the representative
+//! function of the claimed class on a family of static strongly
+//! connected networks and checks the result against ground truth.
+
+use know_your_audience::algos::frequency::{CensusOutdegree, CensusPorts, CensusSymmetric};
+use know_your_audience::algos::gossip::{set_functions, SetGossip};
+use know_your_audience::algos::min_base::ViewState;
+use know_your_audience::arith::BigInt;
+use know_your_audience::core::functions::{average, maximum, sum};
+use know_your_audience::core::value;
+use know_your_audience::graph::{generators, Digraph, StaticGraph};
+use know_your_audience::runtime::{Broadcast, Execution, Isotropic};
+
+/// Test family: name, graph, values. All strongly connected.
+fn directed_family() -> Vec<(&'static str, Digraph, Vec<u64>)> {
+    vec![
+        (
+            "ring6",
+            generators::directed_ring(6),
+            vec![5, 3, 5, 3, 5, 3],
+        ),
+        (
+            "torus3x3",
+            generators::directed_torus(3, 3),
+            vec![1, 2, 3, 1, 2, 3, 1, 2, 3],
+        ),
+        (
+            "random8",
+            generators::random_strongly_connected(8, 7, 101),
+            vec![9, 9, 1, 4, 4, 4, 9, 1],
+        ),
+    ]
+}
+
+fn symmetric_family() -> Vec<(&'static str, Digraph, Vec<u64>)> {
+    vec![
+        ("star5", generators::star(5), vec![8, 2, 2, 2, 2]),
+        (
+            "hypercube3",
+            generators::hypercube(3),
+            vec![1, 1, 2, 2, 3, 3, 4, 4],
+        ),
+        (
+            "randbi7",
+            generators::random_bidirectional_connected(7, 3, 55),
+            vec![6, 6, 6, 1, 1, 2, 2],
+        ),
+    ]
+}
+
+fn rounds_for(g: &Digraph) -> u64 {
+    (2 * g.n() + 12) as u64
+}
+
+#[test]
+fn cell_simple_broadcast_set_based() {
+    // Column 1, all help rows: max (set-based) via gossip.
+    for (name, g, values) in directed_family() {
+        let net = StaticGraph::new(g.clone());
+        let mut exec = Execution::new(Broadcast(SetGossip), SetGossip::initial(&values));
+        exec.run(&net, rounds_for(&g));
+        for out in exec.outputs() {
+            assert_eq!(
+                set_functions::max(&out),
+                Some(maximum(&values)),
+                "network {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cell_outdegree_frequency_based() {
+    // Column 2, no help: average (frequency-based) via census.
+    for (name, g, values) in directed_family() {
+        let net = StaticGraph::new(g.clone());
+        let mut exec = Execution::new(Isotropic(CensusOutdegree), ViewState::initial(&values));
+        exec.run(&net, rounds_for(&g));
+        for out in exec.outputs() {
+            let census = out.unwrap_or_else(|| panic!("census stabilized ({name})"));
+            assert_eq!(
+                average(&census.canonical_vector()),
+                average(&values),
+                "network {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cell_outdegree_known_n_multiset_based() {
+    // Column 2, n known: sum (multiset-based) via census scaling.
+    for (name, g, values) in directed_family() {
+        let net = StaticGraph::new(g.clone());
+        let mut exec = Execution::new(Isotropic(CensusOutdegree), ViewState::initial(&values));
+        exec.run(&net, rounds_for(&g));
+        let census = exec.outputs()[0].clone().expect("stabilized");
+        let mults = census
+            .multiplicities_known_n(g.n())
+            .unwrap_or_else(|e| panic!("scaling ({name}): {e}"));
+        let recovered: BigInt = mults.iter().map(|(v, m)| &BigInt::from(*v) * m).sum();
+        assert_eq!(recovered, sum(&values), "network {name}");
+    }
+}
+
+#[test]
+fn cell_outdegree_leader_multiset_based() {
+    // Column 2, one leader: sum via leader scaling (Corollary 4.4).
+    for (name, g, payloads) in directed_family() {
+        let values: Vec<u64> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| value::encode(p, i == 0))
+            .collect();
+        let net = StaticGraph::new(g.clone());
+        let mut exec = Execution::new(Isotropic(CensusOutdegree), ViewState::initial(&values));
+        exec.run(&net, rounds_for(&g));
+        let census = exec.outputs()[0].clone().expect("stabilized");
+        let mults = census
+            .multiplicities_with_leaders(1, value::is_leader)
+            .unwrap_or_else(|e| panic!("leader scaling ({name}): {e}"));
+        let recovered: BigInt = mults
+            .iter()
+            .map(|(v, m)| &BigInt::from(value::decode(*v).0) * m)
+            .sum();
+        assert_eq!(recovered, sum(&payloads), "network {name}");
+        let total: BigInt = mults.iter().map(|(_, m)| m).sum();
+        assert_eq!(total, BigInt::from(g.n()), "network size ({name})");
+    }
+}
+
+#[test]
+fn cell_symmetric_frequency_based() {
+    // Column 3: average via the symmetric (eq. 4) census.
+    for (name, g, values) in symmetric_family() {
+        let net = StaticGraph::new(g.clone());
+        let mut exec = Execution::new(Broadcast(CensusSymmetric), ViewState::initial(&values));
+        exec.run(&net, rounds_for(&g));
+        for out in exec.outputs() {
+            let census = out.unwrap_or_else(|| panic!("census stabilized ({name})"));
+            assert_eq!(
+                average(&census.canonical_vector()),
+                average(&values),
+                "network {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cell_symmetric_known_n_multiset_based() {
+    for (name, g, values) in symmetric_family() {
+        let net = StaticGraph::new(g.clone());
+        let mut exec = Execution::new(Broadcast(CensusSymmetric), ViewState::initial(&values));
+        exec.run(&net, rounds_for(&g));
+        let census = exec.outputs()[0].clone().expect("stabilized");
+        let mults = census.multiplicities_known_n(g.n()).expect("scaling");
+        let recovered: BigInt = mults.iter().map(|(v, m)| &BigInt::from(*v) * m).sum();
+        assert_eq!(recovered, sum(&values), "network {name}");
+    }
+}
+
+#[test]
+fn cell_ports_frequency_based() {
+    // Column 4: average via the covering (eq. 3) census, on
+    // port-symmetric networks built as lifts of port-colored bases.
+    // (Output port awareness forces equal fibres, so the lift must use
+    // equal fibre sizes.)
+    let mut base = Digraph::new(2);
+    base.add_edge_with_port(0, 1, Some(0));
+    base.add_edge_with_port(1, 0, Some(0));
+    base.add_edge_with_port(0, 0, Some(1));
+    base.add_edge_with_port(1, 1, Some(1));
+    let (g, fibre_of) = generators::connected_lift(&base, &[3, 3], 3, 64).expect("connected lift");
+    let values: Vec<u64> = fibre_of.iter().map(|&f| [4, 8][f]).collect();
+    let net = StaticGraph::new(g.clone());
+    let mut exec = Execution::new(CensusPorts, ViewState::initial(&values));
+    exec.run(&net, rounds_for(&g));
+    for out in exec.outputs() {
+        let census = out.expect("stabilized");
+        assert_eq!(average(&census.canonical_vector()), average(&values));
+    }
+}
+
+#[test]
+fn cell_ports_known_n_multiset_based() {
+    let mut base = Digraph::new(2);
+    base.add_edge_with_port(0, 1, Some(0));
+    base.add_edge_with_port(1, 0, Some(0));
+    base.add_edge_with_port(0, 0, Some(1));
+    base.add_edge_with_port(1, 1, Some(1));
+    let (g, fibre_of) = generators::connected_lift(&base, &[4, 4], 5, 64).expect("connected lift");
+    let values: Vec<u64> = fibre_of.iter().map(|&f| [1, 7][f]).collect();
+    let net = StaticGraph::new(g.clone());
+    let mut exec = Execution::new(CensusPorts, ViewState::initial(&values));
+    exec.run(&net, rounds_for(&g));
+    let census = exec.outputs()[0].clone().expect("stabilized");
+    let mults = census.multiplicities_known_n(g.n()).expect("scaling");
+    let recovered: BigInt = mults.iter().map(|(v, m)| &BigInt::from(*v) * m).sum();
+    assert_eq!(recovered, sum(&values));
+}
