@@ -131,9 +131,9 @@ pub fn close_fibration(
     let b_loop_start = b.edge_count();
     let mut b_loop_of_vertex = vec![usize::MAX; b.n()];
     let mut idx = b_loop_start;
-    for v in 0..b.n() {
+    for (v, slot) in b_loop_of_vertex.iter_mut().enumerate() {
         if !b.has_self_loop(v) {
-            b_loop_of_vertex[v] = idx;
+            *slot = idx;
             idx += 1;
         }
     }

@@ -182,11 +182,35 @@ where
     type Msg = A::Msg;
     type Output = A::Output;
 
+    // Inconsistency-triggered reset (fault recovery): the root of an
+    // agent's view must be its own input value — every transition
+    // rebuilds the view as `node(value, ...)`, so a mismatch proves the
+    // state was corrupted from outside (bit flip, restored checkpoint,
+    // adversarial injection). A bounded agent cannot repair a corrupted
+    // tree, but it can always rebuild from its input: behave as if the
+    // view were the round-0 leaf. The crucial site is `send` — that is
+    // where a corrupted view would otherwise enter the network and
+    // linger in everyone's deep levels for up to `cap` rounds; resetting
+    // there confines detectable corruption to its own agent and one
+    // round. Consistent-looking corruption is still flushed by
+    // truncation within `cap` rounds (the self-stabilization route).
     fn send(&self, state: &ViewState, outdegree: usize) -> Vec<A::Msg> {
-        self.inner.send(state, outdegree)
+        if state.view.value() != state.value {
+            let reset = ViewState::new(state.value);
+            self.inner.send(&reset, outdegree)
+        } else {
+            self.inner.send(state, outdegree)
+        }
     }
 
     fn transition(&self, state: &ViewState, inbox: &[A::Msg]) -> ViewState {
+        let reset;
+        let state = if state.view.value() != state.value {
+            reset = ViewState::new(state.value);
+            &reset
+        } else {
+            state
+        };
         let next = self.inner.transition(state, inbox);
         ViewState {
             value: next.value,
@@ -388,6 +412,52 @@ mod tests {
                 );
             }
             SelfStabOutcome::Diverged { .. } => panic!("did not self-stabilize"),
+        }
+    }
+
+    #[test]
+    fn inconsistent_view_triggers_immediate_reset() {
+        // A corrupted view whose root disagrees with the agent's input
+        // is *detectable*, and DepthCapped flushes it in one transition
+        // instead of waiting for truncation to push it past the cap.
+        // With a generous cap (64) the truncation route would need ~64
+        // rounds; the reset route recovers in n + D + slack rounds.
+        use kya_runtime::testing::{check_self_stabilization, SelfStabOutcome};
+
+        let g = generators::directed_ring(6);
+        let values = [1u64, 2, 1, 2, 1, 2];
+        let cap = 64;
+        let net = StaticGraph::new(g.clone());
+
+        let clean = DepthCapped::new(Broadcast(MinBaseBroadcast), cap);
+        let mut reference = Execution::new(clean, ViewState::initial(&values));
+        reference.run(&net, 40);
+        let truth = reference.outputs()[0].clone().expect("stabilized");
+
+        // Deep garbage with a mismatched root (999 != input value).
+        let corrupted: Vec<ViewState> = values
+            .iter()
+            .map(|&v| ViewState {
+                value: v,
+                view: crate::views::View::node(
+                    999,
+                    vec![(
+                        3,
+                        crate::views::View::node(998, vec![(0, crate::views::View::leaf(997))]),
+                    )],
+                ),
+            })
+            .collect();
+        let algo = DepthCapped::new(Broadcast(MinBaseBroadcast), cap);
+        let outcome = check_self_stabilization(algo, &net, corrupted, |_| Some(truth.clone()), 40);
+        match outcome {
+            SelfStabOutcome::Stabilized { at_round } => {
+                assert!(
+                    at_round <= (g.n() + 6 + 4) as u64,
+                    "reset should beat the {cap}-round truncation flush, got {at_round}"
+                );
+            }
+            SelfStabOutcome::Diverged { .. } => panic!("did not recover"),
         }
     }
 

@@ -21,6 +21,7 @@
 //! exploit).
 
 use kya_arith::{BigInt, BigRational};
+use kya_runtime::faults::FaultAwareIsotropic;
 use kya_runtime::IsotropicAlgorithm;
 use std::collections::BTreeMap;
 
@@ -82,6 +83,87 @@ impl IsotropicAlgorithm for PushSum {
     fn output(&self, state: &PushSumState) -> f64 {
         state.y / state.z
     }
+}
+
+// ---------------------------------------------------------------------
+// Self-healing Push-Sum (F6)
+// ---------------------------------------------------------------------
+
+/// Push-Sum with a link-layer bounce handler: the same dynamics as
+/// [`PushSum`], plus
+/// [`FaultAwareIsotropic::reabsorb`](kya_runtime::faults::FaultAwareIsotropic)
+/// folding undelivered shares back into the sender's masses.
+///
+/// Why this matters: Push-Sum conserves `Σ y` and `Σ z` because the
+/// rescattering matrix is column-stochastic — every share the sender
+/// splits off lands *somewhere*. Under message loss
+/// ([`kya_runtime::faults::FaultyExecution`]) a dropped share lands
+/// nowhere and the invariant breaks permanently: plain Push-Sum then
+/// converges to the quot-sum of whatever mass survived, which is wrong
+/// (the [`kya_runtime::faults::Lossy`] negative control exhibits this).
+/// Re-absorbing the bounced share restores column-stochasticity of the
+/// *effective* rescattering — the lost fraction simply stays with the
+/// sender for one round — so both totals are conserved through arbitrary
+/// drop/crash faults and convergence to the true quot-sum resumes as
+/// soon as the network is connected often enough again.
+///
+/// ```
+/// use kya_algos::push_sum::{total_mass, PushSumState, SelfHealingPushSum};
+/// use kya_graph::{generators, StaticGraph};
+/// use kya_runtime::faults::{FaultPlan, FaultyExecution};
+/// use kya_runtime::Isotropic;
+///
+/// let net = StaticGraph::new(generators::directed_ring(4));
+/// let plan = FaultPlan::new(9).drop_links(0.3).until(30);
+/// let mut exec = FaultyExecution::new(
+///     Isotropic(SelfHealingPushSum),
+///     PushSumState::averaging(&[0.0, 4.0, 0.0, 0.0]),
+///     plan,
+/// );
+/// exec.run(&net, 300);
+/// let (y, z) = total_mass(exec.states());
+/// assert!((y - 4.0).abs() < 1e-9 && (z - 4.0).abs() < 1e-9);
+/// assert!(exec.outputs().iter().all(|x| (x - 1.0).abs() < 1e-9));
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SelfHealingPushSum;
+
+impl IsotropicAlgorithm for SelfHealingPushSum {
+    type State = PushSumState;
+    type Msg = (f64, f64);
+    type Output = f64;
+
+    fn message(&self, state: &PushSumState, outdegree: usize) -> (f64, f64) {
+        PushSum.message(state, outdegree)
+    }
+
+    fn transition(&self, state: &PushSumState, inbox: &[(f64, f64)]) -> PushSumState {
+        PushSum.transition(state, inbox)
+    }
+
+    fn output(&self, state: &PushSumState) -> f64 {
+        PushSum.output(state)
+    }
+}
+
+impl FaultAwareIsotropic for SelfHealingPushSum {
+    fn reabsorb(&self, state: &PushSumState, lost: &[(f64, f64)]) -> PushSumState {
+        let mut next = *state;
+        for &(ys, zs) in lost {
+            next.y += ys;
+            next.z += zs;
+        }
+        next
+    }
+}
+
+/// Total `(Σ y, Σ z)` mass of a population of Push-Sum states — the
+/// conserved quantity of Theorem 5.2, and the invariant the F6
+/// experiments monitor under faults.
+pub fn total_mass(states: &[PushSumState]) -> (f64, f64) {
+    states
+        .iter()
+        .fold((0.0, 0.0), |(y, z), s| (y + s.y, z + s.z))
 }
 
 // ---------------------------------------------------------------------
@@ -434,6 +516,7 @@ mod tests {
     use super::*;
     use kya_graph::{generators, DynamicGraph, RandomDynamicGraph, StaticGraph};
     use kya_runtime::adversary::AsyncStarts;
+    use kya_runtime::faults::{FaultPlan, FaultyExecution, Lossy};
     use kya_runtime::{Execution, Isotropic};
 
     #[test]
@@ -503,6 +586,89 @@ mod tests {
         for x in exec.outputs() {
             assert!((x - 1.0).abs() < 1e-8, "{x}");
         }
+    }
+
+    #[test]
+    fn self_healing_conserves_mass_under_drops() {
+        // 30% of non-self-loop messages are lost in flight for 60
+        // rounds. Self-healing Push-Sum reabsorbs every bounced share,
+        // so (Σy, Σz) is invariant at every single round, and after the
+        // faults cease the outputs converge to the true average.
+        let values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        let n = values.len();
+        let net = StaticGraph::new(generators::bidirectional_ring(n));
+        let plan = FaultPlan::new(42).drop_links(0.3).until(60);
+        let mut exec = FaultyExecution::new(
+            Isotropic(SelfHealingPushSum),
+            PushSumState::averaging(&values),
+            plan,
+        );
+        let y0: f64 = values.iter().sum();
+        for _ in 0..500u64 {
+            let g = net.graph(exec.round() + 1);
+            exec.step(&g);
+            let (y, z) = total_mass(exec.states());
+            assert!(
+                (y - y0).abs() < 1e-9 && (z - n as f64).abs() < 1e-9,
+                "round {}: mass ({y}, {z}) drifted from ({y0}, {n})",
+                exec.round()
+            );
+        }
+        assert!(exec.events().dropped > 0, "the plan did inject drops");
+        let avg = y0 / n as f64;
+        for x in exec.outputs() {
+            assert!((x - avg).abs() < 1e-9, "{x} != {avg}");
+        }
+    }
+
+    #[test]
+    fn self_healing_survives_crash_recover() {
+        // An agent is down for 20 rounds: its mass is frozen on board
+        // and every share addressed to it bounces. Total mass never
+        // moves, and convergence completes after it comes back.
+        let values = [10.0, 0.0, 0.0, 0.0, 0.0];
+        let net = StaticGraph::new(generators::complete(5));
+        let plan = FaultPlan::new(7).crash(0, 5..25);
+        let mut exec = FaultyExecution::new(
+            Isotropic(SelfHealingPushSum),
+            PushSumState::averaging(&values),
+            plan,
+        );
+        for _ in 0..400u64 {
+            let g = net.graph(exec.round() + 1);
+            exec.step(&g);
+            let (y, z) = total_mass(exec.states());
+            assert!((y - 10.0).abs() < 1e-9 && (z - 5.0).abs() < 1e-9);
+        }
+        assert!(exec.events().bounced_to_crashed > 0);
+        for x in exec.outputs() {
+            assert!((x - 2.0).abs() < 1e-9, "{x}");
+        }
+    }
+
+    #[test]
+    fn plain_push_sum_leaks_mass_under_drops() {
+        // Negative control: identical fault pattern, but the bounced
+        // shares are discarded (Lossy). The conserved quantity decays
+        // and never comes back: the deficit persists long after the
+        // faults cease.
+        let values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        let n = values.len();
+        let net = StaticGraph::new(generators::bidirectional_ring(n));
+        let plan = FaultPlan::new(42).drop_links(0.3).until(60);
+        let mut exec = FaultyExecution::new(
+            Lossy(Isotropic(PushSum)),
+            PushSumState::averaging(&values),
+            plan,
+        );
+        exec.run(&net, 500);
+        let (_, z) = total_mass(exec.states());
+        let deficit = n as f64 - z;
+        assert!(
+            deficit > 0.5,
+            "losing 30% of messages for 60 rounds must leave a visible
+             weight deficit, got {deficit:.3}"
+        );
     }
 
     #[test]

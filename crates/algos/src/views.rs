@@ -510,8 +510,8 @@ mod tests {
         let g = kya_graph::generators::star(4).with_self_loops();
         // n + D = 4 + 2 = 6 rounds suffice.
         let views = simulate_views(&g, &[0; 4], |_| 0, 8);
-        for v in 0..4 {
-            let cb = candidate_base(&views[v], ClassMode::Broadcast).expect("stabilized");
+        for (v, view) in views.iter().enumerate() {
+            let cb = candidate_base(view, ClassMode::Broadcast).expect("stabilized");
             assert_eq!(cb.graph.n(), 2, "agent {v}");
         }
     }

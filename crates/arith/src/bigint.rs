@@ -95,8 +95,8 @@ fn mag_add(a: &[u64], b: &[u64]) -> Vec<u64> {
     let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     let mut out = Vec::with_capacity(long.len() + 1);
     let mut carry = 0u64;
-    for i in 0..long.len() {
-        let x = long[i] as u128;
+    for (i, &limb) in long.iter().enumerate() {
+        let x = limb as u128;
         let y = *short.get(i).unwrap_or(&0) as u128;
         let s = x + y + carry as u128;
         out.push(s as u64);
@@ -113,8 +113,8 @@ fn mag_sub(a: &[u64], b: &[u64]) -> Vec<u64> {
     debug_assert!(mag_cmp(a, b) != Ordering::Less);
     let mut out = Vec::with_capacity(a.len());
     let mut borrow = 0i128;
-    for i in 0..a.len() {
-        let x = a[i] as i128;
+    for (i, &limb) in a.iter().enumerate() {
+        let x = limb as i128;
         let y = *b.get(i).unwrap_or(&0) as i128;
         let mut d = x - y - borrow;
         if d < 0 {

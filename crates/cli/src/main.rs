@@ -10,6 +10,10 @@
 //!                                  Push-Sum frequencies on a random dynamic net
 //! kya gossip   --graph SPEC --values VALS
 //!                                  flood the value set (simple broadcast)
+//! kya faults   --graph SPEC --values VALS [--drop P] [--dup P] [--crash A:FROM:UNTIL]
+//!              [--until H] [--rounds R] [--seed S] [--eps E] [--plain] [--json]
+//!                                  Push-Sum averaging under a fault script,
+//!                                  with a measured recovery report (F6)
 //! ```
 //!
 //! Graph specs: `ring:6`, `biring:6`, `star:5`, `path:4`, `complete:4`,
@@ -22,10 +26,15 @@ mod spec;
 use kya_algos::frequency::{CensusOutdegree, CensusPorts, CensusSymmetric, FibreCensus};
 use kya_algos::gossip::SetGossip;
 use kya_algos::min_base::ViewState;
-use kya_algos::push_sum::{round_to_grid, FrequencyState, PushSumFrequency};
+use kya_algos::push_sum::{
+    round_to_grid, total_mass, FrequencyState, PushSum, PushSumFrequency, PushSumState,
+    SelfHealingPushSum,
+};
 use kya_core::table::{render_table, NetworkKind};
 use kya_fibration::MinimumBase;
 use kya_graph::{connectivity, Digraph, RandomDynamicGraph, StaticGraph};
+use kya_runtime::faults::{FaultPlan, FaultyExecution, Lossy};
+use kya_runtime::metric::EuclideanMetric;
 use kya_runtime::{Broadcast, Execution, Isotropic};
 use spec::{parse_graph, parse_values, SpecError};
 use std::collections::BTreeMap;
@@ -37,10 +46,13 @@ const USAGE: &str = "usage:
   kya census  --graph SPEC --values VALS --model outdegree|symmetric|ports [--n | --leader K]
   kya pushsum --n N --values VALS [--rounds R] [--bound B] [--seed S]
   kya gossip  --graph SPEC --values VALS
+  kya faults  --graph SPEC --values VALS [--drop P] [--dup P] [--crash A:FROM:UNTIL,...]
+              [--until H] [--rounds R] [--seed S] [--eps E] [--plain] [--json]
 
 graph specs: ring:6 biring:6 star:5 path:4 complete:4 torus:3x3
              hypercube:3 debruijn:2x3 kautz:2x1 random:N:EXTRA:SEED randbi:N:EXTRA:SEED
-value lists: 1,2,3 or 5x3,7 (repeat shorthand)";
+value lists: 1,2,3 or 5x3,7 (repeat shorthand)
+crash specs: AGENT:FROM:UNTIL (crash-recover) or AGENT:FROM:- (crash-stop)";
 
 /// Minimal flag parser: `--key value` pairs after the subcommand.
 struct Args {
@@ -81,6 +93,32 @@ impl Args {
 
     fn optional(&self, key: &str) -> Option<&str> {
         self.flags.get(key).map(String::as_str)
+    }
+
+    /// Reject flags the subcommand does not understand: a misspelled
+    /// `--vaules` must fail loudly instead of silently running with the
+    /// required flag reported missing (or worse, a default).
+    fn reject_unknown(&self, cmd: &str, valid: &[&str]) -> Result<(), SpecError> {
+        for key in self.flags.keys() {
+            if !valid.contains(&key.as_str()) {
+                let valid = if valid.is_empty() {
+                    "it takes none".to_string()
+                } else {
+                    format!(
+                        "valid flags: {}",
+                        valid
+                            .iter()
+                            .map(|f| format!("--{f}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                };
+                return Err(SpecError(format!(
+                    "unknown flag --{key} for `kya {cmd}` ({valid})"
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -271,6 +309,137 @@ fn cmd_gossip(args: &Args) -> Result<(), SpecError> {
     Ok(())
 }
 
+fn parse_f64(args: &Args, key: &str, default: f64) -> Result<f64, SpecError> {
+    args.optional(key).map_or(Ok(default), |s| {
+        s.parse()
+            .map_err(|_| SpecError(format!("--{key} must be a number, got `{s}`")))
+    })
+}
+
+fn parse_u64(args: &Args, key: &str, default: u64) -> Result<u64, SpecError> {
+    args.optional(key).map_or(Ok(default), |s| {
+        s.parse()
+            .map_err(|_| SpecError(format!("--{key} must be a number, got `{s}`")))
+    })
+}
+
+/// Fold `--crash` specs (`AGENT:FROM:UNTIL` crash-recover,
+/// `AGENT:FROM:-` crash-stop, comma-separated) into the plan.
+fn parse_crashes(spec: &str, n: usize, mut plan: FaultPlan) -> Result<FaultPlan, SpecError> {
+    for item in spec.split(',').filter(|s| !s.is_empty()) {
+        let parts: Vec<&str> = item.split(':').collect();
+        let [agent, from, until] = parts[..] else {
+            return Err(SpecError(format!(
+                "invalid crash spec `{item}`: expected AGENT:FROM:UNTIL or AGENT:FROM:-"
+            )));
+        };
+        let agent: usize = agent
+            .parse()
+            .map_err(|_| SpecError(format!("invalid crash agent `{agent}`")))?;
+        if agent >= n {
+            return Err(SpecError(format!(
+                "crash agent {agent} out of range (the graph has {n} agents)"
+            )));
+        }
+        let from: u64 = from
+            .parse()
+            .map_err(|_| SpecError(format!("invalid crash round `{from}`")))?;
+        if from == 0 {
+            return Err(SpecError("crash rounds are numbered from 1".into()));
+        }
+        plan = if until == "-" {
+            plan.crash_stop(agent, from)
+        } else {
+            let until: u64 = until
+                .parse()
+                .map_err(|_| SpecError(format!("invalid crash end round `{until}`")))?;
+            if until <= from {
+                return Err(SpecError(format!(
+                    "crash window `{item}` is empty (UNTIL must exceed FROM)"
+                )));
+            }
+            plan.crash(agent, from..until)
+        };
+    }
+    Ok(plan)
+}
+
+fn cmd_faults(args: &Args) -> Result<(), SpecError> {
+    let (g, values) = graph_and_values(args)?;
+    if !connectivity::is_strongly_connected(&g) {
+        return Err(SpecError("graph is not strongly connected".into()));
+    }
+    let n = g.n();
+    let drop_p = parse_f64(args, "drop", 0.0)?;
+    let dup_p = parse_f64(args, "dup", 0.0)?;
+    if !(0.0..1.0).contains(&drop_p) || !(0.0..=1.0).contains(&dup_p) {
+        return Err(SpecError("--drop needs [0,1), --dup needs [0,1]".into()));
+    }
+    let rounds = parse_u64(args, "rounds", 300)?.max(1);
+    let seed = parse_u64(args, "seed", 42)?;
+    let eps = parse_f64(args, "eps", 1e-6)?;
+    // Probabilistic faults cease at the horizon (default: half the run)
+    // so "rounds to recover after the last fault" is well defined.
+    let horizon = parse_u64(args, "until", rounds / 2)?.max(1);
+    let mut plan = FaultPlan::new(seed).until(horizon);
+    if drop_p > 0.0 {
+        plan = plan.drop_links(drop_p);
+    }
+    if dup_p > 0.0 {
+        plan = plan.duplicate(dup_p);
+    }
+    if let Some(spec) = args.optional("crash") {
+        plan = parse_crashes(spec, n, plan)?;
+    }
+    let inputs: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+    let target = inputs.iter().sum::<f64>() / n as f64;
+    let states = PushSumState::averaging(&inputs);
+    let net = StaticGraph::new(g);
+    // z mass starts (and must stay) at n: the signed deficit is n - Σz.
+    let z_deficit = move |states: &[PushSumState]| n as f64 - total_mass(states).1;
+    let plain = args.optional("plain").is_some();
+    let report = if plain {
+        let mut exec = FaultyExecution::new(Lossy(Isotropic(PushSum)), states, plan.clone());
+        exec.run_with_recovery(
+            &net,
+            rounds,
+            &EuclideanMetric,
+            &target,
+            eps,
+            Some(&z_deficit),
+        )
+    } else {
+        let mut exec = FaultyExecution::new(Isotropic(SelfHealingPushSum), states, plan.clone());
+        exec.run_with_recovery(
+            &net,
+            rounds,
+            &EuclideanMetric,
+            &target,
+            eps,
+            Some(&z_deficit),
+        )
+    };
+    if args.optional("json").is_some() {
+        println!("{}", serde::to_json_string(&report));
+        return Ok(());
+    }
+    println!(
+        "push-sum ({}) averaging to {target} under fault plan:",
+        if plain {
+            "plain, lossy — negative control"
+        } else {
+            "self-healing"
+        }
+    );
+    println!("  {}", serde::to_json_string(&plan));
+    println!(
+        "injected: {} drops, {} duplications, {} bounces to crashed agents",
+        report.events.dropped, report.events.duplicated, report.events.bounced_to_crashed
+    );
+    println!("{report}");
+    Ok(())
+}
+
 fn run() -> Result<(), SpecError> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
@@ -284,11 +453,36 @@ fn run() -> Result<(), SpecError> {
         )));
     }
     match cmd.as_str() {
-        "tables" => cmd_tables(),
-        "minbase" => cmd_minbase(&args),
-        "census" => cmd_census(&args),
-        "pushsum" => cmd_pushsum(&args),
-        "gossip" => cmd_gossip(&args),
+        "tables" => {
+            args.reject_unknown(cmd, &[])?;
+            cmd_tables()
+        }
+        "minbase" => {
+            args.reject_unknown(cmd, &["graph", "values"])?;
+            cmd_minbase(&args)
+        }
+        "census" => {
+            args.reject_unknown(cmd, &["graph", "values", "model", "n", "leader"])?;
+            cmd_census(&args)
+        }
+        "pushsum" => {
+            args.reject_unknown(cmd, &["n", "values", "rounds", "bound", "seed"])?;
+            cmd_pushsum(&args)
+        }
+        "gossip" => {
+            args.reject_unknown(cmd, &["graph", "values"])?;
+            cmd_gossip(&args)
+        }
+        "faults" => {
+            args.reject_unknown(
+                cmd,
+                &[
+                    "graph", "values", "drop", "dup", "crash", "until", "rounds", "seed", "eps",
+                    "plain", "json",
+                ],
+            )?;
+            cmd_faults(&args)
+        }
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -369,5 +563,74 @@ mod tests {
             "--n", "4", "--values", "1x2,9x2", "--rounds", "200", "--bound", "4",
         ]);
         assert!(cmd_pushsum(&a).is_ok());
+    }
+
+    #[test]
+    fn unknown_flags_rejected_with_valid_set() {
+        let a = args(&["--graph", "ring:3", "--vaules", "1,2,3"]);
+        let err = a
+            .reject_unknown("minbase", &["graph", "values"])
+            .unwrap_err();
+        assert!(err.0.contains("--vaules"), "{err}");
+        assert!(
+            err.0.contains("--graph, --values"),
+            "names the valid set: {err}"
+        );
+        let a = args(&["--anything", "x"]);
+        let err = a.reject_unknown("tables", &[]).unwrap_err();
+        assert!(err.0.contains("takes none"), "{err}");
+        let a = args(&["--graph", "ring:3", "--values", "1,2,3"]);
+        assert!(a.reject_unknown("minbase", &["graph", "values"]).is_ok());
+    }
+
+    #[test]
+    fn faults_subcommand_runs() {
+        let a = args(&[
+            "--graph",
+            "biring:6",
+            "--values",
+            "3,1,4,1,5,9",
+            "--drop",
+            "0.3",
+            "--rounds",
+            "200",
+            "--seed",
+            "7",
+        ]);
+        assert!(cmd_faults(&a).is_ok());
+        // Negative control and JSON output paths.
+        let a = args(&[
+            "--graph",
+            "biring:6",
+            "--values",
+            "3,1,4,1,5,9",
+            "--drop",
+            "0.3",
+            "--rounds",
+            "200",
+            "--plain",
+            "--json",
+        ]);
+        assert!(cmd_faults(&a).is_ok());
+        // Crash specs: recover and stop, validated against n.
+        let a = args(&[
+            "--graph",
+            "complete:4",
+            "--values",
+            "8,0,0,0",
+            "--crash",
+            "1:5:15,2:30:-",
+        ]);
+        assert!(cmd_faults(&a).is_ok());
+        let a = args(&[
+            "--graph", "ring:3", "--values", "1,2,3", "--crash", "9:5:15",
+        ]);
+        assert!(cmd_faults(&a).unwrap_err().0.contains("out of range"));
+        let a = args(&[
+            "--graph", "ring:3", "--values", "1,2,3", "--crash", "1:15:5",
+        ]);
+        assert!(cmd_faults(&a).unwrap_err().0.contains("empty"));
+        let a = args(&["--graph", "ring:3", "--values", "1,2,3", "--drop", "1.5"]);
+        assert!(cmd_faults(&a).is_err());
     }
 }

@@ -415,9 +415,9 @@ mod tests {
         let vertex_map = vec![0, 1, 1, 1];
         let mut edge_map = Vec::new();
         let leaf_edges = [e0, e1, e2];
-        for leaf in 0..3 {
+        for &leaf_edge in &leaf_edges {
             edge_map.push(e_cl); // 0 -> leaf
-            edge_map.push(leaf_edges[leaf]); // leaf -> 0
+            edge_map.push(leaf_edge); // leaf -> 0
         }
         let phi = GraphMorphism {
             vertex_map,

@@ -456,7 +456,7 @@ mod tests {
         let t = directed_torus(3, 4);
         assert_eq!(t.n(), 12);
         assert!(is_strongly_connected(&t));
-        assert!(t.edges().iter().all(|e| e.src != e.dst) || true);
+        assert!(t.edges().iter().all(|e| e.src != e.dst));
         let h = hypercube(3);
         assert_eq!(h.n(), 8);
         assert!(h.is_bidirectional());
@@ -526,8 +526,8 @@ mod tests {
         assert!(is_strongly_connected(&g));
         assert_eq!(g.n(), 9);
         // Every vertex of fibre j has exactly indegree(base_j) in-edges.
-        for v in 0..g.n() {
-            assert_eq!(g.indegree(v), base.indegree(fibre_of[v]));
+        for (v, &fv) in fibre_of.iter().enumerate() {
+            assert_eq!(g.indegree(v), base.indegree(fv));
         }
     }
 

@@ -1,0 +1,1027 @@
+//! Fault injection and measured recovery (experiment F6).
+//!
+//! The paper's computability results assume a *fault-free* dynamic
+//! network: every scripted edge of `G_t` delivers its message, and every
+//! agent survives. This module asks the robustness question the model
+//! makes precise: *which* communication-model/algorithm pairs keep (or
+//! regain) their guarantees when the adversary also drops links,
+//! duplicates messages, and crashes agents?
+//!
+//! Everything follows the §5.3 idiom that [`crate::adversary::AsyncStarts`]
+//! established: a fault regime is a **transformation of the dynamic
+//! graph**, not a change to the executor or to the algorithm's contract.
+//! Two layers are provided, because link faults have two inequivalent
+//! readings:
+//!
+//! - [`FaultyNetwork`] applies a [`FaultPlan`] at the **graph level**.
+//!   A dropped link is removed *before* senders compute their messages,
+//!   so an outdegree-aware sender sees its true (reduced) audience. This
+//!   is the fail-aware reading: Push-Sum under a `FaultyNetwork` still
+//!   conserves mass, because its shares are split over surviving links
+//!   only. Self-loops always survive and crashed agents keep *only*
+//!   their self-loop, exactly mirroring the `i = j` exemption of the
+//!   async-start masking.
+//! - [`FaultyExecution`] applies the same plan at the **message level**:
+//!   messages are computed against the scripted graph and *then* lost in
+//!   flight. Senders overestimate their audience, which is where real
+//!   lossy networks break mass conservation. Undeliverable messages are
+//!   bounced back to their sender within the communication-closed round
+//!   (a link-layer NACK), and what the sender does with the bounce is the
+//!   algorithm's choice via [`FaultAware::reabsorb`]: a self-healing
+//!   algorithm re-merges the lost shares, while [`Lossy`] discards them —
+//!   the negative control.
+//!
+//! Both layers are driven by the same deterministic, serializable
+//! [`FaultPlan`]: every coin is a pure function of `(seed, round, src,
+//! dst)`, so a fault script can be stored next to an experiment's JSON
+//! output and replayed bit-for-bit.
+
+use crate::algorithm::Algorithm;
+use crate::metric::Metric;
+use kya_graph::{Digraph, DynamicGraph};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Range;
+
+// ---------------------------------------------------------------------
+// Fault plans
+// ---------------------------------------------------------------------
+
+/// One agent-crash interval of a [`FaultPlan`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashWindow {
+    /// The crashed agent.
+    pub agent: usize,
+    /// First faulty round (rounds are numbered from 1).
+    pub from: u64,
+    /// First round the agent is live again (exclusive bound); `None`
+    /// means crash-stop — the agent never recovers.
+    pub until: Option<u64>,
+}
+
+impl CrashWindow {
+    /// Whether the window covers round `t`.
+    pub fn covers(&self, t: u64) -> bool {
+        t >= self.from && self.until.is_none_or(|u| t < u)
+    }
+}
+
+/// A deterministic, seeded fault script.
+///
+/// The plan is a pure function: every decision (drop a link, duplicate
+/// it, delay a retry) is derived by hashing `(seed, round, src, dst)`,
+/// so the same plan value always produces the same fault pattern, on any
+/// platform. Plans serialize to JSON for archival next to experiment
+/// results.
+///
+/// Build with the fluent API:
+///
+/// ```
+/// use kya_runtime::faults::FaultPlan;
+///
+/// let plan = FaultPlan::new(42)
+///     .drop_links(0.3)       // each non-self-loop link fails i.i.d.
+///     .duplicate(0.1)        // each surviving link may double-deliver
+///     .retry_within(4)       // graph level: dropped links retry in <= 4 rounds
+///     .crash(2, 10..20)      // agent 2 is down for rounds 10..20
+///     .crash_stop(5, 30);    // agent 5 dies at round 30 for good
+/// assert!(!plan.is_quiescent());
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_p: f64,
+    dup_p: f64,
+    retry_within: Option<u64>,
+    horizon: Option<u64>,
+    crashes: Vec<CrashWindow>,
+}
+
+/// Domain-separation salts: one per kind of coin, so the drop pattern
+/// does not correlate with the duplication or delay pattern.
+const SALT_DROP: u64 = 0x6472_6f70_6c69_6e6b; // "droplink"
+const SALT_DUP: u64 = 0x6475_706c_6963_6174; // "duplicat"
+const SALT_DELAY: u64 = 0x6465_6c61_795f_5f5f; // "delay___"
+
+fn splitmix_finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// A quiescent plan (no faults) with the given seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_p: 0.0,
+            dup_p: 0.0,
+            retry_within: None,
+            horizon: None,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Drop each non-self-loop link i.i.d. with probability `p` per
+    /// round.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1` (`p = 1` would disconnect the network
+    /// permanently, which no recovery notion survives).
+    pub fn drop_links(mut self, p: f64) -> FaultPlan {
+        assert!((0.0..1.0).contains(&p), "drop rate must be in [0, 1)");
+        self.drop_p = p;
+        self
+    }
+
+    /// Deliver each surviving non-self-loop link twice with probability
+    /// `p` per round (message duplication).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    pub fn duplicate(mut self, p: f64) -> FaultPlan {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "duplication rate must be in [0, 1]"
+        );
+        self.dup_p = p;
+        self
+    }
+
+    /// Graph level only: a link dropped at round `t` is redelivered at a
+    /// deterministic round in `t+1 ..= t+bound`, so a `T`-interval
+    /// connected network stays `(T + bound)`-interval connected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn retry_within(mut self, bound: u64) -> FaultPlan {
+        assert!(bound >= 1, "retry bound must be at least one round");
+        self.retry_within = Some(bound);
+        self
+    }
+
+    /// Probabilistic link faults (drops and duplications) cease after
+    /// round `last`: the network is fault-free from round `last + 1` on,
+    /// so recovery after the final fault is a well-defined quantity.
+    /// Crash windows are explicit intervals and are unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `last == 0` (use a quiescent plan instead).
+    pub fn until(mut self, last: u64) -> FaultPlan {
+        assert!(last >= 1, "fault horizon must be at least one round");
+        self.horizon = Some(last);
+        self
+    }
+
+    /// Crash `agent` for the rounds in `window` (crash-recover).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or starts at round 0.
+    pub fn crash(mut self, agent: usize, window: Range<u64>) -> FaultPlan {
+        assert!(window.start >= 1, "rounds are numbered from 1");
+        assert!(window.start < window.end, "empty crash window");
+        self.crashes.push(CrashWindow {
+            agent,
+            from: window.start,
+            until: Some(window.end),
+        });
+        self
+    }
+
+    /// Crash `agent` at round `from`, permanently (crash-stop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == 0`.
+    pub fn crash_stop(mut self, agent: usize, from: u64) -> FaultPlan {
+        assert!(from >= 1, "rounds are numbered from 1");
+        self.crashes.push(CrashWindow {
+            agent,
+            from,
+            until: None,
+        });
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-round link-drop probability.
+    pub fn drop_rate(&self) -> f64 {
+        self.drop_p
+    }
+
+    /// The per-round duplication probability.
+    pub fn duplicate_rate(&self) -> f64 {
+        self.dup_p
+    }
+
+    /// The graph-level retry bound, if any.
+    pub fn retry_bound(&self) -> Option<u64> {
+        self.retry_within
+    }
+
+    /// The round after which probabilistic link faults cease, if any.
+    pub fn horizon(&self) -> Option<u64> {
+        self.horizon
+    }
+
+    /// The scripted crash windows.
+    pub fn crashes(&self) -> &[CrashWindow] {
+        &self.crashes
+    }
+
+    /// Whether the plan injects no faults at all (the identity
+    /// adversary).
+    pub fn is_quiescent(&self) -> bool {
+        self.drop_p == 0.0 && self.dup_p == 0.0 && self.crashes.is_empty()
+    }
+
+    /// Whether `agent` is crashed at round `t`.
+    pub fn is_crashed(&self, agent: usize, t: u64) -> bool {
+        self.crashes.iter().any(|w| w.agent == agent && w.covers(t))
+    }
+
+    /// The last round at which a *scripted* crash state changes (an
+    /// agent goes down or comes back). Crash-stops change state once,
+    /// when they begin. Returns 0 for a crash-free plan. Note this is
+    /// about the script; probabilistic link faults never cease, so
+    /// recovery experiments measure from the last *observed* fault
+    /// instead (see [`FaultEvents::last_fault_round`]).
+    pub fn last_crash_transition(&self) -> u64 {
+        self.crashes
+            .iter()
+            .map(|w| w.until.unwrap_or(w.from))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The raw per-round drop coin for the link `src -> dst` at round
+    /// `t`. Self-loops never drop.
+    pub fn drops(&self, t: u64, src: usize, dst: usize) -> bool {
+        if src == dst || self.drop_p == 0.0 || self.past_horizon(t) {
+            return false;
+        }
+        self.coin(SALT_DROP, t, src, dst) < self.drop_p
+    }
+
+    /// The per-round duplication coin for the link `src -> dst` at round
+    /// `t`. Self-loops never duplicate.
+    pub fn duplicates(&self, t: u64, src: usize, dst: usize) -> bool {
+        if src == dst || self.dup_p == 0.0 || self.past_horizon(t) {
+            return false;
+        }
+        self.coin(SALT_DUP, t, src, dst) < self.dup_p
+    }
+
+    fn past_horizon(&self, t: u64) -> bool {
+        self.horizon.is_some_and(|h| t > h)
+    }
+
+    /// Graph-level availability of the link `src -> dst` at round `t`:
+    /// blocked when its drop coin fires, unless a drop from one of the
+    /// previous `retry_within` rounds scheduled its redelivery for `t`.
+    pub fn link_blocked(&self, t: u64, src: usize, dst: usize) -> bool {
+        if !self.drops(t, src, dst) {
+            return false;
+        }
+        let Some(bound) = self.retry_within else {
+            return true;
+        };
+        // Redelivery forced at t by an earlier drop?
+        let earliest = t.saturating_sub(bound).max(1);
+        for t_prev in earliest..t {
+            if self.drops(t_prev, src, dst) && t_prev + self.retry_delay(t_prev, src, dst) == t {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The deterministic redelivery delay in `1..=retry_within` for a
+    /// drop at round `t` (graph level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no retry bound is configured.
+    pub fn retry_delay(&self, t: u64, src: usize, dst: usize) -> u64 {
+        let bound = self.retry_within.expect("retry bound configured");
+        1 + self.raw(SALT_DELAY, t, src, dst) % bound
+    }
+
+    fn raw(&self, salt: u64, t: u64, src: usize, dst: usize) -> u64 {
+        let mut h = self.seed ^ salt;
+        for w in [t, src as u64, dst as u64] {
+            h = splitmix_finalize(h.wrapping_add(0x9e37_79b9_7f4a_7c15).wrapping_add(w));
+        }
+        h
+    }
+
+    /// A uniform coin in `[0, 1)`, pure in all arguments.
+    fn coin(&self, salt: u64, t: u64, src: usize, dst: usize) -> f64 {
+        (self.raw(salt, t, src, dst) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------
+// Graph-level faults: FaultyNetwork
+// ---------------------------------------------------------------------
+
+/// A [`DynamicGraph`] adversary applying a [`FaultPlan`] *before* the
+/// round is communicated — the fail-aware reading of link faults (see
+/// the module docs for the contrast with [`FaultyExecution`]).
+///
+/// Round `t`'s graph is the inner graph with: every link incident to a
+/// crashed agent removed, every link whose drop coin fires removed
+/// (unless an earlier drop scheduled its retry for `t`), and every link
+/// whose duplication coin fires doubled. Self-loops always survive, and
+/// [`Digraph::with_self_loops`] closure is applied last — the same
+/// invariant-preserving shape as [`crate::adversary::AsyncStarts`].
+#[derive(Clone, Debug)]
+pub struct FaultyNetwork<G> {
+    inner: G,
+    plan: FaultPlan,
+}
+
+impl<G: DynamicGraph> FaultyNetwork<G> {
+    /// Wrap `inner` with a fault script.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan crashes an agent outside `0..inner.n()`.
+    pub fn new(inner: G, plan: FaultPlan) -> FaultyNetwork<G> {
+        for w in plan.crashes() {
+            assert!(
+                w.agent < inner.n(),
+                "crash window names agent {} but the network has {} agents",
+                w.agent,
+                inner.n()
+            );
+        }
+        FaultyNetwork { inner, plan }
+    }
+
+    /// The fault script.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The wrapped fault-free network.
+    pub fn inner(&self) -> &G {
+        &self.inner
+    }
+}
+
+impl<G: DynamicGraph> DynamicGraph for FaultyNetwork<G> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn graph(&self, t: u64) -> Digraph {
+        let g = self.inner.graph(t);
+        let mut out = Digraph::new(g.n());
+        for e in g.edges() {
+            if e.src == e.dst {
+                // Self-loops always survive, even on crashed agents.
+                out.add_edge_with_port(e.src, e.dst, e.port);
+                continue;
+            }
+            if self.plan.is_crashed(e.src, t) || self.plan.is_crashed(e.dst, t) {
+                continue;
+            }
+            if self.plan.link_blocked(t, e.src, e.dst) {
+                continue;
+            }
+            out.add_edge_with_port(e.src, e.dst, e.port);
+            if self.plan.duplicates(t, e.src, e.dst) {
+                out.add_edge_with_port(e.src, e.dst, e.port);
+            }
+        }
+        out.with_self_loops()
+    }
+
+    fn diameter_hint(&self) -> Option<usize> {
+        // Probabilistic drops and crash windows void any a-priori bound;
+        // only the identity plan (possibly with duplication, which never
+        // lengthens paths) can forward the inner hint.
+        if self.plan.drop_p == 0.0 && self.plan.crashes.is_empty() {
+            self.inner.diameter_hint()
+        } else {
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Message-level faults: FaultAware, Lossy, FaultyExecution
+// ---------------------------------------------------------------------
+
+/// An [`Algorithm`] that can handle link-layer bounces: when a message
+/// it sent is undeliverable (dropped in flight or addressed to a crashed
+/// agent), the runtime returns it within the same communication-closed
+/// round and calls [`FaultAware::reabsorb`] after the regular
+/// transition.
+///
+/// `reabsorb` is the algorithm's self-healing hook: a mass-conserving
+/// algorithm folds the lost shares back into its state (they are
+/// rescattered over surviving links next round), while a fault-oblivious
+/// algorithm ignores them — see [`Lossy`].
+pub trait FaultAware: Algorithm {
+    /// The state after folding back `lost`, the messages this agent sent
+    /// this round that were not delivered. Called after
+    /// [`Algorithm::transition`], only when `lost` is non-empty.
+    fn reabsorb(&self, state: &Self::State, lost: &[Self::Msg]) -> Self::State;
+}
+
+/// Adapter running any algorithm under message loss *without* healing:
+/// bounced messages are discarded. This is the negative control of the
+/// F6 experiments — e.g. plain Push-Sum wrapped in `Lossy` leaks mass on
+/// every dropped share and converges to the wrong value.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Lossy<A>(pub A);
+
+impl<A: Algorithm> Algorithm for Lossy<A> {
+    type State = A::State;
+    type Msg = A::Msg;
+    type Output = A::Output;
+
+    fn send(&self, state: &Self::State, outdegree: usize) -> Vec<Self::Msg> {
+        self.0.send(state, outdegree)
+    }
+
+    fn transition(&self, state: &Self::State, inbox: &[Self::Msg]) -> Self::State {
+        self.0.transition(state, inbox)
+    }
+
+    fn output(&self, state: &Self::State) -> Self::Output {
+        self.0.output(state)
+    }
+}
+
+impl<A: Algorithm> FaultAware for Lossy<A> {
+    fn reabsorb(&self, state: &Self::State, _lost: &[Self::Msg]) -> Self::State {
+        state.clone()
+    }
+}
+
+/// Outdegree-aware algorithms with a self-healing bounce handler.
+///
+/// This is the isotropic-model face of [`FaultAware`]: implement it for
+/// an [`IsotropicAlgorithm`](crate::IsotropicAlgorithm) and the
+/// [`Isotropic`](crate::Isotropic) adapter becomes [`FaultAware`] for
+/// free. (Downstream crates cannot implement the foreign `FaultAware`
+/// for the foreign adapter directly — the orphan rule forbids it — so
+/// the adapter forwarding lives here, next to the adapter.)
+pub trait FaultAwareIsotropic: crate::IsotropicAlgorithm {
+    /// The state after folding back `lost` undelivered messages; see
+    /// [`FaultAware::reabsorb`].
+    fn reabsorb(&self, state: &Self::State, lost: &[Self::Msg]) -> Self::State;
+}
+
+impl<A: FaultAwareIsotropic> FaultAware for crate::Isotropic<A> {
+    fn reabsorb(&self, state: &Self::State, lost: &[Self::Msg]) -> Self::State {
+        self.0.reabsorb(state, lost)
+    }
+}
+
+/// Counters of faults actually injected by a [`FaultyExecution`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvents {
+    /// Messages dropped in flight.
+    pub dropped: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Messages bounced because their recipient was crashed.
+    pub bounced_to_crashed: u64,
+    /// Rounds during which at least one agent was crashed.
+    pub crashed_rounds: u64,
+    /// The last round at which any fault occurred (0 = none yet).
+    pub last_fault_round: u64,
+}
+
+/// A conserved-quantity deficit measure over the full state vector,
+/// used by [`FaultyExecution::run_with_recovery`] — 0 means perfectly
+/// conserved (for Push-Sum, the lost weight mass).
+pub type Invariant<'a, S> = &'a dyn Fn(&[S]) -> f64;
+
+/// An executor injecting a [`FaultPlan`] at the **message level**: the
+/// fail-oblivious reading of link faults, where senders compute their
+/// messages against the scripted graph and lose some of them in flight.
+///
+/// Semantics per round `t` (communication closed, as in
+/// [`Execution`](crate::Execution)):
+///
+/// 1. A **crashed** agent (per the plan's windows) sends nothing and
+///    keeps its state frozen — it resumes from that state if its window
+///    ends (crash-recover) or never (crash-stop).
+/// 2. Every live agent sends as usual. Each non-self-loop message is
+///    then dropped i.i.d. with the plan's drop rate, delivered twice
+///    with its duplication rate, and bounced if its recipient is
+///    crashed. Self-loop messages always deliver.
+/// 3. Live agents transition on what actually arrived, then
+///    [`FaultAware::reabsorb`] their bounced messages.
+///
+/// The drop coins are the *same* pure function used by
+/// [`FaultyNetwork`], so one plan describes one fault pattern at either
+/// layer.
+#[derive(Clone, Debug)]
+pub struct FaultyExecution<A: FaultAware> {
+    algo: A,
+    states: Vec<A::State>,
+    round: u64,
+    plan: FaultPlan,
+    events: FaultEvents,
+}
+
+/// Measured recovery of a faulted execution, produced by
+/// [`FaultyExecution::run_with_recovery`]. Serializes to JSON for the F6
+/// benchmark sweep.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Rounds executed while measuring.
+    pub rounds_run: u64,
+    /// Last round at which a fault was actually injected (0 = the run
+    /// was fault-free).
+    pub last_fault_round: u64,
+    /// First round after `last_fault_round` at which every output was
+    /// within `eps` of the target *and stayed there* for the rest of the
+    /// run; `None` if the outputs never (re-)entered the ε-ball.
+    pub recovered_at: Option<u64>,
+    /// `recovered_at - last_fault_round`: rounds needed to re-converge
+    /// after the final fault.
+    pub recovery_rounds: Option<u64>,
+    /// Worst-case distance from target over the fault window
+    /// (`rounds <= last_fault_round`); 0 for a fault-free run.
+    pub max_divergence_during_faults: f64,
+    /// Distance from target at the final round.
+    pub final_distance: f64,
+    /// Deficit of the caller-supplied conserved quantity at the final
+    /// round (e.g. Push-Sum mass), if an invariant was supplied.
+    pub mass_deficit: Option<f64>,
+    /// Per-round worst-case distance from the target (round `start+1`
+    /// first).
+    pub distances: Vec<f64>,
+    /// Fault counters for the measured window.
+    pub events: FaultEvents,
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "faults until round {} (max divergence {:.3e}); ",
+            self.last_fault_round, self.max_divergence_during_faults
+        )?;
+        match self.recovered_at {
+            Some(r) => write!(
+                f,
+                "recovered at round {r} ({} rounds after last fault)",
+                self.recovery_rounds.unwrap_or(0)
+            )?,
+            None => write!(f, "not recovered after {} rounds", self.rounds_run)?,
+        }
+        write!(f, "; final distance {:.3e}", self.final_distance)?;
+        if let Some(d) = self.mass_deficit {
+            write!(f, "; mass deficit {d:.3e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<A: FaultAware> FaultyExecution<A> {
+    /// Start a faulted execution from the given initial states.
+    pub fn new(algo: A, initial_states: Vec<A::State>, plan: FaultPlan) -> FaultyExecution<A> {
+        for w in plan.crashes() {
+            assert!(
+                w.agent < initial_states.len(),
+                "crash window names agent {} but there are {} agents",
+                w.agent,
+                initial_states.len()
+            );
+        }
+        FaultyExecution {
+            algo,
+            states: initial_states,
+            round: 0,
+            plan,
+            events: FaultEvents::default(),
+        }
+    }
+
+    /// Number of agents.
+    pub fn n(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Current states, indexed by agent.
+    pub fn states(&self) -> &[A::State] {
+        &self.states
+    }
+
+    /// Current outputs, indexed by agent.
+    pub fn outputs(&self) -> Vec<A::Output> {
+        self.states.iter().map(|s| self.algo.output(s)).collect()
+    }
+
+    /// The algorithm being executed.
+    pub fn algorithm(&self) -> &A {
+        &self.algo
+    }
+
+    /// The fault script.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counters of faults injected so far.
+    pub fn events(&self) -> &FaultEvents {
+        &self.events
+    }
+
+    /// Execute one round on `graph`, injecting the plan's message-level
+    /// faults.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Execution::step`](crate::Execution::step):
+    /// matching vertex count, self-loops everywhere, correct message
+    /// counts from the algorithm.
+    pub fn step(&mut self, graph: &Digraph) {
+        assert_eq!(graph.n(), self.states.len(), "graph size != agent count");
+        self.round += 1;
+        let t = self.round;
+        let n = graph.n();
+        let frozen: Vec<bool> = (0..n).map(|v| self.plan.is_crashed(v, t)).collect();
+        if frozen.iter().any(|&f| f) {
+            self.events.crashed_rounds += 1;
+            self.events.last_fault_round = t;
+        }
+
+        let mut inboxes: Vec<Vec<A::Msg>> = (0..n)
+            .map(|v| Vec::with_capacity(graph.indegree(v)))
+            .collect();
+        let mut bounced: Vec<Vec<A::Msg>> = vec![Vec::new(); n];
+        for v in 0..n {
+            assert!(
+                graph.has_self_loop(v),
+                "round {t}: vertex {v} lacks a self-loop"
+            );
+            if frozen[v] {
+                continue; // crashed: sends nothing, state frozen below
+            }
+            let outdeg = graph.outdegree(v);
+            let msgs = self.algo.send(&self.states[v], outdeg);
+            assert_eq!(
+                msgs.len(),
+                outdeg,
+                "algorithm produced {} messages for outdegree {outdeg}",
+                msgs.len()
+            );
+            // Same port discipline as the fault-free executor.
+            let mut ports: Vec<(Option<u32>, usize)> = graph
+                .out_edges(v)
+                .map(|e| (graph.edges()[e].port, e))
+                .collect();
+            ports.sort_unstable();
+            for (msg, (_, e)) in msgs.into_iter().zip(ports) {
+                let dst = graph.edges()[e].dst;
+                if dst == v {
+                    inboxes[dst].push(msg);
+                } else if frozen[dst] {
+                    self.events.bounced_to_crashed += 1;
+                    self.events.last_fault_round = t;
+                    bounced[v].push(msg);
+                } else if self.plan.drops(t, v, dst) {
+                    self.events.dropped += 1;
+                    self.events.last_fault_round = t;
+                    bounced[v].push(msg);
+                } else if self.plan.duplicates(t, v, dst) {
+                    self.events.duplicated += 1;
+                    self.events.last_fault_round = t;
+                    inboxes[dst].push(msg.clone());
+                    inboxes[dst].push(msg);
+                } else {
+                    inboxes[dst].push(msg);
+                }
+            }
+        }
+        for (v, (inbox, lost)) in inboxes.into_iter().zip(bounced).enumerate() {
+            if frozen[v] {
+                continue;
+            }
+            let mut next = self.algo.transition(&self.states[v], &inbox);
+            if !lost.is_empty() {
+                next = self.algo.reabsorb(&next, &lost);
+            }
+            self.states[v] = next;
+        }
+    }
+
+    /// Execute `rounds` rounds on a dynamic graph.
+    pub fn run(&mut self, net: &dyn DynamicGraph, rounds: u64) {
+        for _ in 0..rounds {
+            let g = net.graph(self.round + 1);
+            self.step(&g);
+        }
+    }
+
+    /// Execute `rounds` rounds while measuring distance to `target`
+    /// under `metric` each round, and report recovery: the rounds needed
+    /// after the last injected fault for every output to re-enter (and
+    /// stay in) the ε-ball around the target.
+    ///
+    /// `invariant` optionally measures the deficit of a conserved
+    /// quantity at the end of the run (0 means perfectly conserved) —
+    /// for Push-Sum, the lost mass.
+    pub fn run_with_recovery<M: Metric<A::Output>>(
+        &mut self,
+        net: &dyn DynamicGraph,
+        rounds: u64,
+        metric: &M,
+        target: &A::Output,
+        eps: f64,
+        invariant: Option<Invariant<'_, A::State>>,
+    ) -> RecoveryReport {
+        let start = self.round;
+        let events_before = self.events;
+        let mut distances = Vec::with_capacity(rounds as usize);
+        for _ in 0..rounds {
+            let g = net.graph(self.round + 1);
+            self.step(&g);
+            distances.push(crate::metric::max_distance(metric, &self.outputs(), target));
+        }
+        let last_fault_round = if self.events.last_fault_round > start {
+            self.events.last_fault_round
+        } else {
+            0
+        };
+        // Worst divergence over rounds start+1 ..= last_fault_round.
+        let fault_window = if last_fault_round > start {
+            (last_fault_round - start) as usize
+        } else {
+            0
+        };
+        let max_divergence_during_faults = distances[..fault_window.min(distances.len())]
+            .iter()
+            .fold(0.0, |a: f64, &b| a.max(b));
+        // First round strictly after the last fault whose distance is
+        // <= eps and stays <= eps until the end.
+        let tail_from = fault_window; // index of round last_fault_round + 1
+        let mut recovered_idx = None;
+        for (i, &d) in distances.iter().enumerate().skip(tail_from) {
+            if d <= eps {
+                recovered_idx.get_or_insert(i);
+            } else {
+                recovered_idx = None;
+            }
+        }
+        let recovered_at = recovered_idx.map(|i| start + i as u64 + 1);
+        let recovery_rounds = recovered_at.map(|r| r - last_fault_round.max(start));
+        let mut events = self.events;
+        events.dropped -= events_before.dropped;
+        events.duplicated -= events_before.duplicated;
+        events.bounced_to_crashed -= events_before.bounced_to_crashed;
+        events.crashed_rounds -= events_before.crashed_rounds;
+        RecoveryReport {
+            rounds_run: rounds,
+            last_fault_round,
+            recovered_at,
+            recovery_rounds,
+            max_divergence_during_faults,
+            final_distance: distances.last().copied().unwrap_or(0.0),
+            mass_deficit: invariant.map(|f| f(&self.states)),
+            distances,
+            events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{Broadcast, BroadcastAlgorithm};
+    use crate::metric::DiscreteMetric;
+    use kya_graph::{generators, StaticGraph};
+
+    /// Max-flood gossip, used as a fault-oblivious probe.
+    #[derive(Clone)]
+    struct MaxFlood;
+    impl BroadcastAlgorithm for MaxFlood {
+        type State = u32;
+        type Msg = u32;
+        type Output = u32;
+        fn message(&self, state: &u32) -> u32 {
+            *state
+        }
+        fn transition(&self, state: &u32, inbox: &[u32]) -> u32 {
+            inbox.iter().copied().max().unwrap_or(0).max(*state)
+        }
+        fn output(&self, state: &u32) -> u32 {
+            *state
+        }
+    }
+
+    #[test]
+    fn plan_roundtrips_through_json() {
+        let plan = FaultPlan::new(7)
+            .drop_links(0.25)
+            .duplicate(0.5)
+            .retry_within(3)
+            .until(50)
+            .crash(1, 5..9)
+            .crash_stop(2, 20);
+        let json = serde::to_json_string(&plan);
+        let back: FaultPlan = serde::from_json_str(&json).expect("parses");
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn coins_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::new(1).drop_links(0.5);
+        let b = FaultPlan::new(1).drop_links(0.5);
+        let c = FaultPlan::new(2).drop_links(0.5);
+        let pattern = |p: &FaultPlan| -> Vec<bool> {
+            (1..200u64)
+                .flat_map(|t| (0..4).map(move |s| (t, s)))
+                .map(|(t, s)| p.drops(t, s, (s + 1) % 4))
+                .collect()
+        };
+        assert_eq!(pattern(&a), pattern(&b), "same seed, same pattern");
+        assert_ne!(pattern(&a), pattern(&c), "different seed differs");
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honored() {
+        let plan = FaultPlan::new(99).drop_links(0.3);
+        let total = 10_000;
+        let dropped = (1..=total).filter(|&t| plan.drops(t, 0, 1)).count() as f64;
+        let rate = dropped / total as f64;
+        assert!((rate - 0.3).abs() < 0.02, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn horizon_silences_link_faults() {
+        let plan = FaultPlan::new(8).drop_links(0.9).duplicate(0.9).until(25);
+        assert!(
+            (1..=25u64).any(|t| plan.drops(t, 0, 1)),
+            "0.9 drop rate fires before the horizon"
+        );
+        for t in 26..200u64 {
+            assert!(!plan.drops(t, 0, 1));
+            assert!(!plan.duplicates(t, 0, 1));
+        }
+    }
+
+    #[test]
+    fn self_loops_never_drop() {
+        let plan = FaultPlan::new(3).drop_links(0.99).duplicate(0.99);
+        for t in 1..100 {
+            assert!(!plan.drops(t, 2, 2));
+            assert!(!plan.duplicates(t, 2, 2));
+        }
+    }
+
+    #[test]
+    fn quiescent_plan_is_identity_adversary() {
+        let inner = StaticGraph::new(generators::random_strongly_connected(6, 4, 5));
+        let faulty = FaultyNetwork::new(
+            StaticGraph::new(generators::random_strongly_connected(6, 4, 5)),
+            FaultPlan::new(0),
+        );
+        for t in 1..20 {
+            let a = inner.graph(t).with_self_loops();
+            let b = faulty.graph(t);
+            assert_eq!(
+                a.multiplicity_matrix(),
+                b.multiplicity_matrix(),
+                "round {t}"
+            );
+        }
+        assert_eq!(faulty.diameter_hint(), inner.diameter_hint());
+    }
+
+    #[test]
+    fn crashed_agent_keeps_only_self_loop() {
+        let net = FaultyNetwork::new(
+            StaticGraph::new(generators::complete(4)),
+            FaultPlan::new(0).crash(2, 3..6),
+        );
+        let g = net.graph(4);
+        assert!(g.has_self_loop(2));
+        assert_eq!(g.outdegree(2), 1, "only the self-loop");
+        assert_eq!(g.indegree(2), 1, "only the self-loop");
+        // Outside the window the agent is fully restored.
+        let g7 = net.graph(7);
+        assert_eq!(g7.outdegree(2), 4);
+    }
+
+    #[test]
+    fn retry_redelivers_within_bound() {
+        let bound = 4;
+        let plan = FaultPlan::new(11).drop_links(0.4).retry_within(bound);
+        let net = FaultyNetwork::new(StaticGraph::new(generators::directed_ring(5)), plan.clone());
+        for t in 1..200u64 {
+            if plan.drops(t, 0, 1) {
+                let redelivery = t + plan.retry_delay(t, 0, 1);
+                assert!(redelivery <= t + bound);
+                let g = net.graph(redelivery);
+                assert!(
+                    g.multiplicity(0, 1) >= 1,
+                    "drop at {t} not redelivered at {redelivery}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplication_doubles_the_edge() {
+        let plan = FaultPlan::new(21).duplicate(0.9);
+        let net = FaultyNetwork::new(StaticGraph::new(generators::directed_ring(3)), plan.clone());
+        let mut saw_double = false;
+        for t in 1..50 {
+            let g = net.graph(t);
+            for (src, dst) in [(0usize, 1usize), (1, 2), (2, 0)] {
+                let expect = if plan.duplicates(t, src, dst) { 2 } else { 1 };
+                assert_eq!(g.multiplicity(src, dst), expect);
+                saw_double |= expect == 2;
+            }
+        }
+        assert!(saw_double, "0.9 duplication never fired in 50 rounds");
+    }
+
+    #[test]
+    fn faulty_execution_freezes_crashed_agents() {
+        // Agent 1 crashes before the flood reaches it and recovers
+        // later: while frozen its state must not change.
+        let g = generators::directed_ring(4).with_self_loops();
+        let plan = FaultPlan::new(0).crash(1, 1..6);
+        let mut exec = FaultyExecution::new(Lossy(Broadcast(MaxFlood)), vec![9, 0, 0, 0], plan);
+        for _ in 0..5 {
+            exec.step(&g);
+            assert_eq!(exec.states()[1], 0, "frozen during the window");
+        }
+        // After recovery the flood proceeds.
+        for _ in 0..8 {
+            exec.step(&g);
+        }
+        assert!(exec.outputs().iter().all(|&x| x == 9));
+        assert!(exec.events().crashed_rounds >= 5);
+        assert!(exec.events().bounced_to_crashed > 0);
+    }
+
+    #[test]
+    fn lossy_wrapper_discards_bounces() {
+        // Sum-accumulator whose reabsorb would matter: under Lossy the
+        // lost message is simply gone.
+        let g = generators::directed_ring(2).with_self_loops();
+        let plan = FaultPlan::new(0).crash_stop(1, 1);
+        let mut exec = FaultyExecution::new(Lossy(Broadcast(MaxFlood)), vec![5, 1], plan);
+        exec.step(&g);
+        assert_eq!(exec.states(), &[5, 1], "bounce discarded, states stable");
+    }
+
+    #[test]
+    fn recovery_report_on_crash_recover() {
+        // Flood a 4-ring; agent 1 is down for rounds 1..4, so the flood
+        // completes only after it recovers.
+        let net = StaticGraph::new(generators::directed_ring(4));
+        let plan = FaultPlan::new(0).crash(1, 1..4);
+        let mut exec = FaultyExecution::new(Lossy(Broadcast(MaxFlood)), vec![9, 0, 0, 0], plan);
+        let report = exec.run_with_recovery(&net, 20, &DiscreteMetric, &9u32, 0.0, None);
+        assert_eq!(report.last_fault_round, 3);
+        assert_eq!(report.max_divergence_during_faults, 1.0);
+        let recovered = report.recovered_at.expect("flood completes");
+        assert!(recovered > 3 && recovered <= 10, "recovered at {recovered}");
+        assert_eq!(
+            report.recovery_rounds,
+            Some(recovered - 3),
+            "measured from the last fault"
+        );
+        assert_eq!(*report.distances.last().unwrap(), 0.0);
+        assert_eq!(report.final_distance, 0.0);
+        assert_eq!(report.rounds_run, 20);
+    }
+
+    #[test]
+    fn recovery_report_serializes() {
+        let net = StaticGraph::new(generators::complete(3));
+        let plan = FaultPlan::new(5).drop_links(0.2);
+        let mut exec = FaultyExecution::new(Lossy(Broadcast(MaxFlood)), vec![1, 2, 3], plan);
+        let report = exec.run_with_recovery(&net, 10, &DiscreteMetric, &3u32, 0.0, None);
+        let json = serde::to_json_string(&report);
+        let back: RecoveryReport = serde::from_json_str(&json).expect("parses");
+        assert_eq!(back, report);
+    }
+}

@@ -52,6 +52,7 @@
 pub mod adversary;
 mod algorithm;
 mod execution;
+pub mod faults;
 pub mod metric;
 pub mod testing;
 

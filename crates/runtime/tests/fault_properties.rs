@@ -1,0 +1,138 @@
+//! Property tests for the two graph-masking adversaries: asynchronous
+//! starts (§5.3) and scripted faults (F6). Both are `DynamicGraph`
+//! wrappers, and both must preserve the model's structural invariants
+//! for *every* seed, topology, and round — exactly the kind of claim
+//! property testing is for.
+
+use kya_graph::{generators, DynamicGraph, StaticGraph};
+use kya_runtime::adversary::AsyncStarts;
+use kya_runtime::faults::{FaultPlan, FaultyNetwork};
+use proptest::prelude::*;
+
+fn random_net(n: usize, extra: usize, seed: u64) -> StaticGraph {
+    StaticGraph::new(generators::random_strongly_connected(n, extra, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The async-starts mask keeps the self-loop at every vertex in
+    /// every round — sleeping agents still hold their own state.
+    #[test]
+    fn async_starts_mask_keeps_self_loops(
+        n in 2usize..8,
+        extra in 0usize..6,
+        seed in 0u64..500,
+        max_delay in 1u64..6,
+        t in 1u64..20,
+    ) {
+        let net = AsyncStarts::random(random_net(n, extra, seed), max_delay, seed ^ 0x5eed);
+        let g = net.graph(t);
+        for v in 0..n {
+            prop_assert!(g.has_self_loop(v), "round {t}: vertex {v} lost its self-loop");
+        }
+    }
+
+    /// §5.3 masking semantics: no non-self-loop edge `i -> j` is ever
+    /// delivered before both endpoints have started, i.e. before round
+    /// `max(s_i, s_j)`.
+    #[test]
+    fn async_starts_never_deliver_early(
+        n in 2usize..8,
+        extra in 0usize..6,
+        seed in 0u64..500,
+        max_delay in 1u64..8,
+    ) {
+        let inner = generators::random_strongly_connected(n, extra, seed);
+        let net = AsyncStarts::random(
+            StaticGraph::new(inner.clone()),
+            max_delay,
+            seed.wrapping_add(1),
+        );
+        let starts = net.starts().to_vec();
+        let last_start = starts.iter().copied().max().unwrap_or(1);
+        for t in 1..=last_start + 2 {
+            let g = net.graph(t);
+            for e in inner.edges() {
+                if e.src != e.dst && t < starts[e.src].max(starts[e.dst]) {
+                    prop_assert_eq!(
+                        g.multiplicity(e.src, e.dst),
+                        0,
+                        "edge {} -> {} delivered at round {} before max start {}",
+                        e.src,
+                        e.dst,
+                        t,
+                        starts[e.src].max(starts[e.dst])
+                    );
+                }
+            }
+        }
+    }
+
+    /// A fault plan with all-zero rates and no crashes is the identity
+    /// adversary: round for round the same multigraph.
+    #[test]
+    fn zero_rate_fault_plan_is_identity(
+        n in 2usize..8,
+        extra in 0usize..6,
+        seed in 0u64..500,
+        plan_seed in any::<u64>(),
+        t in 1u64..30,
+    ) {
+        let faulty = FaultyNetwork::new(random_net(n, extra, seed), FaultPlan::new(plan_seed));
+        prop_assert!(faulty.plan().is_quiescent());
+        let expected = random_net(n, extra, seed).graph(t).with_self_loops();
+        prop_assert_eq!(
+            faulty.graph(t).multiplicity_matrix(),
+            expected.multiplicity_matrix()
+        );
+    }
+
+    /// Under any drop rate and any crash script: every vertex keeps its
+    /// self-loop, and a crashed agent is isolated down to exactly that
+    /// self-loop for the whole window.
+    #[test]
+    fn faulty_network_keeps_self_loops_and_isolates_crashes(
+        n in 2usize..8,
+        extra in 0usize..6,
+        seed in 0u64..500,
+        drop_pct in 0u32..95,
+        agent_pick in any::<u64>(),
+        t in 1u64..30,
+    ) {
+        let agent = (agent_pick % n as u64) as usize;
+        let plan = FaultPlan::new(seed ^ 0xfa_17)
+            .drop_links(f64::from(drop_pct) / 100.0)
+            .crash(agent, 5..12);
+        let net = FaultyNetwork::new(random_net(n, extra, seed), plan);
+        let g = net.graph(t);
+        for v in 0..n {
+            prop_assert!(g.has_self_loop(v), "round {t}: vertex {v} lost its self-loop");
+        }
+        if (5..12).contains(&t) {
+            prop_assert_eq!(g.outdegree(agent), 1, "crashed agent sends beyond its loop");
+            prop_assert_eq!(g.indegree(agent), 1, "crashed agent receives beyond its loop");
+        }
+    }
+
+    /// Graph-level retry: with a retry bound configured, every dropped
+    /// edge reappears within the bound, so long-run connectivity is
+    /// preserved (the `T`-interval claim).
+    #[test]
+    fn retry_bound_is_honored(
+        seed in 0u64..500,
+        bound in 1u64..6,
+        t in 1u64..60,
+    ) {
+        let plan = FaultPlan::new(seed).drop_links(0.5).retry_within(bound);
+        let net = FaultyNetwork::new(
+            StaticGraph::new(generators::directed_ring(4)),
+            plan.clone(),
+        );
+        if plan.drops(t, 0, 1) {
+            let redelivery = t + plan.retry_delay(t, 0, 1);
+            prop_assert!(redelivery <= t + bound);
+            prop_assert!(net.graph(redelivery).multiplicity(0, 1) >= 1);
+        }
+    }
+}

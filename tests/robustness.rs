@@ -5,11 +5,13 @@
 use know_your_audience::algos::gossip::SetGossip;
 use know_your_audience::algos::metropolis::FixedWeight;
 use know_your_audience::algos::min_base::{DepthCapped, MinBaseBroadcast, ViewState};
-use know_your_audience::algos::push_sum::{PushSum, PushSumState};
+use know_your_audience::algos::push_sum::{total_mass, PushSum, PushSumState, SelfHealingPushSum};
 use know_your_audience::algos::views::View;
 use know_your_audience::graph::{
     generators, DynamicGraph, PairwiseMatching, RandomDynamicGraph, SparselyConnected, StaticGraph,
 };
+use know_your_audience::runtime::faults::{FaultPlan, FaultyExecution, FaultyNetwork, Lossy};
+use know_your_audience::runtime::metric::EuclideanMetric;
 use know_your_audience::runtime::testing::{check_self_stabilization, SelfStabOutcome};
 use know_your_audience::runtime::{Broadcast, Execution, Isotropic};
 
@@ -123,6 +125,85 @@ fn weak_connectivity_still_converges_for_symmetric_consensus() {
         errors.last()
     );
     assert!(errors.first().unwrap() > errors.last().unwrap());
+}
+
+#[test]
+fn gossip_floods_despite_heavy_link_drops() {
+    // Set gossip is fault-oblivious by design: it only needs every
+    // ordered pair to be connected by a path *eventually*. Under a
+    // FaultyNetwork dropping 30% of links per round, each scripted edge
+    // still appears infinitely often, so the flood completes — merely
+    // later than the fault-free D + 1 bound.
+    let n = 8;
+    let values: Vec<u64> = (0..n as u64).map(|i| i % 3).collect();
+    let plan = FaultPlan::new(1234).drop_links(0.3);
+    let net = FaultyNetwork::new(StaticGraph::new(generators::directed_ring(n)), plan);
+    let mut exec = Execution::new(Broadcast(SetGossip), SetGossip::initial(&values));
+    exec.run(&net, 120);
+    for out in exec.outputs() {
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+}
+
+#[test]
+fn self_healing_push_sum_recovers_from_crash_recover() {
+    // End-to-end F6 scenario: an agent crashes mid-run and comes back;
+    // messages to it bounce and are reabsorbed by their senders. Mass
+    // never leaks, and after the crash window the outputs re-enter the
+    // eps-ball around the true average — measured by the recovery
+    // report.
+    let values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+    let n = values.len();
+    let target = values.iter().sum::<f64>() / n as f64;
+    let net = StaticGraph::new(generators::complete(n));
+    let plan = FaultPlan::new(6).drop_links(0.3).until(40).crash(2, 10..30);
+    let mut exec = FaultyExecution::new(
+        Isotropic(SelfHealingPushSum),
+        PushSumState::averaging(&values),
+        plan,
+    );
+    let z_deficit = move |states: &[PushSumState]| n as f64 - total_mass(states).1;
+    let report =
+        exec.run_with_recovery(&net, 200, &EuclideanMetric, &target, 1e-9, Some(&z_deficit));
+    assert!(report.events.dropped > 0 && report.events.bounced_to_crashed > 0);
+    assert!(
+        report.mass_deficit.unwrap().abs() < 1e-9,
+        "self-healing conserves mass: deficit {:?}",
+        report.mass_deficit
+    );
+    let recovered = report.recovered_at.expect("re-enters the eps-ball");
+    assert!(recovered > report.last_fault_round);
+    assert!(report.final_distance < 1e-9);
+}
+
+#[test]
+fn plain_push_sum_does_not_recover_from_message_loss() {
+    // Negative control for the scenario above: identical fault script,
+    // but bounced shares are discarded. The weight mass decays during
+    // the fault window and the deficit persists forever — the outputs
+    // settle on the quot-sum of the *surviving* mass, not the average.
+    let values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+    let n = values.len();
+    let target = values.iter().sum::<f64>() / n as f64;
+    let net = StaticGraph::new(generators::complete(n));
+    let plan = FaultPlan::new(6).drop_links(0.3).until(40).crash(2, 10..30);
+    let mut exec = FaultyExecution::new(
+        Lossy(Isotropic(PushSum)),
+        PushSumState::averaging(&values),
+        plan,
+    );
+    let z_deficit = move |states: &[PushSumState]| n as f64 - total_mass(states).1;
+    let report =
+        exec.run_with_recovery(&net, 200, &EuclideanMetric, &target, 1e-9, Some(&z_deficit));
+    assert!(
+        report.mass_deficit.unwrap() > 1.0,
+        "plain push-sum must leak visibly, deficit {:?}",
+        report.mass_deficit
+    );
+    assert_eq!(
+        report.recovered_at, None,
+        "the lost mass shifts the limit permanently"
+    );
 }
 
 #[test]

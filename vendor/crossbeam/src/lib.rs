@@ -1,0 +1,87 @@
+//! Offline drop-in subset of the `crossbeam` scoped-thread API.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the one `crossbeam` entry point it uses — [`scope`] — on top
+//! of `std::thread::scope` (stable since Rust 1.63). The API mirrors
+//! `crossbeam::scope`: the closure receives a [`Scope`], `spawn` hands
+//! each worker closure a placeholder argument (upstream passes the scope
+//! itself for nested spawns; the workspace's workers ignore it), and the
+//! result is wrapped in `thread::Result` like upstream.
+
+#![forbid(unsafe_code)]
+
+use std::thread;
+
+/// Scope handle passed to the [`scope`] closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// Join handle for a scoped worker.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the worker and return its result (`Err` if it panicked).
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped worker. The closure receives a placeholder unit
+    /// argument (upstream passes a nested scope; write workers as
+    /// `|_| ...`).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(())),
+        }
+    }
+}
+
+/// Run `f` with a scope in which borrowed-data threads can be spawned;
+/// all spawned threads are joined before `scope` returns.
+///
+/// Matches `crossbeam::scope`'s `Result` wrapper: this implementation
+/// always returns `Ok` (panics of unjoined workers propagate as panics,
+/// per `std::thread::scope` semantics).
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scope;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4, 5, 6];
+        let total: u64 = scope(|s| {
+            let mid = data.len() / 2;
+            let (lo, hi) = data.split_at(mid);
+            let a = s.spawn(|_| lo.iter().sum::<u64>());
+            let b = s.spawn(|_| hi.iter().sum::<u64>());
+            a.join().unwrap() + b.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 21);
+    }
+
+    #[test]
+    fn worker_panic_is_reported_at_join() {
+        let r = scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join()
+        })
+        .unwrap();
+        assert!(r.is_err());
+    }
+}
