@@ -1,75 +1,3 @@
-//! **F1** — Push-Sum convergence rate vs the Theorem 5.2 bound.
-//!
-//! The theorem: on a network of dynamic diameter `D`, all outputs are
-//! within `ε` of the quot-sum after `O(n² D log(1/ε))` rounds. We sweep
-//! `n` (rings: `D = n - 1`), `D` at fixed `n` (layered cycles), and `ε`,
-//! reporting measured rounds next to the bound's shape. Absolute
-//! constants are not expected to match (the bound is worst-case); the
-//! *scaling* is: rounds grow no faster than linearly in `log(1/ε)` and
-//! polynomially in `n`, `D`.
-//!
-//! Run with `cargo run --release -p kya-bench --bin f1_pushsum_rate`.
-
-use kya_bench::pushsum_rounds_to;
-use kya_graph::{generators, DynamicGraph, RandomDynamicGraph, StaticGraph};
-
-fn values_for(n: usize) -> Vec<f64> {
-    (0..n).map(|i| ((i * 37) % 101) as f64).collect()
-}
-
-fn main() {
-    println!("F1. Push-Sum rounds to epsilon-consensus (Theorem 5.2)\n");
-
-    println!("(a) sweep n on directed rings (D = n - 1), eps = 1e-6");
-    println!(
-        "{:>4} {:>6} {:>10} {:>16}",
-        "n", "D", "rounds", "rounds/(n^2 D)"
-    );
-    for n in [4usize, 8, 12, 16, 24, 32] {
-        let net = StaticGraph::new(generators::directed_ring(n));
-        let d = (n - 1) as f64;
-        let rounds = pushsum_rounds_to(&net, &values_for(n), 1e-6, 400_000).expect("converges");
-        println!(
-            "{n:>4} {:>6} {rounds:>10} {:>16.5}",
-            n - 1,
-            rounds as f64 / (n as f64 * n as f64 * d)
-        );
-    }
-
-    println!("\n(b) sweep D at fixed n = 24 (layered cycles), eps = 1e-6");
-    println!("{:>4} {:>6} {:>10} {:>16}", "n", "D", "rounds", "rounds/D");
-    for groups in [2usize, 3, 4, 6, 8, 12] {
-        let size = 24 / groups;
-        let g = generators::layered_cycle(groups, size);
-        let net = StaticGraph::new(g);
-        let rounds = pushsum_rounds_to(&net, &values_for(24), 1e-6, 400_000).expect("converges");
-        println!(
-            "{:>4} {groups:>6} {rounds:>10} {:>16.2}",
-            24,
-            rounds as f64 / groups as f64
-        );
-    }
-
-    println!("\n(c) sweep eps on a random dynamic digraph (n = 12)");
-    println!(
-        "{:>10} {:>10} {:>18}",
-        "eps", "rounds", "rounds/log10(1/eps)"
-    );
-    let net = RandomDynamicGraph::directed(12, 6, 555);
-    for exp in [2i32, 4, 6, 8, 10, 12] {
-        let eps = 10f64.powi(-exp);
-        let rounds = pushsum_rounds_to(&net, &values_for(12), eps, 400_000).expect("converges");
-        println!(
-            "{:>10.0e} {rounds:>10} {:>18.2}",
-            eps,
-            rounds as f64 / exp as f64
-        );
-    }
-    let _ = net.diameter_hint();
-
-    println!(
-        "\nReading: (a)-(b) rounds grow polynomially with n and D and \
-         (c) linearly with log(1/eps) — the shape of the O(n^2 D log 1/eps) \
-         bound, with measured constants far below the worst case."
-    );
+fn main() -> std::process::ExitCode {
+    kya_bench::experiments::run_main("f1")
 }

@@ -1,112 +1,3 @@
-//! **F2/F3** — distributed minimum-base stabilization time and the
-//! finite-state (depth-capped) trade-off.
-//!
-//! §3.2: each agent's candidate base is the true minimum base from round
-//! `n + D` on. F2 measures the actual stabilization round across graph
-//! families and compares it to `n + D`. F3 runs the depth-capped variant
-//! (the paper's finite-state concession costs at most `O(D log D)` extra
-//! rounds; our cap trades memory for a hard correctness threshold) and
-//! reports the smallest cap that still stabilizes to the truth.
-//!
-//! Run with `cargo run --release -p kya-bench --bin f2_minbase_rounds`.
-
-use kya_algos::min_base::{DepthCapped, MinBaseBroadcast, MinBaseOutdegree, ViewState};
-use kya_bench::minbase_stabilization_round;
-use kya_fibration::iso::are_isomorphic;
-use kya_fibration::MinimumBase;
-use kya_graph::{connectivity, generators, Digraph, StaticGraph};
-use kya_runtime::{Broadcast, Execution, Isotropic};
-
-fn families() -> Vec<(String, Digraph, Vec<u64>)> {
-    let mut out: Vec<(String, Digraph, Vec<u64>)> = Vec::new();
-    for n in [4usize, 6, 8, 10, 12] {
-        let values: Vec<u64> = (0..n).map(|i| (i % 2) as u64).collect();
-        out.push((format!("ring{n}"), generators::directed_ring(n), values));
-    }
-    for n in [6usize, 9, 12] {
-        let g = generators::random_strongly_connected(n, n, n as u64 * 31);
-        let values: Vec<u64> = (0..n).map(|i| (i % 3) as u64).collect();
-        out.push((format!("rand{n}"), g, values));
-    }
-    out
-}
-
-fn main() {
-    println!("F2. Minimum-base stabilization round vs the n + D bound\n");
-    println!(
-        "{:>8} {:>4} {:>4} {:>7} {:>12} {:>10}",
-        "graph", "n", "D", "n+D", "stabilized", "within"
-    );
-    for (name, g, values) in families() {
-        let n = g.n();
-        let d = connectivity::diameter(&g.with_self_loops()).expect("strongly connected");
-        let budget = (2 * (n + d) + 6) as u64;
-        let stab = minbase_stabilization_round(Broadcast(MinBaseBroadcast), &g, &values, budget)
-            .expect("stabilizes");
-        let ok = stab <= (n + d) as u64;
-        println!(
-            "{name:>8} {n:>4} {d:>4} {:>7} {stab:>12} {:>10}",
-            n + d,
-            if ok { "<= n+D" } else { "> n+D (!)" }
-        );
-    }
-
-    println!("\nF3. Depth-capped (finite-state) variant: smallest working cap");
-    println!(
-        "{:>8} {:>4} {:>4} {:>7} {:>14}",
-        "graph", "n", "D", "n+D", "smallest cap"
-    );
-    for (name, g, values) in families() {
-        let n = g.n();
-        let d = connectivity::diameter(&g.with_self_loops()).expect("strongly connected");
-        let closed = g.with_self_loops();
-        let od_values: Vec<u64> = (0..closed.n())
-            .map(|v| values[v] * 1000 + closed.outdegree(v) as u64)
-            .collect();
-        let reference = MinimumBase::compute(&closed, &od_values);
-        let rounds = (2 * (n + d) + 8) as u64;
-        let mut smallest = None;
-        for cap in 2..=(n + d + 2) {
-            let algo = DepthCapped::new(Isotropic(MinBaseOutdegree), cap);
-            let net = StaticGraph::new(g.clone());
-            let mut exec = Execution::new(algo, ViewState::initial(&values));
-            exec.run(&net, rounds);
-            let good = exec.outputs().into_iter().all(|out| {
-                out.map(|cb| {
-                    // Compare against the centralized G_od base: classes
-                    // must agree in count and value+outdegree profile.
-                    let cb_od_values: Vec<u64> = cb
-                        .values
-                        .iter()
-                        .zip(&cb.annotations)
-                        .map(|(v, a)| v * 1000 + a)
-                        .collect();
-                    are_isomorphic(
-                        &cb.graph,
-                        &cb_od_values,
-                        reference.base(),
-                        reference.base_values(),
-                    )
-                    .is_some()
-                })
-                .unwrap_or(false)
-            });
-            if good {
-                smallest = Some(cap);
-                break;
-            }
-        }
-        println!(
-            "{name:>8} {n:>4} {d:>4} {:>7} {:>14}",
-            n + d,
-            smallest.map_or("-".to_string(), |c| c.to_string())
-        );
-    }
-
-    println!(
-        "\nReading: stabilization occurs by round n + D on every family \
-         (F2), and a view-depth cap of roughly the stabilization depth \
-         suffices for the finite-state variant (F3) — memory bounded, \
-         correctness retained, matching §3.2/§4.2."
-    );
+fn main() -> std::process::ExitCode {
+    kya_bench::experiments::run_main("f2")
 }

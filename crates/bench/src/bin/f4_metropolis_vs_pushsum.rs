@@ -1,121 +1,3 @@
-//! **F4** — the §5 averaging family compared on symmetric dynamic
-//! networks: Push-Sum vs Metropolis vs Lazy Metropolis vs fixed-weight
-//! 1/N, plus the cost of asynchronous starts.
-//!
-//! All four compute the average; they differ in what they must know
-//! (outdegree vs a global bound) and in convergence rate. The paper
-//! quotes quadratic convergence for Metropolis \[10\] and O(n^4) for the
-//! bound-only variant \[11, 24\]; we report measured rounds to 1e-9.
-//!
-//! Run with `cargo run --release -p kya-bench --bin f4_metropolis_vs_pushsum`.
-
-use kya_algos::metropolis::{FixedWeight, LazyMetropolis, Metropolis};
-use kya_algos::push_sum::{PushSum, PushSumState};
-use kya_graph::{DynamicGraph, RandomDynamicGraph};
-use kya_runtime::adversary::AsyncStarts;
-use kya_runtime::{Algorithm, Broadcast, Execution, Isotropic};
-
-fn measure<A>(name: &str, algo: A, inits: Vec<A::State>, net: &dyn DynamicGraph, target: f64)
-where
-    A: Algorithm<Output = f64>,
-{
-    let mut exec = Execution::new(algo, inits);
-    let mut entered: Option<u64> = None;
-    let eps = 1e-9;
-    while exec.round() < 200_000 {
-        let g = net.graph(exec.round() + 1);
-        exec.step(&g);
-        let ok = exec.outputs().iter().all(|x| (x - target).abs() <= eps);
-        match (ok, entered) {
-            (true, None) => entered = Some(exec.round()),
-            (false, Some(_)) => entered = None,
-            _ => {}
-        }
-        if let Some(r) = entered {
-            if exec.round() >= r + 50 {
-                break; // stably converged
-            }
-        }
-    }
-    match entered {
-        Some(r) => println!("{name:>28}: {r:>7} rounds to 1e-9"),
-        None => println!("{name:>28}: no convergence in budget"),
-    }
-}
-
-fn main() {
-    let n = 16usize;
-    let values: Vec<f64> = (0..n).map(|i| ((i * i) % 29) as f64).collect();
-    let target = values.iter().sum::<f64>() / n as f64;
-
-    println!("F4. Averaging on random symmetric dynamic graphs, n = {n}\n");
-    println!("synchronous starts:");
-    let net = RandomDynamicGraph::symmetric(n, 4, 2718);
-    measure(
-        "Push-Sum (outdeg aware)",
-        Isotropic(PushSum),
-        PushSumState::averaging(&values),
-        &net,
-        target,
-    );
-    measure(
-        "Metropolis (outdeg aware)",
-        Isotropic(Metropolis),
-        values.clone(),
-        &net,
-        target,
-    );
-    measure(
-        "Lazy Metropolis",
-        Isotropic(LazyMetropolis),
-        values.clone(),
-        &net,
-        target,
-    );
-    measure(
-        "FixedWeight 1/N (broadcast)",
-        Broadcast(FixedWeight::new(n)),
-        values.clone(),
-        &net,
-        target,
-    );
-    measure(
-        "FixedWeight 1/4N (loose)",
-        Broadcast(FixedWeight::new(4 * n)),
-        values.clone(),
-        &net,
-        target,
-    );
-
-    println!("\nasynchronous starts (agents wake within 8 rounds):");
-    let base = RandomDynamicGraph::symmetric(n, 4, 9182);
-    let net = AsyncStarts::random(base, 8, 4);
-    measure(
-        "Push-Sum (outdeg aware)",
-        Isotropic(PushSum),
-        PushSumState::averaging(&values),
-        &net,
-        target,
-    );
-    measure(
-        "Metropolis (outdeg aware)",
-        Isotropic(Metropolis),
-        values.clone(),
-        &net,
-        target,
-    );
-    measure(
-        "FixedWeight 1/N (broadcast)",
-        Broadcast(FixedWeight::new(n)),
-        values.clone(),
-        &net,
-        target,
-    );
-
-    println!(
-        "\nReading: Metropolis-family updates converge fastest; the \
-         bound-only 1/N rule pays for its weaker model with more rounds \
-         (and degrades with looser bounds); asynchronous starts delay \
-         but do not break convergence — exactly §5's qualitative account."
-    );
+fn main() -> std::process::ExitCode {
+    kya_bench::experiments::run_main("f4")
 }

@@ -1,115 +1,3 @@
-//! **F5** — the §6 open regime: networks that are never permanently
-//! split but have *no finite dynamic diameter*.
-//!
-//! The paper's concluding remarks ask which computability results
-//! survive when the finite-dynamic-diameter assumption is relaxed to
-//! "never permanently split". Moreau's theorem covers the symmetric
-//! doubly-stochastic algorithms; the outdegree-awareness side is open.
-//! This harness probes both empirically on a schedule whose
-//! communication gaps grow geometrically (so no window length ever
-//! guarantees mixing):
-//!
-//! - fixed-weight 1/N and Metropolis averaging (symmetric — covered by
-//!   Moreau) should keep converging, just slower;
-//! - Push-Sum (outdegree-aware — not covered by any theorem here) is
-//!   probed for the open question.
-//!
-//! Run with `cargo run --release -p kya-bench --bin f5_weak_connectivity`.
-
-use kya_algos::metropolis::{FixedWeight, Metropolis};
-use kya_algos::push_sum::{PushSum, PushSumState};
-use kya_graph::{DynamicGraph, RandomDynamicGraph, SparselyConnected};
-use kya_runtime::{Algorithm, Broadcast, Execution, Isotropic};
-
-fn worst_error<A>(
-    algo: A,
-    net: &dyn DynamicGraph,
-    inits: Vec<A::State>,
-    target: f64,
-    rounds: u64,
-) -> Vec<(u64, f64)>
-where
-    A: Algorithm<Output = f64>,
-{
-    let mut exec = Execution::new(algo, inits);
-    let mut samples = Vec::new();
-    let checkpoints = [7u64, 15, 31, 63, 127, 255, 511, 1023];
-    for &cp in &checkpoints {
-        if cp > rounds {
-            break;
-        }
-        exec.run(net, cp - exec.round());
-        let err = exec
-            .outputs()
-            .iter()
-            .map(|x| (x - target).abs())
-            .fold(0.0f64, f64::max);
-        samples.push((cp, err));
-    }
-    samples
-}
-
-fn print_series(name: &str, series: &[(u64, f64)]) {
-    print!("{name:>26}:");
-    for (cp, err) in series {
-        print!("  t={cp}: {err:.1e}");
-    }
-    println!();
-}
-
-fn main() {
-    let n = 10usize;
-    let values: Vec<f64> = (0..n).map(|i| ((i * 11) % 17) as f64).collect();
-    let target = values.iter().sum::<f64>() / n as f64;
-    let rounds = 1023u64;
-
-    println!(
-        "F5. Geometric communication schedule (gaps 2, 4, 8, ...): never \
-         permanently split, no finite dynamic diameter.\n"
-    );
-    println!("symmetric topologies at scheduled rounds (Moreau applies):");
-    let sym = || SparselyConnected::geometric(RandomDynamicGraph::symmetric(n, 3, 47), 2, rounds);
-    print_series(
-        "FixedWeight 1/N",
-        &worst_error(
-            Broadcast(FixedWeight::new(n)),
-            &sym(),
-            values.clone(),
-            target,
-            rounds,
-        ),
-    );
-    print_series(
-        "Metropolis",
-        &worst_error(
-            Isotropic(Metropolis),
-            &sym(),
-            values.clone(),
-            target,
-            rounds,
-        ),
-    );
-
-    println!("\ndirected topologies at scheduled rounds (open question):");
-    let dir = || SparselyConnected::geometric(RandomDynamicGraph::directed(n, 4, 48), 2, rounds);
-    print_series(
-        "Push-Sum",
-        &worst_error(
-            Isotropic(PushSum),
-            &dir(),
-            PushSumState::averaging(&values),
-            target,
-            rounds,
-        ),
-    );
-
-    println!(
-        "\nReading: every scheduled communication round still contracts \
-         the disagreement, so all three algorithms keep converging on \
-         this schedule — but per *wall-clock round* the rate collapses \
-         with the growing gaps, and no finite-round guarantee of the \
-         Theorem 5.2 kind is possible. The positive empirical behaviour \
-         of Push-Sum here is evidence for (not a proof of) the paper's \
-         §6 open question."
-    );
+fn main() -> std::process::ExitCode {
+    kya_bench::experiments::run_main("f5")
 }

@@ -1,161 +1,3 @@
-//! **F6** — fault injection and measured recovery.
-//!
-//! Sweeps the message-level fault space — link-drop rate `p ∈ {0, 0.1,
-//! …, 0.5}` crossed with crash-recover count `∈ {0, 1, 2}` — over three
-//! topologies (directed ring, directed torus, random strongly
-//! connected), running Push-Sum averaging in both flavours:
-//!
-//! - **self-healing** (`SelfHealingPushSum`): bounced shares are
-//!   reabsorbed, so `(Σy, Σz)` is conserved through arbitrary faults and
-//!   the outputs re-enter the ε-ball after the faults cease;
-//! - **plain** (`Lossy(PushSum)`): the negative control — every dropped
-//!   share permanently leaks mass, leaving a persistent deficit and a
-//!   wrong limit.
-//!
-//! Emits a single JSON document on stdout. All fault coins are pure
-//! functions of the seed, so output is byte-identical across runs with
-//! the same `--seed` (default 42).
-//!
-//! Run with `cargo run --release -p kya-bench --bin f6_fault_recovery
-//! [-- --seed S]`.
-
-use kya_algos::push_sum::{total_mass, PushSum, PushSumState, SelfHealingPushSum};
-use kya_graph::{generators, Digraph, StaticGraph};
-use kya_runtime::faults::{FaultAware, FaultPlan, FaultyExecution, Lossy};
-use kya_runtime::metric::EuclideanMetric;
-use kya_runtime::Isotropic;
-use serde::Serialize;
-
-const ROUNDS: u64 = 800;
-const FAULT_HORIZON: u64 = 60;
-const EPS: f64 = 1e-6;
-
-#[derive(Serialize)]
-struct Record {
-    graph: String,
-    n: usize,
-    drop_p: f64,
-    crashes: usize,
-    healing: bool,
-    dropped: u64,
-    bounced_to_crashed: u64,
-    last_fault_round: u64,
-    max_divergence_during_faults: f64,
-    final_distance: f64,
-    mass_deficit: f64,
-    recovered_at: Option<u64>,
-    recovery_rounds: Option<u64>,
-}
-
-#[derive(Serialize)]
-struct Sweep {
-    experiment: String,
-    seed: u64,
-    rounds: u64,
-    fault_horizon: u64,
-    eps: f64,
-    records: Vec<Record>,
-}
-
-/// One cell of the sweep: run to `ROUNDS` under the plan and report.
-fn run_cell<A>(algo: A, graph: &Digraph, values: &[f64], plan: FaultPlan) -> Record
-where
-    A: FaultAware<State = PushSumState, Output = f64>,
-{
-    let n = graph.n();
-    let target = values.iter().sum::<f64>() / n as f64;
-    let z_deficit = move |states: &[PushSumState]| n as f64 - total_mass(states).1;
-    let mut exec = FaultyExecution::new(algo, PushSumState::averaging(values), plan);
-    let report = exec.run_with_recovery(
-        &StaticGraph::new(graph.clone()),
-        ROUNDS,
-        &EuclideanMetric,
-        &target,
-        EPS,
-        Some(&z_deficit),
-    );
-    Record {
-        graph: String::new(), // filled by the caller
-        n,
-        drop_p: exec.plan().drop_rate(),
-        crashes: exec.plan().crashes().len(),
-        healing: false, // filled by the caller
-        dropped: report.events.dropped,
-        bounced_to_crashed: report.events.bounced_to_crashed,
-        last_fault_round: report.last_fault_round,
-        max_divergence_during_faults: report.max_divergence_during_faults,
-        final_distance: report.final_distance,
-        mass_deficit: report.mass_deficit.unwrap_or(0.0),
-        recovered_at: report.recovered_at,
-        recovery_rounds: report.recovery_rounds,
-    }
-}
-
-fn main() {
-    let mut seed = 42u64;
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < argv.len() {
-        if argv[i] == "--seed" && i + 1 < argv.len() {
-            seed = argv[i + 1].parse().expect("--seed must be a number");
-            i += 2;
-        } else {
-            i += 1;
-        }
-    }
-
-    let graphs: Vec<(&str, Digraph)> = vec![
-        ("ring:12", generators::directed_ring(12)),
-        ("torus:3x4", generators::directed_torus(3, 4)),
-        (
-            "random:12:8",
-            generators::random_strongly_connected(12, 8, seed),
-        ),
-    ];
-    let drop_rates = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
-    let crash_counts = [0usize, 1, 2];
-
-    let mut records = Vec::new();
-    for (name, graph) in &graphs {
-        let n = graph.n();
-        let values: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64).collect();
-        for (cell, (&p, &crashes)) in drop_rates
-            .iter()
-            .flat_map(|p| crash_counts.iter().map(move |c| (p, c)))
-            .enumerate()
-        {
-            // A distinct deterministic seed per cell, derived from the
-            // CLI seed so the whole sweep replays bit-for-bit.
-            let mut plan = FaultPlan::new(seed.wrapping_mul(1009).wrapping_add(cell as u64))
-                .until(FAULT_HORIZON);
-            if p > 0.0 {
-                plan = plan.drop_links(p);
-            }
-            // Staggered crash-recover windows inside the fault horizon.
-            for c in 0..crashes {
-                let from = 10 + 10 * c as u64;
-                plan = plan.crash(c, from..from + 20);
-            }
-            for healing in [true, false] {
-                let mut rec = if healing {
-                    run_cell(Isotropic(SelfHealingPushSum), graph, &values, plan.clone())
-                } else {
-                    run_cell(Lossy(Isotropic(PushSum)), graph, &values, plan.clone())
-                };
-                rec.graph = name.to_string();
-                rec.healing = healing;
-                records.push(rec);
-            }
-        }
-    }
-
-    let sweep = Sweep {
-        experiment: "f6_fault_recovery".to_string(),
-        seed,
-        rounds: ROUNDS,
-        fault_horizon: FAULT_HORIZON,
-        eps: EPS,
-        records,
-    };
-    println!("{}", serde::to_json_string(&sweep));
+fn main() -> std::process::ExitCode {
+    kya_bench::experiments::run_main("f6")
 }

@@ -1,289 +1,3 @@
-//! Regenerate **Table 1** (computable functions in static, strongly
-//! connected anonymous networks) with measurements.
-//!
-//! For every cell (communication model x centralized help) the harness
-//! runs:
-//!
-//! - a **positive** check: the witnessing algorithm computes the claimed
-//!   class's representative function (max / average / sum) on a family
-//!   of networks, and the result matches ground truth;
-//! - a **negative** check: the paper's indistinguishability construction
-//!   (two lifts of a common base, §4.1 / Lemma 3.1) is executed and the
-//!   pipelines produce *identical* outputs on inputs whose next-larger
-//!   representative differs — so that class is out of reach.
-//!
-//! Run with `cargo run -p kya-bench --bin table1`.
-
-use kya_algos::frequency::{CensusOutdegree, CensusPorts, CensusSymmetric};
-use kya_algos::gossip::{set_functions, SetGossip};
-use kya_algos::min_base::ViewState;
-use kya_arith::BigInt;
-use kya_bench::{directed_cases, run_static, stabilization_budget, symmetric_cases};
-use kya_core::functions::{average, maximum, sum};
-use kya_core::table::{computable_class, render_table, CentralizedHelp, NetworkKind};
-use kya_core::value;
-use kya_graph::{generators, Digraph};
-use kya_runtime::{Broadcast, CommunicationModel, Isotropic};
-
-fn check(label: &str, ok: bool, detail: String) -> bool {
-    println!("  [{}] {label}: {detail}", if ok { "ok" } else { "XX" });
-    ok
-}
-
-/// Positive: gossip computes max everywhere (set-based witness).
-fn positive_broadcast(all_ok: &mut bool) {
-    for case in directed_cases() {
-        let rounds = stabilization_budget(&case.graph);
-        let outs = run_static(
-            Broadcast(SetGossip),
-            &case.graph,
-            SetGossip::initial(&case.values),
-            rounds,
-        );
-        let ok = outs
-            .iter()
-            .all(|s| set_functions::max(s) == Some(maximum(&case.values)));
-        *all_ok &= check("max via gossip", ok, case.name.to_string());
-    }
-}
-
-/// The unequal-fibre-lift pair of §4.1 adapted to broadcast: two lifts of
-/// one base with different fibre proportions. Returns (small, large,
-/// small values, large values).
-fn broadcast_counterexample() -> (Digraph, Digraph, Vec<u64>, Vec<u64>) {
-    // Base: a <-> b with doubled a->b edge, plus self-loops.
-    let mut base = Digraph::new(2);
-    base.add_edge(0, 1);
-    base.add_edge(0, 1);
-    base.add_edge(1, 0);
-    let base = base.with_self_loops();
-    let small = base.clone(); // fibre sizes (1, 1)
-    let (large, fibre_of) =
-        generators::connected_lift(&base, &[1, 2], 11, 256).expect("connected lift");
-    let vals_small = vec![6u64, 12];
-    let vals_large: Vec<u64> = fibre_of.iter().map(|&f| vals_small[f]).collect();
-    (small, large, vals_small, vals_large)
-}
-
-/// Negative for simple broadcast: the average differs across the pair,
-/// yet gossip (and any broadcast pipeline) cannot separate them.
-fn negative_broadcast(all_ok: &mut bool) {
-    let (small, large, vs, vl) = broadcast_counterexample();
-    let outs_small = run_static(Broadcast(SetGossip), &small, SetGossip::initial(&vs), 12);
-    let outs_large = run_static(Broadcast(SetGossip), &large, SetGossip::initial(&vl), 12);
-    let indist = outs_small[0] == outs_large[0];
-    let separated = average(&vs) != average(&vl);
-    *all_ok &= check(
-        "average invisible to broadcast",
-        indist && separated,
-        format!(
-            "lift pair: identical outputs, averages {} vs {}",
-            average(&vs),
-            average(&vl)
-        ),
-    );
-}
-
-/// Positive: the census pipeline of a column computes average (and, with
-/// n or a leader, the sum).
-fn positive_census<F>(
-    all_ok: &mut bool,
-    cases: &[kya_bench::StaticCase],
-    help: CentralizedHelp,
-    run: F,
-) where
-    F: Fn(&Digraph, &[u64], u64) -> Option<kya_algos::FibreCensus>,
-{
-    for case in cases {
-        let rounds = stabilization_budget(&case.graph);
-        // In the leader row, distinguish agent 0 through its input value.
-        let values: Vec<u64> = match help {
-            CentralizedHelp::Leader => case
-                .values
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| value::encode(v, i == 0))
-                .collect(),
-            _ => case.values.clone(),
-        };
-        let Some(census) = run(&case.graph, &values, rounds) else {
-            *all_ok &= check("census", false, format!("{}: no stabilization", case.name));
-            continue;
-        };
-        let ok = match help {
-            CentralizedHelp::None | CentralizedHelp::BoundKnown => {
-                // Frequency-based witness: the average.
-                average(&census.canonical_vector()) == average(&values)
-            }
-            CentralizedHelp::SizeKnown => census
-                .multiplicities_known_n(case.graph.n())
-                .map(|m| {
-                    m.iter().map(|(v, k)| &BigInt::from(*v) * k).sum::<BigInt>() == sum(&values)
-                })
-                .unwrap_or(false),
-            CentralizedHelp::Leader => census
-                .multiplicities_with_leaders(1, value::is_leader)
-                .map(|m| {
-                    m.iter()
-                        .map(|(v, k)| &BigInt::from(value::decode(*v).0) * k)
-                        .sum::<BigInt>()
-                        == sum(&case.values)
-                })
-                .unwrap_or(false),
-        };
-        let witness = match help {
-            CentralizedHelp::None | CentralizedHelp::BoundKnown => "average",
-            _ => "sum",
-        };
-        *all_ok &= check(witness, ok, case.name.to_string());
-    }
-}
-
-/// Negative for the frequency rows of the audience-aware columns: the sum
-/// is invisible because R_p and its double cover R_2p produce identical
-/// censuses.
-fn negative_sum_invisible<F>(all_ok: &mut bool, run: F)
-where
-    F: Fn(&Digraph, &[u64], u64) -> Option<kya_algos::FibreCensus>,
-{
-    let small = generators::bidirectional_ring(4);
-    // Double cover: the bidirectional ring of 8 fibres onto the ring of 4.
-    let large = generators::bidirectional_ring(8);
-    let vs: Vec<u64> = vec![1, 2, 3, 2];
-    let vl: Vec<u64> = (0..8).map(|i| vs[i % 4]).collect();
-    let census_s = run(&small, &vs, 24).expect("stabilized");
-    let census_l = run(&large, &vl, 24).expect("stabilized");
-    let indist = census_s == census_l;
-    let separated = sum(&vs) != sum(&vl);
-    *all_ok &= check(
-        "sum invisible (ring double cover)",
-        indist && separated,
-        format!("identical censuses; sums {} vs {}", sum(&vs), sum(&vl)),
-    );
-}
-
-/// Negative for the multiset rows: only symmetric functions are
-/// computable (Lemma 3.3) — a vertex relabeling leaves every pipeline
-/// output unchanged, so order-dependent functions are out.
-fn negative_only_multiset<F>(all_ok: &mut bool, run: F)
-where
-    F: Fn(&Digraph, &[u64], u64) -> Option<kya_algos::FibreCensus>,
-{
-    let g = generators::bidirectional_ring(5);
-    let values: Vec<u64> = vec![4, 8, 15, 16, 23];
-    let perm = [2usize, 3, 4, 0, 1];
-    let gp = g.relabel(&perm);
-    let mut vp = vec![0u64; 5];
-    for (i, &p) in perm.iter().enumerate() {
-        vp[p] = values[i];
-    }
-    let census_a = run(&g, &values, 24).expect("stabilized");
-    let census_b = run(&gp, &vp, 24).expect("stabilized");
-    let indist = census_a == census_b;
-    let separated = values[0] != vp[0];
-    *all_ok &= check(
-        "only multiset-based (isomorphism invariance)",
-        indist && separated,
-        "relabelled network gives an identical census".to_string(),
-    );
-}
-
-fn main() {
-    println!("{}", render_table(NetworkKind::Static));
-    println!("Measured certification of every cell:\n");
-    let mut all_ok = true;
-
-    let census_outdegree = |g: &Digraph, v: &[u64], r: u64| {
-        run_static(Isotropic(CensusOutdegree), g, ViewState::initial(v), r)
-            .into_iter()
-            .next()
-            .flatten()
-    };
-    let census_symmetric = |g: &Digraph, v: &[u64], r: u64| {
-        run_static(Broadcast(CensusSymmetric), g, ViewState::initial(v), r)
-            .into_iter()
-            .next()
-            .flatten()
-    };
-    let census_ports = |g: &Digraph, v: &[u64], r: u64| {
-        run_static(CensusPorts, g, ViewState::initial(v), r)
-            .into_iter()
-            .next()
-            .flatten()
-    };
-
-    for help in CentralizedHelp::ALL {
-        println!("--- help: {help} ---");
-        // Column 1: simple broadcast.
-        let cell = computable_class(
-            NetworkKind::Static,
-            CommunicationModel::SimpleBroadcast,
-            help,
-        );
-        println!("simple broadcast -> {cell}");
-        positive_broadcast(&mut all_ok);
-        negative_broadcast(&mut all_ok);
-
-        // Column 2: outdegree awareness.
-        let cell = computable_class(
-            NetworkKind::Static,
-            CommunicationModel::OutdegreeAware,
-            help,
-        );
-        println!("outdegree awareness -> {cell}");
-        positive_census(&mut all_ok, &directed_cases(), help, census_outdegree);
-        match help {
-            CentralizedHelp::None | CentralizedHelp::BoundKnown => {
-                negative_sum_invisible(&mut all_ok, census_outdegree)
-            }
-            _ => negative_only_multiset(&mut all_ok, census_outdegree),
-        }
-
-        // Column 3: symmetric communications.
-        let cell = computable_class(NetworkKind::Static, CommunicationModel::Symmetric, help);
-        println!("symmetric communications -> {cell}");
-        positive_census(&mut all_ok, &symmetric_cases(), help, census_symmetric);
-        match help {
-            CentralizedHelp::None | CentralizedHelp::BoundKnown => {
-                negative_sum_invisible(&mut all_ok, census_symmetric)
-            }
-            _ => negative_only_multiset(&mut all_ok, census_symmetric),
-        }
-
-        // Column 4: output port awareness (equal-fibre lifts).
-        let cell = computable_class(
-            NetworkKind::Static,
-            CommunicationModel::OutputPortAware,
-            help,
-        );
-        println!("output port awareness -> {cell}");
-        let mut base = Digraph::new(2);
-        base.add_edge_with_port(0, 1, Some(0));
-        base.add_edge_with_port(1, 0, Some(0));
-        base.add_edge_with_port(0, 0, Some(1));
-        base.add_edge_with_port(1, 1, Some(1));
-        let (g, fibre_of) =
-            generators::connected_lift(&base, &[3, 3], 3, 256).expect("connected lift");
-        let values: Vec<u64> = fibre_of.iter().map(|&f| [4, 8][f]).collect();
-        let case = kya_bench::StaticCase {
-            name: "port-lift(3,3)",
-            graph: g,
-            values,
-        };
-        positive_census(&mut all_ok, &[case], help, census_ports);
-        match help {
-            CentralizedHelp::None | CentralizedHelp::BoundKnown => {
-                negative_sum_invisible(&mut all_ok, census_symmetric)
-            }
-            _ => negative_only_multiset(&mut all_ok, census_symmetric),
-        }
-        println!();
-    }
-
-    if all_ok {
-        println!("TABLE 1: all measured cells match the paper's claims.");
-    } else {
-        println!("TABLE 1: MISMATCHES FOUND — see [XX] lines above.");
-        std::process::exit(1);
-    }
+fn main() -> std::process::ExitCode {
+    kya_bench::experiments::run_main("table1")
 }

@@ -1,228 +1,3 @@
-//! Regenerate **Table 2** (computable functions in dynamic anonymous
-//! networks with finite dynamic diameter) with measurements.
-//!
-//! Positive cells run the paper's §5 algorithms (gossip, Push-Sum with
-//! ℚ_N rounding, leader Push-Sum, Metropolis / fixed-weight averaging) on
-//! randomized dynamic graphs; negative cells reuse the static
-//! counterexamples (dynamic networks subsume static ones, §5). The two
-//! open cells of the paper are reported as open, together with the
-//! partial positive result that *is* known (Corollary 5.5 / §5.5).
-//!
-//! Run with `cargo run -p kya-bench --bin table2`.
-
-use kya_algos::gossip::{set_functions, SetGossip};
-use kya_algos::metropolis::{FixedWeight, Metropolis};
-use kya_algos::push_sum::{normalize_estimate, round_to_grid, FrequencyState, PushSumFrequency};
-use kya_arith::BigRational;
-use kya_core::functions::{maximum, FrequencyFunction};
-use kya_core::table::{computable_class, render_table, CentralizedHelp, NetworkKind};
-use kya_graph::{DynamicGraph, RandomDynamicGraph};
-use kya_runtime::{Broadcast, CommunicationModel, Execution, Isotropic};
-
-fn check(label: &str, ok: bool, detail: String) -> bool {
-    println!("  [{}] {label}: {detail}", if ok { "ok" } else { "XX" });
-    ok
-}
-
-fn gossip_max_ok(net: &dyn DynamicGraph, values: &[u64], rounds: u64) -> bool {
-    let mut exec = Execution::new(Broadcast(SetGossip), SetGossip::initial(values));
-    exec.run(net, rounds);
-    exec.outputs()
-        .iter()
-        .all(|s| set_functions::max(s) == Some(maximum(values)))
-}
-
-fn pushsum_frequencies(
-    net: &dyn DynamicGraph,
-    values: &[u64],
-    rounds: u64,
-) -> Vec<kya_algos::push_sum::FrequencyEstimate> {
-    let mut exec = Execution::new(
-        Isotropic(PushSumFrequency::frequency()),
-        FrequencyState::initial(values),
-    );
-    exec.run(net, rounds);
-    exec.outputs()
-}
-
-fn main() {
-    println!("{}", render_table(NetworkKind::Dynamic));
-    println!("Measured certification of every cell:\n");
-    let mut all_ok = true;
-
-    let n = 8usize;
-    let values: Vec<u64> = vec![3, 3, 5, 3, 5, 5, 5, 9];
-    let truth = FrequencyFunction::of(&values);
-    let rounds = 1200u64;
-
-    for help in CentralizedHelp::ALL {
-        println!("--- help: {help} ---");
-
-        // Column 1: simple broadcast -> set-based (gossip).
-        let cell = computable_class(
-            NetworkKind::Dynamic,
-            CommunicationModel::SimpleBroadcast,
-            help,
-        );
-        println!("simple broadcast -> {cell}");
-        let net = RandomDynamicGraph::directed(n, 4, 100 + help as u64);
-        all_ok &= check(
-            "max via gossip",
-            gossip_max_ok(&net, &values, 24),
-            format!("random dynamic digraph, n={n}"),
-        );
-
-        // Column 2: outdegree awareness.
-        let cell = computable_class(
-            NetworkKind::Dynamic,
-            CommunicationModel::OutdegreeAware,
-            help,
-        );
-        println!("outdegree awareness -> {cell}");
-        let net = RandomDynamicGraph::directed(n, 4, 200 + help as u64);
-        match help {
-            CentralizedHelp::None => {
-                // Open cell; the known positive: continuous-in-frequency
-                // functions compute approximately (Cor. 5.5).
-                let ests = pushsum_frequencies(&net, &values, rounds);
-                let ok = ests.iter().all(|est| {
-                    let norm = normalize_estimate(est);
-                    let avg: f64 = norm.iter().map(|(&v, &f)| v as f64 * f).sum();
-                    let true_avg = values.iter().sum::<u64>() as f64 / n as f64;
-                    (avg - true_avg).abs() < 1e-6
-                });
-                all_ok &= check(
-                    "average approx via normalized Push-Sum (Cor. 5.5)",
-                    ok,
-                    "exact characterization open".to_string(),
-                );
-            }
-            CentralizedHelp::BoundKnown => {
-                let bound = 12; // N >= n
-                let ests = pushsum_frequencies(&net, &values, rounds);
-                let ok = ests.iter().all(|est| {
-                    round_to_grid(est, bound)
-                        .iter()
-                        .all(|(v, f)| *f == truth.frequency(*v))
-                });
-                all_ok &= check(
-                    "exact frequencies via Push-Sum + Q_N rounding (Cor. 5.3)",
-                    ok,
-                    format!("bound N={bound}"),
-                );
-            }
-            CentralizedHelp::SizeKnown => {
-                let ests = pushsum_frequencies(&net, &values, rounds);
-                let ok = ests.iter().all(|est| {
-                    round_to_grid(est, n).iter().all(|(v, f)| {
-                        let mult = f * &BigRational::from_integer(n as i64);
-                        let true_mult = values.iter().filter(|&&w| w == *v).count() as i64;
-                        mult == BigRational::from_integer(true_mult)
-                    })
-                });
-                all_ok &= check(
-                    "exact multiplicities via Push-Sum (Cor. 5.4)",
-                    ok,
-                    format!("n={n} known"),
-                );
-            }
-            CentralizedHelp::Leader => {
-                // Open cell; the known positive: §5.5 leader Push-Sum
-                // recovers multiplicities asymptotically.
-                let leaders: Vec<bool> = (0..n).map(|i| i == 0).collect();
-                let mut exec = Execution::new(
-                    Isotropic(PushSumFrequency::with_leaders(1)),
-                    FrequencyState::initial_with_leaders(&values, &leaders),
-                );
-                exec.run(&net, rounds);
-                let ok = exec.outputs().iter().all(|est| {
-                    est.iter().all(|(v, x)| {
-                        let true_mult = values.iter().filter(|&&w| w == *v).count() as f64;
-                        (x - true_mult).abs() < 1e-5
-                    })
-                });
-                all_ok &= check(
-                    "multiplicities asymptotically via leader Push-Sum (§5.5)",
-                    ok,
-                    "exact characterization open".to_string(),
-                );
-            }
-        }
-
-        // Column 3: symmetric communications.
-        let cell = computable_class(NetworkKind::Dynamic, CommunicationModel::Symmetric, help);
-        println!("symmetric communications -> {cell}");
-        let net = RandomDynamicGraph::symmetric(n, 3, 300 + help as u64);
-        let fvals: Vec<f64> = values.iter().map(|&v| v as f64).collect();
-        let true_avg = fvals.iter().sum::<f64>() / n as f64;
-        match help {
-            CentralizedHelp::None => {
-                all_ok &= check(
-                    "exact frequency computation",
-                    true,
-                    "Di Luna & Viglietta's history trees — reported per the paper, \
-                     demonstrated here with Metropolis averaging only"
-                        .to_string(),
-                );
-                let mut exec = Execution::new(Isotropic(Metropolis), fvals.clone());
-                exec.run(&net, rounds);
-                let ok = exec.outputs().iter().all(|x| (x - true_avg).abs() < 1e-6);
-                all_ok &= check("average via Metropolis", ok, "asymptotic".to_string());
-            }
-            CentralizedHelp::BoundKnown | CentralizedHelp::SizeKnown => {
-                let bound = if help == CentralizedHelp::SizeKnown {
-                    n
-                } else {
-                    12
-                };
-                let mut exec = Execution::new(Broadcast(FixedWeight::new(bound)), fvals.clone());
-                exec.run(&net, 3 * rounds);
-                let ok = exec.outputs().iter().all(|x| (x - true_avg).abs() < 1e-6);
-                all_ok &= check(
-                    "average via fixed-weight 1/N broadcast consensus",
-                    ok,
-                    format!("bound N={bound}"),
-                );
-            }
-            CentralizedHelp::Leader => {
-                all_ok &= check(
-                    "multiset recovery",
-                    true,
-                    "Di Luna & Viglietta [25] — attribution-only cell; our leader \
-                     Push-Sum demonstration lives in the outdegree column"
-                        .to_string(),
-                );
-            }
-        }
-        println!();
-    }
-
-    // Negative side (shared by all rows): dynamic networks subsume static
-    // ones, so the static counterexamples stand. We re-execute the core
-    // one: the ring double cover makes the sum invisible to Push-Sum.
-    println!("--- negative checks (static counterexamples embed) ---");
-    {
-        use kya_graph::{generators, StaticGraph};
-        let small = StaticGraph::new(generators::directed_ring(3));
-        let large = StaticGraph::new(generators::directed_ring(6));
-        let vs = vec![1u64, 5, 9];
-        let vl: Vec<u64> = (0..6).map(|i| vs[i % 3]).collect();
-        let es = pushsum_frequencies(&small, &vs, 600);
-        let el = pushsum_frequencies(&large, &vl, 600);
-        let gs = round_to_grid(&es[0], 6);
-        let gl = round_to_grid(&el[0], 6);
-        let ok = gs == gl && vs.iter().sum::<u64>() != vl.iter().sum::<u64>();
-        all_ok &= check(
-            "sum invisible on R_3 vs R_6 (as constant dynamic graphs)",
-            ok,
-            format!("identical rounded frequencies; sums {} vs {}", 15, 30),
-        );
-    }
-
-    if all_ok {
-        println!("\nTABLE 2: all measured cells match the paper's claims.");
-    } else {
-        println!("\nTABLE 2: MISMATCHES FOUND — see [XX] lines above.");
-        std::process::exit(1);
-    }
+fn main() -> std::process::ExitCode {
+    kya_bench::experiments::run_main("table2")
 }

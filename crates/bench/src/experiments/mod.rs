@@ -1,0 +1,226 @@
+//! The experiment registry: every evaluation binary (`table1`,
+//! `table2`, `f1`–`f6`) is a thin shim over [`run_main`], which drives a
+//! [`kya_harness::Runner`] sweep from a set of [`ExperimentSpec`]s.
+//!
+//! Shared flags (every experiment): `--workers N` (parallelism; output
+//! is byte-identical for every N), `--ndjson` / `--json` (machine
+//! output), plus the harness sweep flags `--sizes`, `--seeds`, `--seed`,
+//! `--rounds`, `--eps` where the experiment honours them. Experiments
+//! may add extras (e.g. F6's `--drops` / `--crashes`).
+
+pub mod f1;
+pub mod f2;
+pub mod f4;
+pub mod f5;
+pub mod f6;
+pub mod table1;
+pub mod table2;
+
+use kya_graph::{DynamicGraph, RandomDynamicGraph, SparselyConnected};
+use kya_harness::{Args, CellCtx, CellOutcome, ExperimentSpec, ResultSink, Runner, SpecError};
+use kya_harness::{TopologyCache, SWEEP_FLAGS};
+use kya_runtime::adversary::AsyncStarts;
+use std::process::ExitCode;
+
+/// One registered experiment: spec construction, the per-cell function,
+/// and the human rendering of a finished sweep.
+pub struct Experiment {
+    /// Registry name (`kya sweep <name>`, and the binary's identity).
+    pub name: &'static str,
+    /// One-line description.
+    pub about: &'static str,
+    /// Experiment-specific flags accepted on top of [`SWEEP_FLAGS`].
+    pub extra_flags: &'static [&'static str],
+    /// Build the specs to sweep (applying flag overrides).
+    pub build: fn(&Args) -> Result<Vec<ExperimentSpec>, SpecError>,
+    /// Execute one cell.
+    pub cell: fn(&CellCtx) -> CellOutcome,
+    /// Render one finished spec's sink for humans.
+    pub render: fn(&ResultSink) -> String,
+}
+
+/// All registered experiments.
+pub const EXPERIMENTS: &[&Experiment] = &[
+    &table1::EXPERIMENT,
+    &table2::EXPERIMENT,
+    &f1::EXPERIMENT,
+    &f2::EXPERIMENT,
+    &f4::EXPERIMENT,
+    &f5::EXPERIMENT,
+    &f6::EXPERIMENT,
+];
+
+/// Look up an experiment by registry name.
+pub fn find(name: &str) -> Option<&'static Experiment> {
+    EXPERIMENTS.iter().copied().find(|e| e.name == name)
+}
+
+/// Run an experiment end to end; returns whether every verdict-bearing
+/// cell passed.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] for unknown experiments or malformed flags.
+pub fn run(name: &str, argv: &[String]) -> Result<bool, SpecError> {
+    let exp = find(name).ok_or_else(|| {
+        let known: Vec<&str> = EXPERIMENTS.iter().map(|e| e.name).collect();
+        SpecError(format!(
+            "unknown experiment `{name}` (known: {})",
+            known.join(", ")
+        ))
+    })?;
+    let args = Args::parse(argv);
+    if !args.bare().is_empty() {
+        return Err(SpecError(format!(
+            "unexpected arguments {:?} for `{name}`",
+            args.bare()
+        )));
+    }
+    let mut valid: Vec<&str> = SWEEP_FLAGS.to_vec();
+    valid.extend_from_slice(exp.extra_flags);
+    args.reject_unknown(name, &valid)?;
+    let workers = args.usize_flag("workers", 1)?;
+
+    let specs = (exp.build)(&args)?;
+    // One cache across the experiment's specs: e.g. F1's ring sweep and
+    // F2's ring sweep each share parsed graphs and diameters.
+    let cache = TopologyCache::new();
+    let sinks: Vec<ResultSink> = specs
+        .iter()
+        .map(|spec| {
+            Runner::new(spec)
+                .workers(workers)
+                .run_with_cache(&cache, exp.cell)
+        })
+        .collect();
+
+    if args.is_set("ndjson") {
+        for sink in &sinks {
+            print!("{}", sink.to_ndjson());
+        }
+    } else if args.is_set("json") {
+        for sink in &sinks {
+            println!("{}", sink.to_json());
+        }
+    } else {
+        for sink in &sinks {
+            println!("{}", (exp.render)(sink));
+        }
+    }
+    Ok(sinks.iter().all(ResultSink::all_ok))
+}
+
+/// The shared `main` of every experiment binary: parse `std::env` args,
+/// run, exit non-zero on errors or failed certifications.
+pub fn run_main(name: &str) -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(name, &argv) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("{name}: some cells FAILED — see [XX] lines above");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Interpret the dynamic-network topology labels the static-graph
+/// grammar does not cover:
+///
+/// - `dyn:directed:N:EXTRA:SEED` / `dyn:symmetric:N:EXTRA:SEED` — a
+///   [`RandomDynamicGraph`];
+/// - `async:MAXDELAY:SEED:<dyn label>` — asynchronous starts on top of
+///   a random dynamic graph;
+/// - `sparse:BASEGAP:HORIZON:<dyn label>` — the geometric
+///   sparsely-connected schedule (gaps 2, 4, 8, …).
+pub fn dynamic_net(label: &str) -> Option<Box<dyn DynamicGraph>> {
+    fn num<T: std::str::FromStr>(s: &str) -> Option<T> {
+        s.parse().ok()
+    }
+    fn rand_net(parts: &[&str]) -> Option<RandomDynamicGraph> {
+        match parts {
+            ["dyn", "directed", n, extra, seed] => Some(RandomDynamicGraph::directed(
+                num(n)?,
+                num(extra)?,
+                num(seed)?,
+            )),
+            ["dyn", "symmetric", n, extra, seed] => Some(RandomDynamicGraph::symmetric(
+                num(n)?,
+                num(extra)?,
+                num(seed)?,
+            )),
+            _ => None,
+        }
+    }
+    let parts: Vec<&str> = label.split(':').collect();
+    match parts.as_slice() {
+        ["dyn", ..] => rand_net(&parts).map(|g| Box::new(g) as Box<dyn DynamicGraph>),
+        ["async", delay, seed, rest @ ..] => {
+            let inner = rand_net(rest)?;
+            Some(Box::new(AsyncStarts::random(
+                inner,
+                num(delay)?,
+                num(seed)?,
+            )))
+        }
+        ["sparse", gap, horizon, rest @ ..] => {
+            let inner = rand_net(rest)?;
+            Some(Box::new(SparselyConnected::geometric(
+                inner,
+                num(gap)?,
+                num(horizon)?,
+            )))
+        }
+        _ => None,
+    }
+}
+
+/// Parse a comma-separated `f64` list flag with a default (used by F6's
+/// `--drops`).
+pub(crate) fn f64_list_flag(
+    args: &Args,
+    key: &str,
+    default: &[f64],
+) -> Result<Vec<f64>, SpecError> {
+    match args.optional(key) {
+        None => Ok(default.to_vec()),
+        Some(s) => s
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|item| {
+                item.parse().map_err(|_| {
+                    SpecError(format!("--{key} entries must be numbers, got `{item}`"))
+                })
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_finds_all_experiments() {
+        for name in ["table1", "table2", "f1", "f2", "f4", "f5", "f6"] {
+            assert!(find(name).is_some(), "{name} registered");
+        }
+        assert!(find("f3").is_none(), "F3 rides inside f2");
+        let argv = vec!["--nonsense".to_string()];
+        assert!(run("f6", &argv).is_err(), "unknown flag rejected");
+        assert!(run("nope", &[]).is_err(), "unknown experiment rejected");
+    }
+
+    #[test]
+    fn dynamic_labels_parse() {
+        assert!(dynamic_net("dyn:directed:12:6:555").is_some());
+        assert!(dynamic_net("dyn:symmetric:16:4:2718").is_some());
+        assert!(dynamic_net("async:8:4:dyn:symmetric:16:4:9182").is_some());
+        assert!(dynamic_net("sparse:2:1023:dyn:directed:10:4:48").is_some());
+        assert!(dynamic_net("ring:6").is_none());
+        assert!(dynamic_net("dyn:undirected:4:1:1").is_none());
+    }
+}

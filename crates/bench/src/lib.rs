@@ -15,9 +15,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod experiments;
+
 use kya_algos::min_base::ViewState;
 use kya_algos::push_sum::{PushSum, PushSumState};
 use kya_graph::{generators, Digraph, DynamicGraph, StaticGraph};
+use kya_runtime::metric::EuclideanMetric;
 use kya_runtime::{Algorithm, Execution, Isotropic};
 
 /// A named static test network with inputs.
@@ -112,18 +115,8 @@ pub fn pushsum_rounds_to(
 ) -> Option<u64> {
     let avg = values.iter().sum::<f64>() / values.len() as f64;
     let mut exec = Execution::new(Isotropic(PushSum), PushSumState::averaging(values));
-    let mut entered: Option<u64> = None;
-    while exec.round() < max_rounds {
-        let g = net.graph(exec.round() + 1);
-        exec.step(&g);
-        let ok = exec.outputs().iter().all(|x| (x - avg).abs() <= eps);
-        match (ok, entered) {
-            (true, None) => entered = Some(exec.round()),
-            (false, Some(_)) => entered = None,
-            _ => {}
-        }
-    }
-    entered
+    exec.run_until(net, &EuclideanMetric, &avg, eps, max_rounds)
+        .converged_at
 }
 
 /// First round at which every agent's distributed min-base candidate has

@@ -14,11 +14,15 @@
 //!              [--until H] [--rounds R] [--seed S] [--eps E] [--plain] [--json]
 //!                                  Push-Sum averaging under a fault script,
 //!                                  with a measured recovery report (F6)
+//! kya sweep    [EXPERIMENT] [--workers N] [--ndjson | --json] [flags...]
+//!                                  run a registered experiment sweep on the
+//!                                  parallel harness; no EXPERIMENT lists them
 //! ```
 //!
 //! Graph specs: `ring:6`, `biring:6`, `star:5`, `path:4`, `complete:4`,
-//! `torus:3x3`, `hypercube:3`, `debruijn:2x3`, `kautz:2x1`,
-//! `random:N:EXTRA:SEED`, `randbi:N:EXTRA:SEED`.
+//! `torus:3x4` (or `torus:12`), `hypercube:3`, `debruijn:2x3`,
+//! `kautz:2x1`, `layered:3x8`, `random:N:EXTRA:SEED`,
+//! `randbi:N:EXTRA:SEED`.
 //! Value lists: `1,2,3` or `5x3,7` (repeat shorthand).
 
 mod spec;
@@ -33,11 +37,11 @@ use kya_algos::push_sum::{
 use kya_core::table::{render_table, NetworkKind};
 use kya_fibration::MinimumBase;
 use kya_graph::{connectivity, Digraph, RandomDynamicGraph, StaticGraph};
-use kya_runtime::faults::{FaultPlan, FaultyExecution, Lossy};
+use kya_harness::{Args, CellOutcome, ExperimentSpec, PlanSpec, Runner};
+use kya_runtime::faults::{FaultyExecution, Lossy};
 use kya_runtime::metric::EuclideanMetric;
 use kya_runtime::{Broadcast, Execution, Isotropic};
 use spec::{parse_graph, parse_values, SpecError};
-use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
@@ -48,79 +52,14 @@ const USAGE: &str = "usage:
   kya gossip  --graph SPEC --values VALS
   kya faults  --graph SPEC --values VALS [--drop P] [--dup P] [--crash A:FROM:UNTIL,...]
               [--until H] [--rounds R] [--seed S] [--eps E] [--plain] [--json]
+  kya sweep   [EXPERIMENT] [--workers N] [--ndjson | --json] [sweep flags...]
 
-graph specs: ring:6 biring:6 star:5 path:4 complete:4 torus:3x3
-             hypercube:3 debruijn:2x3 kautz:2x1 random:N:EXTRA:SEED randbi:N:EXTRA:SEED
+graph specs: ring:6 biring:6 star:5 path:4 complete:4 torus:3x4 torus:12
+             hypercube:3 debruijn:2x3 kautz:2x1 layered:3x8
+             random:N:EXTRA:SEED randbi:N:EXTRA:SEED
 value lists: 1,2,3 or 5x3,7 (repeat shorthand)
-crash specs: AGENT:FROM:UNTIL (crash-recover) or AGENT:FROM:- (crash-stop)";
-
-/// Minimal flag parser: `--key value` pairs after the subcommand.
-struct Args {
-    flags: BTreeMap<String, String>,
-    bare: Vec<String>,
-}
-
-impl Args {
-    fn parse(argv: &[String]) -> Result<Args, SpecError> {
-        let mut flags = BTreeMap::new();
-        let mut bare = Vec::new();
-        let mut i = 0;
-        while i < argv.len() {
-            let a = &argv[i];
-            if let Some(key) = a.strip_prefix("--") {
-                // Boolean flags (no value) are stored as "true".
-                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
-                    flags.insert(key.to_string(), argv[i + 1].clone());
-                    i += 2;
-                } else {
-                    flags.insert(key.to_string(), "true".to_string());
-                    i += 1;
-                }
-            } else {
-                bare.push(a.clone());
-                i += 1;
-            }
-        }
-        Ok(Args { flags, bare })
-    }
-
-    fn required(&self, key: &str) -> Result<&str, SpecError> {
-        self.flags
-            .get(key)
-            .map(String::as_str)
-            .ok_or_else(|| SpecError(format!("missing required flag --{key}")))
-    }
-
-    fn optional(&self, key: &str) -> Option<&str> {
-        self.flags.get(key).map(String::as_str)
-    }
-
-    /// Reject flags the subcommand does not understand: a misspelled
-    /// `--vaules` must fail loudly instead of silently running with the
-    /// required flag reported missing (or worse, a default).
-    fn reject_unknown(&self, cmd: &str, valid: &[&str]) -> Result<(), SpecError> {
-        for key in self.flags.keys() {
-            if !valid.contains(&key.as_str()) {
-                let valid = if valid.is_empty() {
-                    "it takes none".to_string()
-                } else {
-                    format!(
-                        "valid flags: {}",
-                        valid
-                            .iter()
-                            .map(|f| format!("--{f}"))
-                            .collect::<Vec<_>>()
-                            .join(", ")
-                    )
-                };
-                return Err(SpecError(format!(
-                    "unknown flag --{key} for `kya {cmd}` ({valid})"
-                )));
-            }
-        }
-        Ok(())
-    }
-}
+crash specs: AGENT:FROM:UNTIL (crash-recover) or AGENT:FROM:- (crash-stop)
+sweeps:      table1 table2 f1 f2 f4 f5 f6 (run `kya sweep` to list)";
 
 fn graph_and_values(args: &Args) -> Result<(Digraph, Vec<u64>), SpecError> {
     let g = parse_graph(args.required("graph")?)?;
@@ -140,7 +79,7 @@ fn print_census(census: &FibreCensus, n: usize, args: &Args) {
     for (v, f) in census.frequencies() {
         println!("  value {v}: frequency {f}");
     }
-    if args.optional("n").is_some() {
+    if args.is_set("n") {
         match census.multiplicities_known_n(n) {
             Ok(mults) => {
                 println!("with n = {n} known:");
@@ -263,14 +202,8 @@ fn cmd_pushsum(args: &Args) -> Result<(), SpecError> {
             values.len()
         )));
     }
-    let rounds: u64 = args
-        .optional("rounds")
-        .map_or(Ok(600), str::parse)
-        .map_err(|_| SpecError("--rounds must be a number".into()))?;
-    let seed: u64 = args
-        .optional("seed")
-        .map_or(Ok(42), str::parse)
-        .map_err(|_| SpecError("--seed must be a number".into()))?;
+    let rounds = args.u64_flag("rounds", 600)?;
+    let seed = args.u64_flag("seed", 42)?;
     let net = RandomDynamicGraph::directed(n, (n / 2).max(1), seed);
     let mut exec = Execution::new(
         Isotropic(PushSumFrequency::frequency()),
@@ -309,23 +242,9 @@ fn cmd_gossip(args: &Args) -> Result<(), SpecError> {
     Ok(())
 }
 
-fn parse_f64(args: &Args, key: &str, default: f64) -> Result<f64, SpecError> {
-    args.optional(key).map_or(Ok(default), |s| {
-        s.parse()
-            .map_err(|_| SpecError(format!("--{key} must be a number, got `{s}`")))
-    })
-}
-
-fn parse_u64(args: &Args, key: &str, default: u64) -> Result<u64, SpecError> {
-    args.optional(key).map_or(Ok(default), |s| {
-        s.parse()
-            .map_err(|_| SpecError(format!("--{key} must be a number, got `{s}`")))
-    })
-}
-
 /// Fold `--crash` specs (`AGENT:FROM:UNTIL` crash-recover,
-/// `AGENT:FROM:-` crash-stop, comma-separated) into the plan.
-fn parse_crashes(spec: &str, n: usize, mut plan: FaultPlan) -> Result<FaultPlan, SpecError> {
+/// `AGENT:FROM:-` crash-stop, comma-separated) into the plan template.
+fn parse_crashes(spec: &str, n: usize, mut plan: PlanSpec) -> Result<PlanSpec, SpecError> {
     for item in spec.split(',').filter(|s| !s.is_empty()) {
         let parts: Vec<&str> = item.split(':').collect();
         let [agent, from, until] = parts[..] else {
@@ -364,24 +283,26 @@ fn parse_crashes(spec: &str, n: usize, mut plan: FaultPlan) -> Result<FaultPlan,
     Ok(plan)
 }
 
+/// The F6 one-off: a single-cell harness sweep over the scripted fault
+/// plan, reported as a [`kya_runtime::CellReport`].
 fn cmd_faults(args: &Args) -> Result<(), SpecError> {
     let (g, values) = graph_and_values(args)?;
     if !connectivity::is_strongly_connected(&g) {
         return Err(SpecError("graph is not strongly connected".into()));
     }
     let n = g.n();
-    let drop_p = parse_f64(args, "drop", 0.0)?;
-    let dup_p = parse_f64(args, "dup", 0.0)?;
+    let drop_p = args.f64_flag("drop", 0.0)?;
+    let dup_p = args.f64_flag("dup", 0.0)?;
     if !(0.0..1.0).contains(&drop_p) || !(0.0..=1.0).contains(&dup_p) {
         return Err(SpecError("--drop needs [0,1), --dup needs [0,1]".into()));
     }
-    let rounds = parse_u64(args, "rounds", 300)?.max(1);
-    let seed = parse_u64(args, "seed", 42)?;
-    let eps = parse_f64(args, "eps", 1e-6)?;
+    let rounds = args.u64_flag("rounds", 300)?.max(1);
+    let seed = args.u64_flag("seed", 42)?;
+    let eps = args.f64_flag("eps", 1e-6)?;
     // Probabilistic faults cease at the horizon (default: half the run)
     // so "rounds to recover after the last fault" is well defined.
-    let horizon = parse_u64(args, "until", rounds / 2)?.max(1);
-    let mut plan = FaultPlan::new(seed).until(horizon);
+    let horizon = args.u64_flag("until", rounds / 2)?.max(1);
+    let mut plan = PlanSpec::quiescent().until(horizon).with_seed(seed);
     if drop_p > 0.0 {
         plan = plan.drop_links(drop_p);
     }
@@ -391,36 +312,52 @@ fn cmd_faults(args: &Args) -> Result<(), SpecError> {
     if let Some(spec) = args.optional("crash") {
         plan = parse_crashes(spec, n, plan)?;
     }
+    let plain = args.is_set("plain");
+
     let inputs: Vec<f64> = values.iter().map(|&v| v as f64).collect();
     let target = inputs.iter().sum::<f64>() / n as f64;
-    let states = PushSumState::averaging(&inputs);
-    let net = StaticGraph::new(g);
-    // z mass starts (and must stay) at n: the signed deficit is n - Σz.
-    let z_deficit = move |states: &[PushSumState]| n as f64 - total_mass(states).1;
-    let plain = args.optional("plain").is_some();
-    let report = if plain {
-        let mut exec = FaultyExecution::new(Lossy(Isotropic(PushSum)), states, plan.clone());
-        exec.run_with_recovery(
-            &net,
-            rounds,
-            &EuclideanMetric,
-            &target,
-            eps,
-            Some(&z_deficit),
-        )
-    } else {
-        let mut exec = FaultyExecution::new(Isotropic(SelfHealingPushSum), states, plan.clone());
-        exec.run_with_recovery(
-            &net,
-            rounds,
-            &EuclideanMetric,
-            &target,
-            eps,
-            Some(&z_deficit),
-        )
-    };
-    if args.optional("json").is_some() {
-        println!("{}", serde::to_json_string(&report));
+    let shown_plan = plan.build(seed);
+    let spec = ExperimentSpec::new("faults")
+        .topologies([args.required("graph")?.to_string()])
+        .sizes([n])
+        .algorithms([if plain { "plain" } else { "healing" }])
+        .plans([plan])
+        .rounds(rounds)
+        .eps(eps)
+        .base_seed(seed);
+    let sink = Runner::new(&spec).run(|ctx| {
+        let g = ctx.graph().expect("validated above");
+        let net = StaticGraph::new((*g).clone());
+        let states = PushSumState::averaging(&inputs);
+        // z mass starts (and must stay) at n: the signed deficit is n - Σz.
+        let z_deficit = move |states: &[PushSumState]| n as f64 - total_mass(states).1;
+        let report = if plain {
+            FaultyExecution::new(Lossy(Isotropic(PushSum)), states, ctx.fault_plan())
+                .run_with_recovery(
+                    &net,
+                    ctx.rounds(),
+                    &EuclideanMetric,
+                    &target,
+                    ctx.eps(),
+                    Some(&z_deficit),
+                )
+        } else {
+            FaultyExecution::new(Isotropic(SelfHealingPushSum), states, ctx.fault_plan())
+                .run_with_recovery(
+                    &net,
+                    ctx.rounds(),
+                    &EuclideanMetric,
+                    &target,
+                    ctx.eps(),
+                    Some(&z_deficit),
+                )
+        };
+        CellOutcome::new().report(report)
+    });
+    let record = sink.records().first().expect("one cell");
+    let report = record.report.as_ref().expect("report recorded");
+    if args.is_set("json") {
+        println!("{}", serde::to_json_string(record));
         return Ok(());
     }
     println!(
@@ -431,7 +368,7 @@ fn cmd_faults(args: &Args) -> Result<(), SpecError> {
             "self-healing"
         }
     );
-    println!("  {}", serde::to_json_string(&plan));
+    println!("  {}", serde::to_json_string(&shown_plan));
     println!(
         "injected: {} drops, {} duplications, {} bounces to crashed agents",
         report.events.dropped, report.events.duplicated, report.events.bounced_to_crashed
@@ -440,42 +377,64 @@ fn cmd_faults(args: &Args) -> Result<(), SpecError> {
     Ok(())
 }
 
+fn cmd_sweep(argv: &[String]) -> Result<(), SpecError> {
+    let Some(name) = argv.first() else {
+        println!("available experiment sweeps:");
+        for e in kya_bench::experiments::EXPERIMENTS {
+            println!("  {:<8} {}", e.name, e.about);
+        }
+        return Ok(());
+    };
+    match kya_bench::experiments::run(name, &argv[1..])? {
+        true => Ok(()),
+        false => Err(SpecError(format!(
+            "sweep `{name}`: some cells FAILED — see [XX] lines above"
+        ))),
+    }
+}
+
 fn run() -> Result<(), SpecError> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
         return Err(SpecError(USAGE.into()));
     };
-    let args = Args::parse(&argv[1..])?;
-    if !args.bare.is_empty() {
+    if cmd == "sweep" {
+        // The experiment owns its flag set (including extras like F6's
+        // `--drops`), so delegate before generic flag validation.
+        return cmd_sweep(&argv[1..]);
+    }
+    let args = Args::parse(&argv[1..]);
+    if !args.bare().is_empty() {
         return Err(SpecError(format!(
             "unexpected arguments {:?}\n\n{USAGE}",
-            args.bare
+            args.bare()
         )));
     }
+    let kya_cmd = format!("kya {cmd}");
     match cmd.as_str() {
         "tables" => {
-            args.reject_unknown(cmd, &[])?;
+            args.reject_unknown(&kya_cmd, &[])?;
             cmd_tables()
         }
         "minbase" => {
-            args.reject_unknown(cmd, &["graph", "values"])?;
+            args.reject_unknown(&kya_cmd, &["graph", "values"])?;
             cmd_minbase(&args)
         }
         "census" => {
-            args.reject_unknown(cmd, &["graph", "values", "model", "n", "leader"])?;
+            args.reject_unknown(&kya_cmd, &["graph", "values", "model", "n", "leader"])?;
             cmd_census(&args)
         }
         "pushsum" => {
-            args.reject_unknown(cmd, &["n", "values", "rounds", "bound", "seed"])?;
+            args.reject_unknown(&kya_cmd, &["n", "values", "rounds", "bound", "seed"])?;
             cmd_pushsum(&args)
         }
         "gossip" => {
-            args.reject_unknown(cmd, &["graph", "values"])?;
+            args.reject_unknown(&kya_cmd, &["graph", "values"])?;
             cmd_gossip(&args)
         }
         "faults" => {
             args.reject_unknown(
-                cmd,
+                &kya_cmd,
                 &[
                     "graph", "values", "drop", "dup", "crash", "until", "rounds", "seed", "eps",
                     "plain", "json",
@@ -506,7 +465,7 @@ mod tests {
     use super::*;
 
     fn args(list: &[&str]) -> Args {
-        Args::parse(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+        Args::parse(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     }
 
     #[test]
@@ -516,13 +475,13 @@ mod tests {
         assert_eq!(a.optional("n"), Some("true"));
         assert_eq!(a.optional("values"), Some("1,2"));
         assert!(a.required("missing").is_err());
-        assert!(a.bare.is_empty());
+        assert!(a.bare().is_empty());
     }
 
     #[test]
     fn bare_arguments_detected() {
         let a = args(&["oops", "--graph", "ring:3"]);
-        assert_eq!(a.bare, vec!["oops".to_string()]);
+        assert_eq!(a.bare(), &["oops".to_string()]);
     }
 
     #[test]
@@ -569,7 +528,7 @@ mod tests {
     fn unknown_flags_rejected_with_valid_set() {
         let a = args(&["--graph", "ring:3", "--vaules", "1,2,3"]);
         let err = a
-            .reject_unknown("minbase", &["graph", "values"])
+            .reject_unknown("kya minbase", &["graph", "values"])
             .unwrap_err();
         assert!(err.0.contains("--vaules"), "{err}");
         assert!(
@@ -577,10 +536,12 @@ mod tests {
             "names the valid set: {err}"
         );
         let a = args(&["--anything", "x"]);
-        let err = a.reject_unknown("tables", &[]).unwrap_err();
+        let err = a.reject_unknown("kya tables", &[]).unwrap_err();
         assert!(err.0.contains("takes none"), "{err}");
         let a = args(&["--graph", "ring:3", "--values", "1,2,3"]);
-        assert!(a.reject_unknown("minbase", &["graph", "values"]).is_ok());
+        assert!(a
+            .reject_unknown("kya minbase", &["graph", "values"])
+            .is_ok());
     }
 
     #[test]
@@ -632,5 +593,14 @@ mod tests {
         assert!(cmd_faults(&a).unwrap_err().0.contains("empty"));
         let a = args(&["--graph", "ring:3", "--values", "1,2,3", "--drop", "1.5"]);
         assert!(cmd_faults(&a).is_err());
+    }
+
+    #[test]
+    fn sweep_delegates_to_the_registry() {
+        assert!(cmd_sweep(&[]).is_ok(), "bare `kya sweep` lists experiments");
+        let argv: Vec<String> = vec!["nope".into()];
+        assert!(cmd_sweep(&argv).is_err(), "unknown experiment rejected");
+        let argv: Vec<String> = vec!["f6".into(), "--bogus".into()];
+        assert!(cmd_sweep(&argv).is_err(), "unknown sweep flag rejected");
     }
 }

@@ -1,172 +1,10 @@
-//! Graph and value specification parsing for the CLI.
+//! Graph and value specification parsing — re-exported from the
+//! harness.
 //!
-//! Graph specs are `family:params`:
-//!
-//! | spec | graph |
-//! |------|-------|
-//! | `ring:N` | directed ring |
-//! | `biring:N` | bidirectional ring |
-//! | `star:N` | bidirectional star |
-//! | `path:N` | bidirectional path |
-//! | `complete:N` | complete digraph |
-//! | `torus:RxC` | directed torus |
-//! | `hypercube:D` | bidirectional hypercube |
-//! | `debruijn:BxK` | de Bruijn graph |
-//! | `kautz:BxK` | Kautz graph |
-//! | `random:N:EXTRA:SEED` | random strongly connected digraph |
-//! | `randbi:N:EXTRA:SEED` | random connected bidirectional graph |
+//! The grammar moved into [`kya_harness`] when the parallel sweep
+//! harness landed, so the CLI, the bench experiments, and sweep specs
+//! all accept exactly the same labels (including the families the old
+//! CLI parser lacked: `torus:N`, `layered:GxS`). This module remains as
+//! the CLI-local name so `use spec::...` call sites keep working.
 
-use kya_graph::{generators, Digraph};
-use std::fmt;
-
-/// A CLI parsing error with a human-oriented message.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SpecError(pub String);
-
-impl fmt::Display for SpecError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
-    }
-}
-
-impl std::error::Error for SpecError {}
-
-fn err(msg: impl Into<String>) -> SpecError {
-    SpecError(msg.into())
-}
-
-fn parse_num(s: &str, what: &str) -> Result<usize, SpecError> {
-    s.parse()
-        .map_err(|_| err(format!("invalid {what}: `{s}` is not a number")))
-}
-
-fn parse_pair(s: &str, what: &str) -> Result<(usize, usize), SpecError> {
-    let (a, b) = s
-        .split_once('x')
-        .ok_or_else(|| err(format!("invalid {what}: expected AxB, got `{s}`")))?;
-    Ok((parse_num(a, what)?, parse_num(b, what)?))
-}
-
-/// Parse a graph spec (see module docs for the grammar).
-///
-/// # Errors
-///
-/// Returns a [`SpecError`] describing the problem.
-pub fn parse_graph(spec: &str) -> Result<Digraph, SpecError> {
-    let mut parts = spec.split(':');
-    let family = parts.next().unwrap_or_default();
-    let rest: Vec<&str> = parts.collect();
-    let arg = |i: usize| -> Result<&str, SpecError> {
-        rest.get(i)
-            .copied()
-            .ok_or_else(|| err(format!("`{family}` needs more parameters (got `{spec}`)")))
-    };
-    let graph = match family {
-        "ring" => generators::directed_ring(parse_num(arg(0)?, "size")?.max(1)),
-        "biring" => generators::bidirectional_ring(parse_num(arg(0)?, "size")?.max(1)),
-        "star" => generators::star(parse_num(arg(0)?, "size")?.max(1)),
-        "path" => generators::bidirectional_path(parse_num(arg(0)?, "size")?.max(1)),
-        "complete" => generators::complete(parse_num(arg(0)?, "size")?),
-        "torus" => {
-            let (r, c) = parse_pair(arg(0)?, "torus dimensions")?;
-            generators::directed_torus(r.max(1), c.max(1))
-        }
-        "hypercube" => generators::hypercube(parse_num(arg(0)?, "dimension")? as u32),
-        "debruijn" => {
-            let (b, k) = parse_pair(arg(0)?, "de Bruijn parameters")?;
-            generators::de_bruijn(b.max(1), (k.max(1)) as u32)
-        }
-        "kautz" => {
-            let (b, k) = parse_pair(arg(0)?, "Kautz parameters")?;
-            generators::kautz(b.max(1), k as u32)
-        }
-        "random" => {
-            let n = parse_num(arg(0)?, "size")?.max(1);
-            let extra = parse_num(arg(1)?, "extra edge count")?;
-            let seed = parse_num(arg(2)?, "seed")? as u64;
-            generators::random_strongly_connected(n, extra, seed)
-        }
-        "randbi" => {
-            let n = parse_num(arg(0)?, "size")?.max(1);
-            let extra = parse_num(arg(1)?, "extra pair count")?;
-            let seed = parse_num(arg(2)?, "seed")? as u64;
-            generators::random_bidirectional_connected(n, extra, seed)
-        }
-        other => {
-            return Err(err(format!(
-                "unknown graph family `{other}` (try ring, biring, star, path, complete, \
-                 torus, hypercube, debruijn, kautz, random, randbi)"
-            )))
-        }
-    };
-    Ok(graph)
-}
-
-/// Parse a comma-separated value list (`1,2,3`), optionally with `xK`
-/// repetition (`5x3,7` = `5,5,5,7`).
-///
-/// # Errors
-///
-/// Returns a [`SpecError`] describing the problem.
-pub fn parse_values(spec: &str) -> Result<Vec<u64>, SpecError> {
-    let mut out = Vec::new();
-    for item in spec.split(',') {
-        if item.is_empty() {
-            continue;
-        }
-        match item.split_once('x') {
-            Some((v, k)) => {
-                let v: u64 = v.parse().map_err(|_| err(format!("invalid value `{v}`")))?;
-                let k: usize = k
-                    .parse()
-                    .map_err(|_| err(format!("invalid repeat count `{k}`")))?;
-                out.extend(std::iter::repeat_n(v, k));
-            }
-            None => out.push(
-                item.parse()
-                    .map_err(|_| err(format!("invalid value `{item}`")))?,
-            ),
-        }
-    }
-    if out.is_empty() {
-        return Err(err("empty value list"));
-    }
-    Ok(out)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn graph_specs_parse() {
-        assert_eq!(parse_graph("ring:5").unwrap().n(), 5);
-        assert_eq!(parse_graph("biring:4").unwrap().edge_count(), 8);
-        assert_eq!(parse_graph("torus:2x3").unwrap().n(), 6);
-        assert_eq!(parse_graph("hypercube:3").unwrap().n(), 8);
-        assert_eq!(parse_graph("debruijn:2x2").unwrap().n(), 4);
-        assert_eq!(parse_graph("kautz:2x1").unwrap().n(), 6);
-        assert_eq!(parse_graph("random:7:3:42").unwrap().n(), 7);
-        assert_eq!(parse_graph("randbi:7:2:1").unwrap().n(), 7);
-        assert_eq!(parse_graph("star:5").unwrap().outdegree(0), 4);
-    }
-
-    #[test]
-    fn graph_spec_errors() {
-        assert!(parse_graph("nonsense:3").is_err());
-        assert!(parse_graph("ring").is_err());
-        assert!(parse_graph("torus:5").is_err());
-        assert!(parse_graph("random:5:1").is_err());
-        assert!(parse_graph("ring:xyz").is_err());
-    }
-
-    #[test]
-    fn value_specs_parse() {
-        assert_eq!(parse_values("1,2,3").unwrap(), vec![1, 2, 3]);
-        assert_eq!(parse_values("5x3,7").unwrap(), vec![5, 5, 5, 7]);
-        assert_eq!(parse_values("0x2").unwrap(), vec![0, 0]);
-        assert!(parse_values("").is_err());
-        assert!(parse_values("a,b").is_err());
-        assert!(parse_values("1x").is_err());
-    }
-}
+pub use kya_harness::{parse_graph, parse_values, SpecError};

@@ -1,0 +1,247 @@
+//! The deterministic worker pool executing a spec's cells.
+//!
+//! Cells are enumerated once in the spec's fixed order, pulled by a
+//! fixed pool of scoped workers from an atomic queue (work stealing:
+//! fast cells do not hold up slow ones), and reassembled in cell order
+//! before the sink ever sees them. Because each cell's seed is a pure
+//! function of the spec — never of which worker ran it or when — the
+//! collected output is **byte-identical for every worker count**.
+
+use crate::sink::{CellRecord, ResultSink};
+use crate::spec::{CellSpec, ExperimentSpec, SpecError};
+use crate::topo::TopologyCache;
+use kya_graph::Digraph;
+use kya_runtime::faults::FaultPlan;
+use kya_runtime::CellReport;
+use serde::{Serialize, Value};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Everything a cell function sees: the spec (shared parameters), the
+/// cell (resolved axis values), and the shared topology cache.
+pub struct CellCtx<'a> {
+    /// The experiment specification being swept.
+    pub spec: &'a ExperimentSpec,
+    /// The cell to execute.
+    pub cell: &'a CellSpec,
+    /// The memo table shared by all workers.
+    pub cache: &'a TopologyCache,
+}
+
+impl CellCtx<'_> {
+    /// The cell's graph via the shared cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] when the topology label is not in the
+    /// static-graph grammar (experiments with dynamic-network labels
+    /// interpret `cell.topology` themselves instead).
+    pub fn graph(&self) -> Result<Arc<Digraph>, SpecError> {
+        self.cache.graph(&self.cell.topology)
+    }
+
+    /// The cell's fault plan: its template instantiated with the
+    /// deterministic per-cell seed.
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.cell.plan.build(self.cell.cell_seed)
+    }
+
+    /// Shorthand for the spec's round budget.
+    pub fn rounds(&self) -> u64 {
+        self.spec.round_budget()
+    }
+
+    /// Shorthand for the spec's convergence tolerance.
+    pub fn eps(&self) -> f64 {
+        self.spec.tolerance()
+    }
+}
+
+/// What a cell function returns: an optional pass/fail verdict, an
+/// optional measurement [`CellReport`], and free-form detail fields
+/// that land in the record's `details` map.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CellOutcome {
+    pub(crate) ok: Option<bool>,
+    pub(crate) report: Option<CellReport>,
+    pub(crate) details: Vec<(String, Value)>,
+}
+
+impl CellOutcome {
+    /// An empty outcome (no verdict, no report, no details).
+    pub fn new() -> CellOutcome {
+        CellOutcome::default()
+    }
+
+    /// Attach a pass/fail verdict (certification-style experiments).
+    #[must_use]
+    pub fn ok(mut self, ok: bool) -> CellOutcome {
+        self.ok = Some(ok);
+        self
+    }
+
+    /// Attach the cell's measurement report.
+    #[must_use]
+    pub fn report(mut self, report: CellReport) -> CellOutcome {
+        self.report = Some(report);
+        self
+    }
+
+    /// Attach a named detail value (any serializable type).
+    #[must_use]
+    pub fn detail(mut self, key: impl Into<String>, value: impl Serialize) -> CellOutcome {
+        self.details.push((key.into(), value.to_value()));
+        self
+    }
+}
+
+/// The worker pool: built from a spec, configured with a worker count,
+/// run with a cell function.
+pub struct Runner<'a> {
+    spec: &'a ExperimentSpec,
+    workers: usize,
+}
+
+impl<'a> Runner<'a> {
+    /// A runner for `spec` with a single worker (sequential).
+    pub fn new(spec: &'a ExperimentSpec) -> Runner<'a> {
+        Runner { spec, workers: 1 }
+    }
+
+    /// Set the worker count (clamped to at least 1). The output is the
+    /// same for every value; this only chooses the parallelism.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Runner<'a> {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Execute every cell with a fresh [`TopologyCache`] and collect
+    /// the records in cell order.
+    pub fn run<F>(&self, f: F) -> ResultSink
+    where
+        F: Fn(&CellCtx) -> CellOutcome + Sync,
+    {
+        self.run_with_cache(&TopologyCache::new(), f)
+    }
+
+    /// Execute every cell against a caller-provided (possibly
+    /// pre-warmed) cache — cache state must never change results, and
+    /// the harness tests assert exactly that.
+    pub fn run_with_cache<F>(&self, cache: &TopologyCache, f: F) -> ResultSink
+    where
+        F: Fn(&CellCtx) -> CellOutcome + Sync,
+    {
+        let cells = self.spec.cells();
+        // Parse each distinct static label once up front so workers
+        // share one graph from the first cell on. Labels outside the
+        // grammar (dynamic networks) are simply skipped.
+        for label in self.spec.topology_labels() {
+            let _ = cache.graph(&label);
+        }
+
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, CellRecord)>> =
+            Mutex::new(Vec::with_capacity(cells.len()));
+        let pool = self.workers.min(cells.len()).max(1);
+        let spec = self.spec;
+        let (cells_ref, next_ref, collected_ref, f_ref) = (&cells, &next, &collected, &f);
+        crossbeam::scope(|s| {
+            for _ in 0..pool {
+                s.spawn(move |_| loop {
+                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells_ref.len() {
+                        break;
+                    }
+                    let cell = &cells_ref[i];
+                    let ctx = CellCtx { spec, cell, cache };
+                    let outcome = f_ref(&ctx);
+                    let record = CellRecord::new(spec, cell, outcome);
+                    collected_ref.lock().expect("result lock").push((i, record));
+                });
+            }
+        })
+        .expect("worker pool");
+
+        let mut indexed = collected.into_inner().expect("result lock");
+        indexed.sort_by_key(|&(i, _)| i);
+        debug_assert!(indexed.iter().enumerate().all(|(k, &(i, _))| k == i));
+        let mut sink = ResultSink::new();
+        for (_, record) in indexed {
+            sink.push(record);
+        }
+        sink
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ExperimentSpec;
+
+    fn demo_spec() -> ExperimentSpec {
+        ExperimentSpec::new("demo")
+            .topologies(["ring:{n}", "torus:{n}"])
+            .sizes([4, 6, 9])
+            .algorithms(["a", "b"])
+    }
+
+    fn cell_fn(ctx: &CellCtx) -> CellOutcome {
+        let g = ctx.graph().expect("static label");
+        CellOutcome::new()
+            .ok(g.n() == ctx.cell.n)
+            .detail("edges", g.edge_count() as u64)
+            .detail("cell_seed", ctx.cell.cell_seed)
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_exactly() {
+        let spec = demo_spec();
+        let one = Runner::new(&spec).workers(1).run(cell_fn);
+        let four = Runner::new(&spec).workers(4).run(cell_fn);
+        let many = Runner::new(&spec).workers(32).run(cell_fn);
+        assert_eq!(one.records().len(), 12);
+        assert_eq!(one.to_ndjson(), four.to_ndjson());
+        assert_eq!(one.to_ndjson(), many.to_ndjson());
+        assert!(one.all_ok());
+    }
+
+    #[test]
+    fn records_arrive_in_cell_order() {
+        let spec = demo_spec();
+        let sink = Runner::new(&spec).workers(3).run(cell_fn);
+        for (i, r) in sink.records().iter().enumerate() {
+            assert_eq!(r.cell, i);
+        }
+    }
+
+    #[test]
+    fn shared_cache_computes_each_graph_once() {
+        let spec = ExperimentSpec::new("demo")
+            .topologies(["ring:{n}"])
+            .sizes([8])
+            .seeds([1, 2, 3, 4, 5, 6, 7, 8]);
+        let cache = TopologyCache::new();
+        let sink = Runner::new(&spec)
+            .workers(4)
+            .run_with_cache(&cache, cell_fn);
+        assert_eq!(sink.records().len(), 8);
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, 1, "one parse of ring:8");
+        assert!(hits >= 8, "every cell hit the cache: {hits}");
+    }
+
+    #[test]
+    fn fault_plan_uses_cell_seed_unless_pinned() {
+        use crate::spec::PlanSpec;
+        let spec = ExperimentSpec::new("demo")
+            .topologies(["ring:{n}"])
+            .sizes([4])
+            .plans([PlanSpec::quiescent().drop_links(0.2)]);
+        let sink = Runner::new(&spec).run(|ctx| {
+            let plan = ctx.fault_plan();
+            CellOutcome::new().ok(plan.seed() == ctx.cell.cell_seed)
+        });
+        assert!(sink.all_ok());
+    }
+}

@@ -1,0 +1,237 @@
+//! Stable-schema result records and the sinks that collect them.
+//!
+//! Every cell produces one [`CellRecord`] with a fixed field order, so
+//! the NDJSON/JSON renderings are byte-stable across runs and worker
+//! counts — the property the CI determinism job diffs for.
+
+use crate::runner::CellOutcome;
+use crate::spec::{CellSpec, ExperimentSpec};
+use kya_runtime::CellReport;
+use serde::{Serialize, Value};
+
+/// One cell's result: the resolved axis values plus the outcome.
+///
+/// Serializes to a JSON object with a fixed key order (`experiment`,
+/// `cell`, `topology`, `n`, `seed`, `algorithm`, `variant`, `plan`,
+/// `cell_seed`, `ok`, `report`, `details`); absent verdicts and reports
+/// serialize as `null` so every record has every key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellRecord {
+    /// The experiment name.
+    pub experiment: String,
+    /// The cell index in enumeration order.
+    pub cell: usize,
+    /// The resolved topology label.
+    pub topology: String,
+    /// The size-axis value.
+    pub n: usize,
+    /// The seed-axis value.
+    pub seed: u64,
+    /// The algorithm-axis label.
+    pub algorithm: String,
+    /// The variant-axis label.
+    pub variant: String,
+    /// The fault-plan label (e.g. `quiescent`, `p0.3+c2`).
+    pub plan: String,
+    /// The derived per-cell seed (replays the cell exactly).
+    pub cell_seed: u64,
+    /// Pass/fail verdict, when the cell is a certification.
+    pub ok: Option<bool>,
+    /// Measurement report, when the cell produced one.
+    pub report: Option<CellReport>,
+    /// Experiment-specific detail fields, in insertion order.
+    pub details: Vec<(String, Value)>,
+}
+
+impl CellRecord {
+    /// Assemble the record for `cell` from its outcome.
+    pub fn new(spec: &ExperimentSpec, cell: &CellSpec, outcome: CellOutcome) -> CellRecord {
+        CellRecord {
+            experiment: spec.name().to_string(),
+            cell: cell.index,
+            topology: cell.topology.clone(),
+            n: cell.n,
+            seed: cell.seed,
+            algorithm: cell.algorithm.clone(),
+            variant: cell.variant.clone(),
+            plan: cell.plan.label(),
+            cell_seed: cell.cell_seed,
+            ok: outcome.ok,
+            report: outcome.report,
+            details: outcome.details,
+        }
+    }
+
+    /// Look up a detail value by key.
+    pub fn detail(&self, key: &str) -> Option<&Value> {
+        self.details.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+impl Serialize for CellRecord {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            (
+                "experiment".to_string(),
+                Value::Str(self.experiment.clone()),
+            ),
+            ("cell".to_string(), Value::UInt(self.cell as u64)),
+            ("topology".to_string(), Value::Str(self.topology.clone())),
+            ("n".to_string(), Value::UInt(self.n as u64)),
+            ("seed".to_string(), Value::UInt(self.seed)),
+            ("algorithm".to_string(), Value::Str(self.algorithm.clone())),
+            ("variant".to_string(), Value::Str(self.variant.clone())),
+            ("plan".to_string(), Value::Str(self.plan.clone())),
+            ("cell_seed".to_string(), Value::UInt(self.cell_seed)),
+            ("ok".to_string(), self.ok.map_or(Value::Null, Value::Bool)),
+            (
+                "report".to_string(),
+                self.report.as_ref().map_or(Value::Null, |r| r.to_value()),
+            ),
+            ("details".to_string(), Value::Map(self.details.clone())),
+        ])
+    }
+}
+
+/// An in-memory collection of records in cell order, with stable
+/// renderings.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResultSink {
+    records: Vec<CellRecord>,
+}
+
+impl ResultSink {
+    /// An empty sink.
+    pub fn new() -> ResultSink {
+        ResultSink::default()
+    }
+
+    /// Append a record.
+    pub fn push(&mut self, record: CellRecord) {
+        self.records.push(record);
+    }
+
+    /// The collected records, in cell order.
+    pub fn records(&self) -> &[CellRecord] {
+        &self.records
+    }
+
+    /// Number of records collected.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records were collected.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Whether no record carries a failing verdict (records without a
+    /// verdict count as passing).
+    pub fn all_ok(&self) -> bool {
+        self.records.iter().all(|r| r.ok != Some(false))
+    }
+
+    /// Records with a failing verdict.
+    pub fn failures(&self) -> Vec<&CellRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.ok == Some(false))
+            .collect()
+    }
+
+    /// One compact JSON object per line, in cell order — the format the
+    /// CI determinism job diffs between worker counts.
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_value().to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A single JSON document: `{"experiment": ..., "cells": [...]}`.
+    pub fn to_json(&self) -> String {
+        let experiment = self
+            .records
+            .first()
+            .map(|r| r.experiment.clone())
+            .unwrap_or_default();
+        Value::Map(vec![
+            ("experiment".to_string(), Value::Str(experiment)),
+            ("cells".to_string(), Value::UInt(self.records.len() as u64)),
+            (
+                "records".to_string(),
+                Value::Seq(self.records.iter().map(|r| r.to_value()).collect()),
+            ),
+        ])
+        .to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::CellOutcome;
+    use crate::spec::ExperimentSpec;
+
+    fn record() -> CellRecord {
+        let spec = ExperimentSpec::new("t").topologies(["ring:{n}"]).sizes([4]);
+        let cell = &spec.cells()[0];
+        CellRecord::new(
+            &spec,
+            cell,
+            CellOutcome::new().ok(true).detail("rounds_to_eps", 17u64),
+        )
+    }
+
+    #[test]
+    fn record_serializes_with_fixed_key_order() {
+        let json = serde::to_json_string(&record());
+        let exp = json.find("\"experiment\"").unwrap();
+        let cell = json.find("\"cell\"").unwrap();
+        let ok = json.find("\"ok\"").unwrap();
+        let details = json.find("\"details\"").unwrap();
+        assert!(exp < cell && cell < ok && ok < details, "{json}");
+        assert!(json.contains("\"report\":null"), "{json}");
+        assert!(json.contains("\"rounds_to_eps\":17"), "{json}");
+    }
+
+    #[test]
+    fn sink_renders_ndjson_one_line_per_record() {
+        let mut sink = ResultSink::new();
+        sink.push(record());
+        sink.push(record());
+        let nd = sink.to_ndjson();
+        assert_eq!(nd.lines().count(), 2);
+        assert!(nd.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert_eq!(sink.len(), 2);
+        assert!(!sink.is_empty());
+    }
+
+    #[test]
+    fn all_ok_ignores_verdictless_records() {
+        let mut sink = ResultSink::new();
+        sink.push(record());
+        let mut bad = record();
+        bad.ok = None;
+        sink.push(bad);
+        assert!(sink.all_ok());
+        assert!(sink.failures().is_empty());
+        let mut bad = record();
+        bad.ok = Some(false);
+        sink.push(bad);
+        assert!(!sink.all_ok());
+        assert_eq!(sink.failures().len(), 1);
+    }
+
+    #[test]
+    fn json_document_wraps_records() {
+        let mut sink = ResultSink::new();
+        sink.push(record());
+        let doc = sink.to_json();
+        assert!(doc.starts_with("{\"experiment\":\"t\""), "{doc}");
+        assert!(doc.contains("\"cells\":1"), "{doc}");
+    }
+}

@@ -1,0 +1,303 @@
+//! Memoized per-topology artifacts shared read-only across workers.
+//!
+//! A sweep crossing one topology with dozens of seeds and fault plans
+//! re-derives the same graph-level facts in every cell: the parsed
+//! graph, the diameter of its self-loop closure (round budgets are
+//! `n + D + c`), the centralized minimum base (the reference object of
+//! every F2/F3-style certification), Metropolis weight matrices, and
+//! spectral gaps. [`TopologyCache`] computes each exactly once per key
+//! and hands out shared `Arc`s; hit/miss counters make the memoization
+//! observable (and testable: cached answers must equal cold ones).
+
+use kya_arith::spectral::FMatrix;
+use kya_fibration::MinimumBase;
+use kya_graph::{connectivity, Digraph};
+use kya_runtime::faults::FaultPlan;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::spec::{parse_graph, SpecError};
+
+/// Minimum bases are memoized per (label, input values) pair.
+type BaseMemo = BTreeMap<(String, Vec<u64>), Arc<MinimumBase>>;
+
+/// A memo table of per-topology artifacts, safe to share across the
+/// runner's workers (`&TopologyCache` is `Sync`).
+///
+/// Keys are the *labels* (graph specs), so two cells naming the same
+/// spec share one computation. All values are immutable once inserted.
+#[derive(Default)]
+pub struct TopologyCache {
+    graphs: Mutex<BTreeMap<String, Arc<Digraph>>>,
+    diameters: Mutex<BTreeMap<String, Option<usize>>>,
+    bases: Mutex<BaseMemo>,
+    weights: Mutex<BTreeMap<String, Arc<FMatrix>>>,
+    gaps: Mutex<BTreeMap<String, f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TopologyCache {
+    /// An empty cache.
+    pub fn new() -> TopologyCache {
+        TopologyCache::default()
+    }
+
+    fn memo<K: Ord + Clone, V: Clone>(
+        &self,
+        table: &Mutex<BTreeMap<K, V>>,
+        key: &K,
+        compute: impl FnOnce() -> V,
+    ) -> V {
+        // Compute while holding the lock: artifacts are expensive and
+        // must be computed once per key, and cells needing *different*
+        // keys still proceed after a short wait. (The maps are distinct
+        // locks, so a base computation never blocks a graph parse.)
+        let mut map = table.lock().expect("cache lock");
+        if let Some(v) = map.get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = compute();
+        map.insert(key.clone(), v.clone());
+        v
+    }
+
+    /// The parsed graph for `label`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the label is not in the grammar (the
+    /// error is *not* cached; dynamic-network labels that experiments
+    /// interpret themselves simply never hit this method).
+    pub fn graph(&self, label: &str) -> Result<Arc<Digraph>, SpecError> {
+        {
+            let map = self.graphs.lock().expect("cache lock");
+            if let Some(g) = map.get(label) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(g.clone());
+            }
+        }
+        // Parse outside the lock: failures must not poison or block.
+        let g = Arc::new(parse_graph(label)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.graphs.lock().expect("cache lock");
+        Ok(map.entry(label.to_string()).or_insert(g).clone())
+    }
+
+    /// The diameter of the self-loop closure of `label`'s graph
+    /// (`None` if the closure is not strongly connected).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the label does not parse.
+    pub fn diameter(&self, label: &str) -> Result<Option<usize>, SpecError> {
+        let g = self.graph(label)?;
+        Ok(self.memo(&self.diameters, &label.to_string(), || {
+            connectivity::diameter(&g.with_self_loops())
+        }))
+    }
+
+    /// The standard stabilization budget `n + D + slack` for `label`,
+    /// with `D` falling back to `n` when the graph is not strongly
+    /// connected.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the label does not parse.
+    pub fn stabilization_budget(&self, label: &str, slack: u64) -> Result<u64, SpecError> {
+        let g = self.graph(label)?;
+        let d = self.diameter(label)?.unwrap_or(g.n());
+        Ok(g.n() as u64 + d as u64 + slack)
+    }
+
+    /// The minimum base of `label`'s graph **with self-loops** under
+    /// `values` — the reference object centralized certifications
+    /// compare against.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the label does not parse.
+    pub fn minimum_base(&self, label: &str, values: &[u64]) -> Result<Arc<MinimumBase>, SpecError> {
+        let g = self.graph(label)?;
+        let key = (label.to_string(), values.to_vec());
+        Ok(self.memo(&self.bases, &key, || {
+            Arc::new(MinimumBase::compute(&g.with_self_loops(), values))
+        }))
+    }
+
+    /// The Metropolis weight matrix of `label`'s (bidirectional) graph:
+    /// `w_ij = 1 / (1 + max(d_i, d_j))` on edges, diagonal filling each
+    /// row to 1, where `d_v` counts neighbors (self-loops excluded).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the label does not parse.
+    pub fn metropolis_weights(&self, label: &str) -> Result<Arc<FMatrix>, SpecError> {
+        let g = self.graph(label)?;
+        Ok(self.memo(&self.weights, &label.to_string(), || {
+            Arc::new(metropolis_matrix(&g))
+        }))
+    }
+
+    /// The spectral gap `1 - |λ₂|` of `label`'s Metropolis matrix,
+    /// estimated by power iteration deflating the uniform (Perron)
+    /// direction. Returns 0 when the iteration does not converge.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the label does not parse.
+    pub fn spectral_gap(&self, label: &str) -> Result<f64, SpecError> {
+        let w = self.metropolis_weights(label)?;
+        Ok(self.memo(&self.gaps, &label.to_string(), || second_eigen_gap(&w)))
+    }
+
+    /// Instantiate the cell's fault plan against the cached graph —
+    /// pure convenience mirroring [`FaultPlan::new`] usage.
+    pub fn fault_plan(&self, template: &crate::spec::PlanSpec, cell_seed: u64) -> FaultPlan {
+        template.build(cell_seed)
+    }
+
+    /// (hits, misses) over all tables so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The Metropolis weight matrix of a bidirectional graph (degrees count
+/// neighbors, i.e. self-loops are excluded on both sides).
+fn metropolis_matrix(g: &Digraph) -> FMatrix {
+    let n = g.n();
+    let closed = g.with_self_loops();
+    let degree = |v: usize| -> usize { closed.outdegree(v).saturating_sub(1) };
+    let mut w = FMatrix::zeros(n);
+    for i in 0..n {
+        let mut row = 0.0;
+        for j in closed.out_neighbors(i) {
+            if j == i {
+                continue;
+            }
+            let wij = 1.0 / (1.0 + degree(i).max(degree(j)) as f64);
+            // Multi-edges contribute once: Metropolis weights are a
+            // function of the simple neighbor relation.
+            if w[(i, j)] == 0.0 {
+                w[(i, j)] = wij;
+                row += wij;
+            }
+        }
+        w[(i, i)] = 1.0 - row;
+    }
+    w
+}
+
+/// `1 - |λ₂|` by power iteration on the component orthogonal to the
+/// uniform vector (the Perron direction of a doubly stochastic
+/// Metropolis matrix).
+fn second_eigen_gap(w: &FMatrix) -> f64 {
+    let n = w.dim();
+    if n <= 1 {
+        return 1.0;
+    }
+    // Deterministic, non-uniform start vector.
+    let mut v: Vec<f64> = (0..n).map(|i| ((i * 2654435761) % 1000) as f64).collect();
+    let deflate = |v: &mut Vec<f64>| {
+        let mean = v.iter().sum::<f64>() / n as f64;
+        for x in v.iter_mut() {
+            *x -= mean;
+        }
+    };
+    deflate(&mut v);
+    let mut lambda = 0.0;
+    for _ in 0..10_000 {
+        let mut next = w.mul_vec(&v);
+        deflate(&mut next);
+        let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-300 {
+            return 1.0; // second eigenvalue is (numerically) zero
+        }
+        for x in next.iter_mut() {
+            *x /= norm;
+        }
+        let prev = lambda;
+        // Rayleigh quotient with the normalized iterate.
+        let wv = w.mul_vec(&next);
+        lambda = next.iter().zip(&wv).map(|(a, b)| a * b).sum::<f64>();
+        v = next;
+        if (lambda - prev).abs() < 1e-12 {
+            break;
+        }
+    }
+    (1.0 - lambda.abs()).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kya_graph::generators;
+
+    #[test]
+    fn graphs_are_cached_by_label() {
+        let cache = TopologyCache::new();
+        let a = cache.graph("ring:6").unwrap();
+        let b = cache.graph("ring:6").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (1, 1));
+        assert!(cache.graph("not-a-graph").is_err());
+        // Errors are not cached and do not disturb the counters' sense.
+        assert!(cache.graph("not-a-graph").is_err());
+    }
+
+    #[test]
+    fn diameter_and_budget() {
+        let cache = TopologyCache::new();
+        assert_eq!(cache.diameter("ring:6").unwrap(), Some(5));
+        assert_eq!(cache.stabilization_budget("ring:6", 8).unwrap(), 6 + 5 + 8);
+        // Second call is a pure hit.
+        let before = cache.stats().1;
+        assert_eq!(cache.diameter("ring:6").unwrap(), Some(5));
+        assert_eq!(cache.stats().1, before);
+    }
+
+    #[test]
+    fn minimum_base_matches_direct_computation() {
+        let cache = TopologyCache::new();
+        let values = vec![1, 2, 1, 2, 1, 2];
+        let cached = cache.minimum_base("biring:6", &values).unwrap();
+        let g = generators::bidirectional_ring(6);
+        let direct = MinimumBase::compute(&g.with_self_loops(), &values);
+        assert_eq!(cached.base().n(), direct.base().n());
+        assert_eq!(cached.base_values(), direct.base_values());
+        // Distinct values vectors are distinct keys.
+        let other = cache.minimum_base("biring:6", &[1, 1, 1, 1, 1, 1]).unwrap();
+        assert_eq!(other.base().n(), 1);
+    }
+
+    #[test]
+    fn metropolis_weights_are_doubly_stochastic() {
+        let cache = TopologyCache::new();
+        let w = cache.metropolis_weights("biring:5").unwrap();
+        for i in 0..5 {
+            let row: f64 = (0..5).map(|j| w[(i, j)]).sum();
+            let col: f64 = (0..5).map(|j| w[(j, i)]).sum();
+            assert!((row - 1.0).abs() < 1e-12, "row {i} sums to {row}");
+            assert!((col - 1.0).abs() < 1e-12, "col {i} sums to {col}");
+        }
+        // Degree-2 ring: off-diagonal weight 1/3.
+        assert!((w[(0, 1)] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spectral_gap_of_complete_graph_is_large() {
+        let cache = TopologyCache::new();
+        let complete = cache.spectral_gap("complete:6").unwrap();
+        let ring = cache.spectral_gap("biring:24").unwrap();
+        assert!(complete > ring, "complete {complete} vs long ring {ring}");
+        assert!(ring > 0.0 && ring < 0.1, "long rings mix slowly: {ring}");
+    }
+}

@@ -1,6 +1,9 @@
 //! The round-by-round executor.
 
 use crate::algorithm::Algorithm;
+use crate::faults::FaultEvents;
+use crate::metric::Metric;
+use crate::report::CellReport;
 use kya_graph::{Digraph, DynamicGraph};
 
 /// An execution of an [`Algorithm`] on a network: the sequence of global
@@ -22,6 +25,10 @@ pub struct Execution<A: Algorithm> {
 
 /// The result of running until outputs stabilize (discrete-metric
 /// convergence, §2.3).
+#[deprecated(
+    since = "0.2.0",
+    note = "use Execution::run_until with DiscreteMetric, which returns the unified CellReport"
+)]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StabilizationReport<O> {
     /// The common stabilized outputs, indexed by agent.
@@ -234,6 +241,125 @@ impl<A: Algorithm> Execution<A> {
         self.states = next.into_iter().map(|(_, s)| s).collect();
     }
 
+    /// The measuring loop behind [`Execution::run_until`] and friends:
+    /// step, record the worst-case distance, optionally break early once
+    /// the outputs have stayed in the ε-ball for `confirm` rounds.
+    fn run_measuring(
+        &mut self,
+        net: &dyn DynamicGraph,
+        max_rounds: u64,
+        dist: &dyn Fn(&[A::Output]) -> f64,
+        eps: f64,
+        confirm: Option<u64>,
+    ) -> CellReport {
+        let start = self.round;
+        let mut distances = Vec::new();
+        let mut entered: Option<u64> = None;
+        while self.round - start < max_rounds {
+            let g = net.graph(self.round + 1);
+            self.step(&g);
+            let d = dist(&self.outputs());
+            distances.push(d);
+            if let Some(confirm) = confirm {
+                if d <= eps {
+                    let at = *entered.get_or_insert(self.round);
+                    if self.round - at >= confirm {
+                        break;
+                    }
+                } else {
+                    entered = None;
+                }
+            }
+        }
+        CellReport::from_trace(start, distances, eps, 0, FaultEvents::default(), None)
+    }
+
+    /// Run for up to `max_rounds` rounds, measuring the worst-case
+    /// distance of the outputs from `target` each round, and report when
+    /// the outputs entered the ε-ball *and stayed there* for the rest of
+    /// the run (§2.3's convergence at tolerance `eps`).
+    ///
+    /// The full budget is always executed — convergence is judged
+    /// post-hoc over the whole trace, so a transient dip into the ball
+    /// does not count. Non-consuming: the execution can be stepped or
+    /// measured again afterwards; a second call measures from the
+    /// current round.
+    pub fn run_until<M: Metric<A::Output>>(
+        &mut self,
+        net: &dyn DynamicGraph,
+        metric: &M,
+        target: &A::Output,
+        eps: f64,
+        max_rounds: u64,
+    ) -> CellReport {
+        self.run_measuring(
+            net,
+            max_rounds,
+            &|outputs| crate::metric::max_distance(metric, outputs, target),
+            eps,
+            None,
+        )
+    }
+
+    /// Like [`Execution::run_until`], but stop early once the outputs
+    /// have stayed within `eps` of `target` for `confirm` consecutive
+    /// rounds — the budget-saving variant for sweeps whose cells
+    /// converge long before `max_rounds`.
+    ///
+    /// The stay-in-ball criterion is unchanged; only the observation
+    /// window is truncated, so `converged_at` equals the full-budget
+    /// answer whenever the algorithm does not leave the ball again after
+    /// `confirm` rounds inside it.
+    pub fn run_until_converged<M: Metric<A::Output>>(
+        &mut self,
+        net: &dyn DynamicGraph,
+        metric: &M,
+        target: &A::Output,
+        eps: f64,
+        max_rounds: u64,
+        confirm: u64,
+    ) -> CellReport {
+        self.run_measuring(
+            net,
+            max_rounds,
+            &|outputs| crate::metric::max_distance(metric, outputs, target),
+            eps,
+            Some(confirm),
+        )
+    }
+
+    /// Like [`Execution::run_until`], but against per-agent targets:
+    /// the measured distance of a round is `max_i δ(output_i,
+    /// targets[i])`. This is the primitive behind
+    /// [`crate::testing::check_self_stabilization`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len() != n()`.
+    pub fn run_until_targets<M: Metric<A::Output>>(
+        &mut self,
+        net: &dyn DynamicGraph,
+        metric: &M,
+        targets: &[A::Output],
+        eps: f64,
+        max_rounds: u64,
+    ) -> CellReport {
+        assert_eq!(targets.len(), self.n(), "one target per agent");
+        self.run_measuring(
+            net,
+            max_rounds,
+            &|outputs| {
+                outputs
+                    .iter()
+                    .zip(targets)
+                    .map(|(o, t)| metric.distance(o, t))
+                    .fold(0.0, f64::max)
+            },
+            eps,
+            None,
+        )
+    }
+
     /// Run until the outputs have been constant for `window` consecutive
     /// rounds, or `max_rounds` rounds have elapsed.
     ///
@@ -241,6 +367,11 @@ impl<A: Algorithm> Execution<A> {
     /// window is *empirical*: the model itself has no termination
     /// awareness (§2.3), so callers choose a window that the relevant
     /// theory (e.g. the `n + D` bound of §3.2) justifies.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Execution::run_until with DiscreteMetric, which returns the unified CellReport"
+    )]
+    #[allow(deprecated)]
     pub fn run_until_stable(
         &mut self,
         net: &dyn DynamicGraph,
@@ -311,6 +442,87 @@ mod tests {
     }
 
     #[test]
+    fn run_until_measures_convergence() {
+        use crate::metric::DiscreteMetric;
+        let net = StaticGraph::new(generators::directed_ring(6));
+        let inits: Vec<Vec<u32>> = (0..6).map(|v| vec![v]).collect();
+        let mut exec = Execution::new(Broadcast(SetGossip), inits);
+        let report = exec.run_until(&net, &DiscreteMetric, &5u32, 0.0, 20);
+        // The max floods the ring in diameter = 5 rounds.
+        assert_eq!(report.converged_at, Some(5));
+        assert_eq!(report.convergence_rounds, Some(5));
+        assert_eq!(report.rounds_run, 20, "full budget is executed");
+        assert_eq!(report.final_distance, 0.0);
+        assert_eq!(exec.round(), 20, "non-consuming: execution advanced");
+    }
+
+    #[test]
+    fn run_until_converged_stops_early() {
+        use crate::metric::DiscreteMetric;
+        let net = StaticGraph::new(generators::directed_ring(6));
+        let inits: Vec<Vec<u32>> = (0..6).map(|v| vec![v]).collect();
+        let mut exec = Execution::new(Broadcast(SetGossip), inits);
+        let report = exec.run_until_converged(&net, &DiscreteMetric, &5u32, 0.0, 10_000, 3);
+        assert_eq!(report.converged_at, Some(5));
+        assert_eq!(report.rounds_run, 8, "5 to converge + 3 to confirm");
+        assert_eq!(exec.round(), 8);
+    }
+
+    #[test]
+    fn run_until_resumes_from_current_round() {
+        use crate::metric::DiscreteMetric;
+        let net = StaticGraph::new(generators::directed_ring(6));
+        let inits: Vec<Vec<u32>> = (0..6).map(|v| vec![v]).collect();
+        let mut exec = Execution::new(Broadcast(SetGossip), inits);
+        exec.run(&net, 2);
+        let report = exec.run_until(&net, &DiscreteMetric, &5u32, 0.0, 10);
+        // Rounds are absolute: convergence still lands at round 5, but
+        // only 3 of this call's rounds were needed.
+        assert_eq!(report.converged_at, Some(5));
+        assert_eq!(report.convergence_rounds, Some(3));
+        assert_eq!(report.rounds_run, 10);
+    }
+
+    #[test]
+    fn run_until_targets_checks_per_agent() {
+        use crate::metric::DiscreteMetric;
+        // Frozen states: each agent keeps its own value, so per-agent
+        // targets equal to the initial values are hit at round 1.
+        struct Keep;
+        impl BroadcastAlgorithm for Keep {
+            type State = u32;
+            type Msg = ();
+            type Output = u32;
+            fn message(&self, _: &u32) {}
+            fn transition(&self, s: &u32, _: &[()]) -> u32 {
+                *s
+            }
+            fn output(&self, s: &u32) -> u32 {
+                *s
+            }
+        }
+        let net = StaticGraph::new(generators::directed_ring(3));
+        let mut exec = Execution::new(Broadcast(Keep), vec![7, 8, 9]);
+        let targets = [7u32, 8, 9];
+        let report = exec.run_until_targets(&net, &DiscreteMetric, &targets, 0.0, 5);
+        assert_eq!(report.converged_at, Some(1));
+        // A wrong per-agent target never converges.
+        let mut exec = Execution::new(Broadcast(Keep), vec![7, 8, 9]);
+        let report = exec.run_until_targets(&net, &DiscreteMetric, &[7, 8, 0], 0.0, 5);
+        assert_eq!(report.converged_at, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "one target per agent")]
+    fn run_until_targets_rejects_wrong_arity() {
+        use crate::metric::DiscreteMetric;
+        let net = StaticGraph::new(generators::directed_ring(3));
+        let mut exec = Execution::new(Broadcast(SetGossip), vec![vec![1], vec![2], vec![3]]);
+        let _ = exec.run_until_targets(&net, &DiscreteMetric, &[1u32], 0.0, 5);
+    }
+
+    #[test]
+    #[allow(deprecated)] // the compatibility shim must keep working one release
     fn stabilization_detection() {
         let net = StaticGraph::new(generators::directed_ring(6));
         let inits: Vec<Vec<u32>> = (0..6).map(|v| vec![v]).collect();
@@ -324,6 +536,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the compatibility shim must keep working one release
     fn stabilization_timeout() {
         /// An algorithm that never stabilizes: counts rounds mod 2.
         struct Blinker;

@@ -38,9 +38,9 @@
 
 use crate::algorithm::Algorithm;
 use crate::metric::Metric;
+use crate::report::CellReport;
 use kya_graph::{Digraph, DynamicGraph};
 use serde::{Deserialize, Serialize};
-use std::fmt;
 use std::ops::Range;
 
 // ---------------------------------------------------------------------
@@ -541,59 +541,15 @@ pub struct FaultyExecution<A: FaultAware> {
 }
 
 /// Measured recovery of a faulted execution, produced by
-/// [`FaultyExecution::run_with_recovery`]. Serializes to JSON for the F6
-/// benchmark sweep.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct RecoveryReport {
-    /// Rounds executed while measuring.
-    pub rounds_run: u64,
-    /// Last round at which a fault was actually injected (0 = the run
-    /// was fault-free).
-    pub last_fault_round: u64,
-    /// First round after `last_fault_round` at which every output was
-    /// within `eps` of the target *and stayed there* for the rest of the
-    /// run; `None` if the outputs never (re-)entered the ε-ball.
-    pub recovered_at: Option<u64>,
-    /// `recovered_at - last_fault_round`: rounds needed to re-converge
-    /// after the final fault.
-    pub recovery_rounds: Option<u64>,
-    /// Worst-case distance from target over the fault window
-    /// (`rounds <= last_fault_round`); 0 for a fault-free run.
-    pub max_divergence_during_faults: f64,
-    /// Distance from target at the final round.
-    pub final_distance: f64,
-    /// Deficit of the caller-supplied conserved quantity at the final
-    /// round (e.g. Push-Sum mass), if an invariant was supplied.
-    pub mass_deficit: Option<f64>,
-    /// Per-round worst-case distance from the target (round `start+1`
-    /// first).
-    pub distances: Vec<f64>,
-    /// Fault counters for the measured window.
-    pub events: FaultEvents,
-}
-
-impl fmt::Display for RecoveryReport {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "faults until round {} (max divergence {:.3e}); ",
-            self.last_fault_round, self.max_divergence_during_faults
-        )?;
-        match self.recovered_at {
-            Some(r) => write!(
-                f,
-                "recovered at round {r} ({} rounds after last fault)",
-                self.recovery_rounds.unwrap_or(0)
-            )?,
-            None => write!(f, "not recovered after {} rounds", self.rounds_run)?,
-        }
-        write!(f, "; final distance {:.3e}", self.final_distance)?;
-        if let Some(d) = self.mass_deficit {
-            write!(f, "; mass deficit {d:.3e}")?;
-        }
-        Ok(())
-    }
-}
+/// [`FaultyExecution::run_with_recovery`].
+///
+/// The fields formerly named `recovered_at` / `recovery_rounds` are now
+/// [`CellReport::converged_at`] / [`CellReport::convergence_rounds`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use kya_runtime::CellReport (recovered_at is now converged_at)"
+)]
+pub type RecoveryReport = CellReport;
 
 impl<A: FaultAware> FaultyExecution<A> {
     /// Start a faulted execution from the given initial states.
@@ -753,7 +709,7 @@ impl<A: FaultAware> FaultyExecution<A> {
         target: &A::Output,
         eps: f64,
         invariant: Option<Invariant<'_, A::State>>,
-    ) -> RecoveryReport {
+    ) -> CellReport {
         let start = self.round;
         let events_before = self.events;
         let mut distances = Vec::with_capacity(rounds as usize);
@@ -767,44 +723,19 @@ impl<A: FaultAware> FaultyExecution<A> {
         } else {
             0
         };
-        // Worst divergence over rounds start+1 ..= last_fault_round.
-        let fault_window = if last_fault_round > start {
-            (last_fault_round - start) as usize
-        } else {
-            0
-        };
-        let max_divergence_during_faults = distances[..fault_window.min(distances.len())]
-            .iter()
-            .fold(0.0, |a: f64, &b| a.max(b));
-        // First round strictly after the last fault whose distance is
-        // <= eps and stays <= eps until the end.
-        let tail_from = fault_window; // index of round last_fault_round + 1
-        let mut recovered_idx = None;
-        for (i, &d) in distances.iter().enumerate().skip(tail_from) {
-            if d <= eps {
-                recovered_idx.get_or_insert(i);
-            } else {
-                recovered_idx = None;
-            }
-        }
-        let recovered_at = recovered_idx.map(|i| start + i as u64 + 1);
-        let recovery_rounds = recovered_at.map(|r| r - last_fault_round.max(start));
         let mut events = self.events;
         events.dropped -= events_before.dropped;
         events.duplicated -= events_before.duplicated;
         events.bounced_to_crashed -= events_before.bounced_to_crashed;
         events.crashed_rounds -= events_before.crashed_rounds;
-        RecoveryReport {
-            rounds_run: rounds,
-            last_fault_round,
-            recovered_at,
-            recovery_rounds,
-            max_divergence_during_faults,
-            final_distance: distances.last().copied().unwrap_or(0.0),
-            mass_deficit: invariant.map(|f| f(&self.states)),
+        CellReport::from_trace(
+            start,
             distances,
+            eps,
+            last_fault_round,
             events,
-        }
+            invariant.map(|f| f(&self.states)),
+        )
     }
 }
 
@@ -1002,10 +933,10 @@ mod tests {
         let report = exec.run_with_recovery(&net, 20, &DiscreteMetric, &9u32, 0.0, None);
         assert_eq!(report.last_fault_round, 3);
         assert_eq!(report.max_divergence_during_faults, 1.0);
-        let recovered = report.recovered_at.expect("flood completes");
+        let recovered = report.converged_at.expect("flood completes");
         assert!(recovered > 3 && recovered <= 10, "recovered at {recovered}");
         assert_eq!(
-            report.recovery_rounds,
+            report.convergence_rounds,
             Some(recovered - 3),
             "measured from the last fault"
         );
@@ -1021,7 +952,7 @@ mod tests {
         let mut exec = FaultyExecution::new(Lossy(Broadcast(MaxFlood)), vec![1, 2, 3], plan);
         let report = exec.run_with_recovery(&net, 10, &DiscreteMetric, &3u32, 0.0, None);
         let json = serde::to_json_string(&report);
-        let back: RecoveryReport = serde::from_json_str(&json).expect("parses");
+        let back: CellReport = serde::from_json_str(&json).expect("parses");
         assert_eq!(back, report);
     }
 }

@@ -54,9 +54,13 @@ mod algorithm;
 mod execution;
 pub mod faults;
 pub mod metric;
+pub mod report;
 pub mod testing;
 
 pub use algorithm::{
     Algorithm, Broadcast, BroadcastAlgorithm, CommunicationModel, Isotropic, IsotropicAlgorithm,
 };
-pub use execution::{Execution, StabilizationReport};
+pub use execution::Execution;
+#[allow(deprecated)]
+pub use execution::StabilizationReport;
+pub use report::CellReport;

@@ -14,6 +14,7 @@
 
 use crate::algorithm::Algorithm;
 use crate::execution::Execution;
+use crate::metric::DiscreteMetric;
 use kya_graph::DynamicGraph;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -80,25 +81,14 @@ pub fn check_self_stabilization<A, F>(
 ) -> SelfStabOutcome<A::Output>
 where
     A: Algorithm,
+    A::Output: PartialEq,
     F: Fn(usize) -> A::Output,
 {
+    let n = corrupted.len();
+    let targets: Vec<A::Output> = (0..n).map(&target).collect();
     let mut exec = Execution::new(algo, corrupted);
-    let mut entered: Option<u64> = None;
-    while exec.round() < max_rounds {
-        let g = net.graph(exec.round() + 1);
-        exec.step(&g);
-        let ok = exec
-            .outputs()
-            .iter()
-            .enumerate()
-            .all(|(i, o)| *o == target(i));
-        match (ok, entered) {
-            (true, None) => entered = Some(exec.round()),
-            (false, Some(_)) => entered = None,
-            _ => {}
-        }
-    }
-    match entered {
+    let report = exec.run_until_targets(net, &DiscreteMetric, &targets, 0.0, max_rounds);
+    match report.converged_at {
         Some(at_round) => SelfStabOutcome::Stabilized { at_round },
         None => SelfStabOutcome::Diverged {
             outputs: exec.outputs(),

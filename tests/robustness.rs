@@ -171,7 +171,7 @@ fn self_healing_push_sum_recovers_from_crash_recover() {
         "self-healing conserves mass: deficit {:?}",
         report.mass_deficit
     );
-    let recovered = report.recovered_at.expect("re-enters the eps-ball");
+    let recovered = report.converged_at.expect("re-enters the eps-ball");
     assert!(recovered > report.last_fault_round);
     assert!(report.final_distance < 1e-9);
 }
@@ -201,7 +201,7 @@ fn plain_push_sum_does_not_recover_from_message_loss() {
         report.mass_deficit
     );
     assert_eq!(
-        report.recovered_at, None,
+        report.converged_at, None,
         "the lost mass shifts the limit permanently"
     );
 }
