@@ -1,11 +1,13 @@
 //! Criterion bench: sequential vs parallel executor stepping at growing
 //! network sizes (the parallel path pays off once per-agent work
-//! dominates the thread handoff).
+//! dominates the thread handoff). The `counting_observer` entries price
+//! the telemetry layer: `sequential` is the `NullObserver`-monomorphized
+//! path, so any gap between the two is exactly the opt-in observer cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kya_algos::gossip::SetGossip;
 use kya_graph::generators;
-use kya_runtime::{Broadcast, Execution};
+use kya_runtime::{Broadcast, CountingObserver, Execution};
 use std::time::Duration;
 
 fn bench_step(c: &mut Criterion) {
@@ -32,6 +34,16 @@ fn bench_step(c: &mut Criterion) {
                     exec.step_parallel(&g, 4);
                 }
                 exec.round()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("counting_observer", n), &n, |b, _| {
+            b.iter(|| {
+                let mut exec = Execution::new(Broadcast(SetGossip), inits.clone());
+                let mut obs = CountingObserver::new();
+                for _ in 0..20 {
+                    exec.step_observed(&g, &mut obs);
+                }
+                obs.summary().messages
             })
         });
     }

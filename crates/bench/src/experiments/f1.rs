@@ -12,11 +12,10 @@
 //! networks never leaves the ball again, so `converged_at` matches the
 //! full-budget answer at a fraction of the wall-clock.
 
-use super::{dynamic_net, Experiment};
+use super::{dynamic_net, observed_convergence, Experiment};
 use kya_algos::push_sum::{PushSum, PushSumState};
 use kya_graph::StaticGraph;
 use kya_harness::{Args, CellCtx, CellOutcome, ExperimentSpec, ResultSink, SpecError};
-use kya_runtime::metric::EuclideanMetric;
 use kya_runtime::{Execution, Isotropic};
 
 /// The F1 registry entry.
@@ -76,20 +75,17 @@ fn cell(ctx: &CellCtx) -> CellOutcome {
     let run = |n: usize, net: &dyn kya_graph::DynamicGraph| {
         let values = values_for(n);
         let avg = values.iter().sum::<f64>() / n as f64;
-        let mut exec = Execution::new(Isotropic(PushSum), PushSumState::averaging(&values));
-        exec.run_until_converged(net, &EuclideanMetric, &avg, eps, ctx.rounds(), CONFIRM)
+        let exec = Execution::new(Isotropic(PushSum), PushSumState::averaging(&values));
+        observed_convergence(ctx, exec, net, avg, eps, CONFIRM)
     };
-    let report = match ctx.graph() {
+    let (converged, outcome) = match ctx.graph() {
         Ok(g) => run(g.n(), &StaticGraph::new((*g).clone())),
         Err(_) => {
             let net = dynamic_net(&ctx.cell.topology).expect("known dynamic label");
             run(ctx.cell.n, &*net)
         }
     };
-    CellOutcome::new()
-        .ok(report.converged())
-        .detail("eps", eps)
-        .report(report.without_trace())
+    outcome.ok(converged).detail("eps", eps)
 }
 
 fn render(sink: &ResultSink) -> String {

@@ -3,12 +3,11 @@
 //! algorithm axis carries the five §5 update rules; cells measure
 //! rounds to a stable 1e-9 ε-ball via `run_until_converged`.
 
-use super::{dynamic_net, Experiment};
+use super::{dynamic_net, observed_convergence, Experiment};
 use kya_algos::metropolis::{FixedWeight, LazyMetropolis, Metropolis};
 use kya_algos::push_sum::{PushSum, PushSumState};
 use kya_harness::{Args, CellCtx, CellOutcome, ExperimentSpec, ResultSink, SpecError};
-use kya_runtime::metric::EuclideanMetric;
-use kya_runtime::{Broadcast, CellReport, Execution, Isotropic};
+use kya_runtime::{Broadcast, Execution, Isotropic};
 
 /// The F4 registry entry.
 pub const EXPERIMENT: Experiment = Experiment {
@@ -52,22 +51,51 @@ fn cell(ctx: &CellCtx) -> CellOutcome {
     let target = values.iter().sum::<f64>() / n as f64;
     let net = dynamic_net(&ctx.cell.topology).expect("known dynamic label");
     let net = &*net;
-    let m = &EuclideanMetric;
-    let (eps, budget) = (ctx.eps(), ctx.rounds());
-    let report: CellReport = match ctx.cell.algorithm.as_str() {
-        "pushsum" => Execution::new(Isotropic(PushSum), PushSumState::averaging(&values))
-            .run_until_converged(net, m, &target, eps, budget, CONFIRM),
-        "metropolis" => Execution::new(Isotropic(Metropolis), values.clone())
-            .run_until_converged(net, m, &target, eps, budget, CONFIRM),
-        "lazy-metropolis" => Execution::new(Isotropic(LazyMetropolis), values.clone())
-            .run_until_converged(net, m, &target, eps, budget, CONFIRM),
-        "fixed-1n" => Execution::new(Broadcast(FixedWeight::new(n)), values.clone())
-            .run_until_converged(net, m, &target, eps, budget, CONFIRM),
-        "fixed-4n" => Execution::new(Broadcast(FixedWeight::new(4 * n)), values.clone())
-            .run_until_converged(net, m, &target, eps, budget, CONFIRM),
+    let eps = ctx.eps();
+    let (_, outcome) = match ctx.cell.algorithm.as_str() {
+        "pushsum" => observed_convergence(
+            ctx,
+            Execution::new(Isotropic(PushSum), PushSumState::averaging(&values)),
+            net,
+            target,
+            eps,
+            CONFIRM,
+        ),
+        "metropolis" => observed_convergence(
+            ctx,
+            Execution::new(Isotropic(Metropolis), values.clone()),
+            net,
+            target,
+            eps,
+            CONFIRM,
+        ),
+        "lazy-metropolis" => observed_convergence(
+            ctx,
+            Execution::new(Isotropic(LazyMetropolis), values.clone()),
+            net,
+            target,
+            eps,
+            CONFIRM,
+        ),
+        "fixed-1n" => observed_convergence(
+            ctx,
+            Execution::new(Broadcast(FixedWeight::new(n)), values.clone()),
+            net,
+            target,
+            eps,
+            CONFIRM,
+        ),
+        "fixed-4n" => observed_convergence(
+            ctx,
+            Execution::new(Broadcast(FixedWeight::new(4 * n)), values.clone()),
+            net,
+            target,
+            eps,
+            CONFIRM,
+        ),
         other => panic!("unknown f4 algorithm `{other}`"),
     };
-    CellOutcome::new().report(report.without_trace())
+    outcome
 }
 
 fn render(sink: &ResultSink) -> String {

@@ -18,9 +18,15 @@ pub mod table2;
 
 use kya_graph::{DynamicGraph, RandomDynamicGraph, SparselyConnected};
 use kya_harness::{Args, CellCtx, CellOutcome, ExperimentSpec, ResultSink, Runner, SpecError};
-use kya_harness::{TopologyCache, SWEEP_FLAGS};
+use kya_harness::{TelemetryMode, TopologyCache, SWEEP_FLAGS};
 use kya_runtime::adversary::AsyncStarts;
+use kya_runtime::metric::EuclideanMetric;
+use kya_runtime::telemetry::TraceSink;
+use kya_runtime::{Algorithm, Execution};
 use std::process::ExitCode;
+
+/// Flags `kya trace` accepts on top of the sweep and experiment flags.
+pub const TRACE_FLAGS: &[&str] = &["trace-out", "residuals"];
 
 /// One registered experiment: spec construction, the per-cell function,
 /// and the human rendering of a finished sweep.
@@ -62,6 +68,40 @@ pub fn find(name: &str) -> Option<&'static Experiment> {
 ///
 /// Returns a [`SpecError`] for unknown experiments or malformed flags.
 pub fn run(name: &str, argv: &[String]) -> Result<bool, SpecError> {
+    let (exp, sinks) = run_collect(name, argv, TelemetryMode::off(), &[])?;
+    let args = Args::parse(argv);
+    if args.is_set("ndjson") {
+        for sink in &sinks {
+            print!("{}", sink.to_ndjson());
+        }
+    } else if args.is_set("json") {
+        for sink in &sinks {
+            println!("{}", sink.to_json());
+        }
+    } else {
+        for sink in &sinks {
+            println!("{}", (exp.render)(sink));
+        }
+    }
+    Ok(sinks.iter().all(ResultSink::all_ok))
+}
+
+/// Parse flags, build the specs, and sweep them — the shared engine of
+/// `kya sweep` (telemetry off) and `kya trace` (telemetry on). Returns
+/// the registry entry and one sink per spec, in spec order, leaving the
+/// rendering to the caller.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] for unknown experiments, bare arguments, or
+/// flags outside [`SWEEP_FLAGS`] + the experiment's extras +
+/// `extra_valid`.
+pub fn run_collect(
+    name: &str,
+    argv: &[String],
+    telemetry: TelemetryMode,
+    extra_valid: &[&str],
+) -> Result<(&'static Experiment, Vec<ResultSink>), SpecError> {
     let exp = find(name).ok_or_else(|| {
         let known: Vec<&str> = EXPERIMENTS.iter().map(|e| e.name).collect();
         SpecError(format!(
@@ -78,6 +118,7 @@ pub fn run(name: &str, argv: &[String]) -> Result<bool, SpecError> {
     }
     let mut valid: Vec<&str> = SWEEP_FLAGS.to_vec();
     valid.extend_from_slice(exp.extra_flags);
+    valid.extend_from_slice(extra_valid);
     args.reject_unknown(name, &valid)?;
     let workers = args.usize_flag("workers", 1)?;
 
@@ -90,24 +131,62 @@ pub fn run(name: &str, argv: &[String]) -> Result<bool, SpecError> {
         .map(|spec| {
             Runner::new(spec)
                 .workers(workers)
+                .telemetry(telemetry)
                 .run_with_cache(&cache, exp.cell)
         })
         .collect();
+    Ok((exp, sinks))
+}
 
-    if args.is_set("ndjson") {
-        for sink in &sinks {
-            print!("{}", sink.to_ndjson());
-        }
-    } else if args.is_set("json") {
-        for sink in &sinks {
-            println!("{}", sink.to_json());
-        }
-    } else {
-        for sink in &sinks {
-            println!("{}", (exp.render)(sink));
-        }
+/// Run `exec` until its outputs sit in a stable ε-ball around `target`
+/// (`run_until_converged` semantics), honouring the context's telemetry
+/// mode: with telemetry on, a [`TraceSink`] with a residual column
+/// observes every round and its counters/events land in the outcome;
+/// with `--residuals`, the report additionally keeps its per-round
+/// distance series. Returns the convergence verdict alongside the
+/// assembled outcome so callers can attach it (or not) as `ok`.
+pub(crate) fn observed_convergence<A>(
+    ctx: &CellCtx,
+    mut exec: Execution<A>,
+    net: &dyn DynamicGraph,
+    target: f64,
+    eps: f64,
+    confirm: u64,
+) -> (bool, CellOutcome)
+where
+    A: Algorithm<Output = f64>,
+{
+    let mode = ctx.telemetry;
+    if !mode.enabled() {
+        let report =
+            exec.run_until_converged(net, &EuclideanMetric, &target, eps, ctx.rounds(), confirm);
+        return (
+            report.converged(),
+            CellOutcome::new().report(report.without_trace()),
+        );
     }
-    Ok(sinks.iter().all(ResultSink::all_ok))
+    let mut sink = TraceSink::with_residual(EuclideanMetric, target);
+    let report = exec.run_until_converged_observed(
+        net,
+        &EuclideanMetric,
+        &target,
+        eps,
+        ctx.rounds(),
+        confirm,
+        &mut sink,
+    );
+    let (events, summary) = sink.finish();
+    let converged = report.converged();
+    let mut outcome = CellOutcome::new().telemetry(summary);
+    if mode.trace {
+        outcome = outcome.trace(events);
+    }
+    let report = if mode.residuals {
+        report
+    } else {
+        report.without_trace()
+    };
+    (converged, outcome.report(report))
 }
 
 /// The shared `main` of every experiment binary: parse `std::env` args,
@@ -212,6 +291,67 @@ mod tests {
         let argv = vec!["--nonsense".to_string()];
         assert!(run("f6", &argv).is_err(), "unknown flag rejected");
         assert!(run("nope", &[]).is_err(), "unknown experiment rejected");
+    }
+
+    #[test]
+    fn traced_f1_rings_decay_monotonically_and_match_counters() {
+        let argv: Vec<String> = ["--sizes", "8", "--seeds", "1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mode = TelemetryMode {
+            trace: true,
+            residuals: false,
+        };
+        let (_, sinks) = run_collect("f1", &argv, mode, TRACE_FLAGS).unwrap();
+        assert_eq!(sinks.len(), 3, "f1 sweeps three specs");
+        for sink in &sinks {
+            for r in sink.records() {
+                let t = r.telemetry.as_ref().expect("traced cells carry telemetry");
+                assert_eq!(t.rounds as usize, r.trace.len(), "one event per round");
+                let msgs: u64 = r.trace.iter().map(|e| e.messages).sum();
+                let selfs: u64 = r.trace.iter().map(|e| e.self_messages).sum();
+                assert_eq!(msgs, t.messages, "trace totals match the summary");
+                assert_eq!(selfs, t.self_messages);
+                assert!(r.trace.iter().all(|e| e.residual.is_some()));
+            }
+        }
+        // Push-Sum on a connected directed ring: the worst-case distance
+        // to the average never grows, and shrinks strictly until it hits
+        // the f64 noise floor (ties only appear at ~1e-13 residuals).
+        let rings = sinks[0].records();
+        assert!(!rings.is_empty());
+        for r in rings {
+            let res: Vec<f64> = r.trace.iter().map(|e| e.residual.unwrap()).collect();
+            assert!(
+                res.windows(2).all(|w| w[1] <= w[0]),
+                "residuals not monotone on {}",
+                r.topology
+            );
+            assert!(
+                res.windows(2).all(|w| w[1] < w[0] || w[0] < 1e-9),
+                "residuals plateau above the noise floor on {}",
+                r.topology
+            );
+            assert!(*res.last().unwrap() < 1e-6, "decayed below eps");
+        }
+    }
+
+    #[test]
+    fn sweeps_without_telemetry_stay_bare() {
+        let argv: Vec<String> = ["--sizes", "4", "--seeds", "1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (_, sinks) = run_collect("f1", &argv, TelemetryMode::off(), &[]).unwrap();
+        for sink in &sinks {
+            for r in sink.records() {
+                assert!(r.telemetry.is_none());
+                assert!(r.trace.is_empty());
+                let rep = r.report.as_ref().expect("f1 cells report");
+                assert!(rep.distances.is_empty(), "residual series stripped");
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //! kya sweep    [EXPERIMENT] [--workers N] [--ndjson | --json] [flags...]
 //!                                  run a registered experiment sweep on the
 //!                                  parallel harness; no EXPERIMENT lists them
+//! kya trace    [EXPERIMENT] [--trace-out FILE] [--residuals] [flags...]
+//!                                  run a sweep with round-level telemetry:
+//!                                  records (with counters) on stdout, one
+//!                                  NDJSON line per round in the trace file
 //! ```
 //!
 //! Graph specs: `ring:6`, `biring:6`, `star:5`, `path:4`, `complete:4`,
@@ -37,7 +41,7 @@ use kya_algos::push_sum::{
 use kya_core::table::{render_table, NetworkKind};
 use kya_fibration::MinimumBase;
 use kya_graph::{connectivity, Digraph, RandomDynamicGraph, StaticGraph};
-use kya_harness::{Args, CellOutcome, ExperimentSpec, PlanSpec, Runner};
+use kya_harness::{Args, CellOutcome, ExperimentSpec, PlanSpec, Runner, TelemetryMode};
 use kya_runtime::faults::{FaultyExecution, Lossy};
 use kya_runtime::metric::EuclideanMetric;
 use kya_runtime::{Broadcast, Execution, Isotropic};
@@ -53,6 +57,7 @@ const USAGE: &str = "usage:
   kya faults  --graph SPEC --values VALS [--drop P] [--dup P] [--crash A:FROM:UNTIL,...]
               [--until H] [--rounds R] [--seed S] [--eps E] [--plain] [--json]
   kya sweep   [EXPERIMENT] [--workers N] [--ndjson | --json] [sweep flags...]
+  kya trace   [EXPERIMENT] [--trace-out FILE] [--residuals] [sweep flags...]
 
 graph specs: ring:6 biring:6 star:5 path:4 complete:4 torus:3x4 torus:12
              hypercube:3 debruijn:2x3 kautz:2x1 layered:3x8
@@ -393,6 +398,50 @@ fn cmd_sweep(argv: &[String]) -> Result<(), SpecError> {
     }
 }
 
+/// `kya trace EXPERIMENT` — the experiment's sweep with round-level
+/// telemetry on: cell records (including their `telemetry` counter
+/// blocks) stream to stdout as NDJSON, and the per-round event stream
+/// goes to `--trace-out` (default `EXPERIMENT.trace.ndjson`). The trace
+/// file carries only deterministic fields, so it is byte-identical
+/// across runs and worker counts.
+fn cmd_trace(argv: &[String]) -> Result<(), SpecError> {
+    let Some(name) = argv.first() else {
+        println!("experiments traceable with `kya trace NAME`:");
+        for e in kya_bench::experiments::EXPERIMENTS {
+            println!("  {:<8} {}", e.name, e.about);
+        }
+        return Ok(());
+    };
+    let rest = &argv[1..];
+    let args = Args::parse(rest);
+    let mode = TelemetryMode {
+        trace: true,
+        residuals: args.is_set("residuals"),
+    };
+    let out_path = args
+        .optional("trace-out")
+        .map_or_else(|| format!("{name}.trace.ndjson"), str::to_string);
+    let (_, sinks) =
+        kya_bench::experiments::run_collect(name, rest, mode, kya_bench::experiments::TRACE_FLAGS)?;
+    let mut trace = String::new();
+    for sink in &sinks {
+        print!("{}", sink.to_ndjson());
+        trace.push_str(&sink.to_trace_ndjson());
+    }
+    std::fs::write(&out_path, &trace)
+        .map_err(|e| SpecError(format!("cannot write trace to `{out_path}`: {e}")))?;
+    eprintln!(
+        "kya trace: {} round events written to {out_path}",
+        trace.lines().count()
+    );
+    match sinks.iter().all(kya_harness::ResultSink::all_ok) {
+        true => Ok(()),
+        false => Err(SpecError(format!(
+            "trace `{name}`: some cells FAILED — see records above"
+        ))),
+    }
+}
+
 fn run() -> Result<(), SpecError> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
@@ -402,6 +451,9 @@ fn run() -> Result<(), SpecError> {
         // The experiment owns its flag set (including extras like F6's
         // `--drops`), so delegate before generic flag validation.
         return cmd_sweep(&argv[1..]);
+    }
+    if cmd == "trace" {
+        return cmd_trace(&argv[1..]);
     }
     let args = Args::parse(&argv[1..]);
     if !args.bare().is_empty() {
@@ -602,5 +654,30 @@ mod tests {
         assert!(cmd_sweep(&argv).is_err(), "unknown experiment rejected");
         let argv: Vec<String> = vec!["f6".into(), "--bogus".into()];
         assert!(cmd_sweep(&argv).is_err(), "unknown sweep flag rejected");
+    }
+
+    #[test]
+    fn trace_writes_round_events() {
+        assert!(cmd_trace(&[]).is_ok(), "bare `kya trace` lists experiments");
+        let out = std::env::temp_dir().join("kya-cli-test-trace.ndjson");
+        let argv: Vec<String> = vec![
+            "f1".into(),
+            "--sizes".into(),
+            "4".into(),
+            "--seeds".into(),
+            "1".into(),
+            "--trace-out".into(),
+            out.display().to_string(),
+        ];
+        assert!(cmd_trace(&argv).is_ok());
+        let trace = std::fs::read_to_string(&out).expect("trace file written");
+        let _ = std::fs::remove_file(&out);
+        assert!(!trace.is_empty(), "f1 cells emit round events");
+        assert!(trace
+            .lines()
+            .all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(trace.contains("\"residual\":"), "residual column present");
+        let argv: Vec<String> = vec!["f1".into(), "--bogus".into()];
+        assert!(cmd_trace(&argv).is_err(), "unknown trace flag rejected");
     }
 }

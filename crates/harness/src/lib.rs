@@ -54,9 +54,9 @@ pub mod spec;
 pub mod topo;
 
 pub use args::Args;
-pub use runner::{CellCtx, CellOutcome, Runner};
-pub use sink::{CellRecord, ResultSink};
+pub use runner::{CellCtx, CellOutcome, Runner, TelemetryMode};
+pub use sink::{CellRecord, CellTelemetry, ResultSink};
 pub use spec::{
     parse_graph, parse_values, CellSpec, ExperimentSpec, PlanSpec, SpecError, SWEEP_FLAGS,
 };
-pub use topo::TopologyCache;
+pub use topo::{TopologyCache, WorkerScope};

@@ -7,15 +7,45 @@
 //! function of the spec — never of which worker ran it or when — the
 //! collected output is **byte-identical for every worker count**.
 
-use crate::sink::{CellRecord, ResultSink};
+use crate::sink::{CellRecord, CellTelemetry, ResultSink};
 use crate::spec::{CellSpec, ExperimentSpec, SpecError};
 use crate::topo::TopologyCache;
 use kya_graph::Digraph;
 use kya_runtime::faults::FaultPlan;
+use kya_runtime::telemetry::{CountSummary, RoundEvent};
 use kya_runtime::CellReport;
 use serde::{Serialize, Value};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Which telemetry a [`Runner`] collects for each cell.
+///
+/// Off by default: plain sweeps stay byte-stable and pay no observer or
+/// timing cost. Cell functions read the mode from
+/// [`CellCtx::telemetry`] to decide which observers to attach; the
+/// runner itself adds wall-clock and cache-counter fields to each
+/// record's telemetry block whenever any mode bit is set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TelemetryMode {
+    /// Buffer per-round [`RoundEvent`]s for the NDJSON trace stream.
+    pub trace: bool,
+    /// Keep per-round residual series in the cell reports.
+    pub residuals: bool,
+}
+
+impl TelemetryMode {
+    /// No telemetry — the default for plain sweeps.
+    pub fn off() -> TelemetryMode {
+        TelemetryMode::default()
+    }
+
+    /// Whether any telemetry is requested (the runner then measures
+    /// per-cell timing and cache deltas).
+    pub fn enabled(&self) -> bool {
+        self.trace || self.residuals
+    }
+}
 
 /// Everything a cell function sees: the spec (shared parameters), the
 /// cell (resolved axis values), and the shared topology cache.
@@ -26,6 +56,8 @@ pub struct CellCtx<'a> {
     pub cell: &'a CellSpec,
     /// The memo table shared by all workers.
     pub cache: &'a TopologyCache,
+    /// Which telemetry the caller asked for.
+    pub telemetry: TelemetryMode,
 }
 
 impl CellCtx<'_> {
@@ -64,7 +96,9 @@ impl CellCtx<'_> {
 pub struct CellOutcome {
     pub(crate) ok: Option<bool>,
     pub(crate) report: Option<CellReport>,
+    pub(crate) telemetry: Option<CountSummary>,
     pub(crate) details: Vec<(String, Value)>,
+    pub(crate) trace: Vec<RoundEvent>,
 }
 
 impl CellOutcome {
@@ -93,6 +127,22 @@ impl CellOutcome {
         self.details.push((key.into(), value.to_value()));
         self
     }
+
+    /// Attach the cell's observer counters; they become the counter
+    /// fields of the record's `telemetry` block.
+    #[must_use]
+    pub fn telemetry(mut self, summary: CountSummary) -> CellOutcome {
+        self.telemetry = Some(summary);
+        self
+    }
+
+    /// Attach the cell's per-round trace events (rendered by
+    /// [`ResultSink::to_trace_ndjson`], not in the record's JSON).
+    #[must_use]
+    pub fn trace(mut self, events: Vec<RoundEvent>) -> CellOutcome {
+        self.trace = events;
+        self
+    }
 }
 
 /// The worker pool: built from a spec, configured with a worker count,
@@ -100,12 +150,18 @@ impl CellOutcome {
 pub struct Runner<'a> {
     spec: &'a ExperimentSpec,
     workers: usize,
+    telemetry: TelemetryMode,
 }
 
 impl<'a> Runner<'a> {
-    /// A runner for `spec` with a single worker (sequential).
+    /// A runner for `spec` with a single worker (sequential) and
+    /// telemetry off.
     pub fn new(spec: &'a ExperimentSpec) -> Runner<'a> {
-        Runner { spec, workers: 1 }
+        Runner {
+            spec,
+            workers: 1,
+            telemetry: TelemetryMode::off(),
+        }
     }
 
     /// Set the worker count (clamped to at least 1). The output is the
@@ -113,6 +169,13 @@ impl<'a> Runner<'a> {
     #[must_use]
     pub fn workers(mut self, workers: usize) -> Runner<'a> {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Choose which telemetry to collect per cell (default: off).
+    #[must_use]
+    pub fn telemetry(mut self, mode: TelemetryMode) -> Runner<'a> {
+        self.telemetry = mode;
         self
     }
 
@@ -145,19 +208,43 @@ impl<'a> Runner<'a> {
             Mutex::new(Vec::with_capacity(cells.len()));
         let pool = self.workers.min(cells.len()).max(1);
         let spec = self.spec;
+        let mode = self.telemetry;
+        let run_start = Instant::now();
         let (cells_ref, next_ref, collected_ref, f_ref) = (&cells, &next, &collected, &f);
         crossbeam::scope(|s| {
-            for _ in 0..pool {
-                s.spawn(move |_| loop {
-                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
-                    if i >= cells_ref.len() {
-                        break;
+            for worker in 0..pool {
+                s.spawn(move |_| {
+                    // Attribute this thread's cache traffic to its
+                    // worker index so per-cell deltas are exact.
+                    let _scope = TopologyCache::enter_worker(worker);
+                    loop {
+                        let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                        if i >= cells_ref.len() {
+                            break;
+                        }
+                        let queue_wait = run_start.elapsed();
+                        let cache_before = cache.stats_for_worker(worker);
+                        let cell = &cells_ref[i];
+                        let ctx = CellCtx {
+                            spec,
+                            cell,
+                            cache,
+                            telemetry: mode,
+                        };
+                        let cell_start = Instant::now();
+                        let outcome = f_ref(&ctx);
+                        let wall = cell_start.elapsed();
+                        let mut record = CellRecord::new(spec, cell, outcome);
+                        if mode.enabled() {
+                            let cache_after = cache.stats_for_worker(worker);
+                            let t = record.telemetry.get_or_insert_with(CellTelemetry::default);
+                            t.wall_us = wall.as_micros() as u64;
+                            t.queue_wait_us = queue_wait.as_micros() as u64;
+                            t.cache_hits = cache_after.0 - cache_before.0;
+                            t.cache_misses = cache_after.1 - cache_before.1;
+                        }
+                        collected_ref.lock().expect("result lock").push((i, record));
                     }
-                    let cell = &cells_ref[i];
-                    let ctx = CellCtx { spec, cell, cache };
-                    let outcome = f_ref(&ctx);
-                    let record = CellRecord::new(spec, cell, outcome);
-                    collected_ref.lock().expect("result lock").push((i, record));
                 });
             }
         })
@@ -229,6 +316,58 @@ mod tests {
         let (hits, misses) = cache.stats();
         assert_eq!(misses, 1, "one parse of ring:8");
         assert!(hits >= 8, "every cell hit the cache: {hits}");
+    }
+
+    #[test]
+    fn plain_sweeps_carry_no_telemetry_block() {
+        let spec = demo_spec();
+        let sink = Runner::new(&spec).workers(2).run(cell_fn);
+        assert!(sink.records().iter().all(|r| r.telemetry.is_none()));
+        assert!(sink.records().iter().all(|r| r.trace.is_empty()));
+    }
+
+    #[test]
+    fn telemetry_mode_fills_runner_side_fields() {
+        let spec = demo_spec();
+        let mode = TelemetryMode {
+            trace: true,
+            residuals: false,
+        };
+        assert!(mode.enabled());
+        assert!(!TelemetryMode::off().enabled());
+        let sink = Runner::new(&spec).telemetry(mode).run(cell_fn);
+        for r in sink.records() {
+            let t = r.telemetry.as_ref().expect("telemetry block");
+            assert!(
+                t.cache_hits + t.cache_misses >= 1,
+                "cell {} never touched the cache",
+                r.cell
+            );
+            assert!(t.wall_us <= t.queue_wait_us + t.wall_us);
+        }
+    }
+
+    #[test]
+    fn observer_counters_survive_into_the_record() {
+        let spec = ExperimentSpec::new("demo")
+            .topologies(["ring:{n}"])
+            .sizes([4]);
+        let sink = Runner::new(&spec)
+            .telemetry(TelemetryMode {
+                trace: true,
+                residuals: true,
+            })
+            .run(|_| {
+                let summary = CountSummary {
+                    rounds: 3,
+                    messages: 12,
+                    ..CountSummary::default()
+                };
+                CellOutcome::new().telemetry(summary).trace(vec![])
+            });
+        let t = sink.records()[0].telemetry.as_ref().expect("telemetry");
+        assert_eq!(t.rounds, 3);
+        assert_eq!(t.messages, 12);
     }
 
     #[test]

@@ -6,15 +6,72 @@
 
 use crate::runner::CellOutcome;
 use crate::spec::{CellSpec, ExperimentSpec};
+use kya_runtime::telemetry::{CountSummary, RoundEvent};
 use kya_runtime::CellReport;
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
+
+/// The optional `telemetry` block of a [`CellRecord`]: the cell's
+/// observer counters plus the runner's own measurements.
+///
+/// The counter fields are deterministic (they restate the cell's
+/// [`CountSummary`]); `wall_us` and `queue_wait_us` are wall-clock and
+/// therefore the **one deliberate exception** to byte-stable output —
+/// they are only ever non-zero when the runner runs with telemetry
+/// enabled (`kya trace`), never in plain sweeps, so the CI determinism
+/// jobs that diff sweep NDJSON are unaffected.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CellTelemetry {
+    /// Rounds the cell's observer saw.
+    pub rounds: u64,
+    /// Messages delivered over real links.
+    pub messages: u64,
+    /// Messages delivered over self-loops.
+    pub self_messages: u64,
+    /// Payload bytes delivered (Debug-rendering proxy).
+    pub payload_bytes: u64,
+    /// Messages lost to fault injection.
+    pub dropped: u64,
+    /// Largest single-agent state seen, in bytes.
+    pub peak_state_bytes: u64,
+    /// Wall-clock microseconds the cell function ran for (0 unless the
+    /// runner's telemetry mode is on).
+    pub wall_us: u64,
+    /// Microseconds between the sweep starting and this cell being
+    /// picked off the queue (0 unless the runner's telemetry mode is
+    /// on).
+    pub queue_wait_us: u64,
+    /// [`TopologyCache`](crate::TopologyCache) hits by this cell's
+    /// worker while the cell ran.
+    pub cache_hits: u64,
+    /// Cache misses by this cell's worker while the cell ran.
+    pub cache_misses: u64,
+}
+
+impl CellTelemetry {
+    /// A block carrying an observer's counters, with the runner-side
+    /// fields zeroed.
+    pub fn from_counts(c: &CountSummary) -> CellTelemetry {
+        CellTelemetry {
+            rounds: c.rounds,
+            messages: c.messages,
+            self_messages: c.self_messages,
+            payload_bytes: c.payload_bytes,
+            dropped: c.dropped,
+            peak_state_bytes: c.peak_state_bytes,
+            ..CellTelemetry::default()
+        }
+    }
+}
 
 /// One cell's result: the resolved axis values plus the outcome.
 ///
 /// Serializes to a JSON object with a fixed key order (`experiment`,
 /// `cell`, `topology`, `n`, `seed`, `algorithm`, `variant`, `plan`,
-/// `cell_seed`, `ok`, `report`, `details`); absent verdicts and reports
-/// serialize as `null` so every record has every key.
+/// `cell_seed`, `ok`, `report`, `telemetry`, `details`); absent
+/// verdicts, reports, and telemetry serialize as `null` so every record
+/// has every key. The per-round trace buffer is **not** part of the
+/// record's JSON — [`ResultSink::to_trace_ndjson`] renders it as its
+/// own stream.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CellRecord {
     /// The experiment name.
@@ -39,8 +96,14 @@ pub struct CellRecord {
     pub ok: Option<bool>,
     /// Measurement report, when the cell produced one.
     pub report: Option<CellReport>,
+    /// Observer counters plus runner timing, when telemetry was on.
+    pub telemetry: Option<CellTelemetry>,
     /// Experiment-specific detail fields, in insertion order.
     pub details: Vec<(String, Value)>,
+    /// Per-round trace events, when the cell ran with a trace sink
+    /// (rendered by [`ResultSink::to_trace_ndjson`], not in the record's
+    /// own JSON).
+    pub trace: Vec<RoundEvent>,
 }
 
 impl CellRecord {
@@ -58,7 +121,9 @@ impl CellRecord {
             cell_seed: cell.cell_seed,
             ok: outcome.ok,
             report: outcome.report,
+            telemetry: outcome.telemetry.as_ref().map(CellTelemetry::from_counts),
             details: outcome.details,
+            trace: outcome.trace,
         }
     }
 
@@ -87,6 +152,12 @@ impl Serialize for CellRecord {
             (
                 "report".to_string(),
                 self.report.as_ref().map_or(Value::Null, |r| r.to_value()),
+            ),
+            (
+                "telemetry".to_string(),
+                self.telemetry
+                    .as_ref()
+                    .map_or(Value::Null, |t| t.to_value()),
             ),
             ("details".to_string(), Value::Map(self.details.clone())),
         ])
@@ -147,6 +218,33 @@ impl ResultSink {
         for r in &self.records {
             out.push_str(&r.to_value().to_json());
             out.push('\n');
+        }
+        out
+    }
+
+    /// One compact JSON object per **round event**, in cell order: each
+    /// line is the cell's identifying keys (`experiment`, `cell`,
+    /// `topology`, `n`) followed by the event's own fields. Cells
+    /// without a trace buffer contribute no lines. Every field is
+    /// deterministic, so the stream is byte-stable across runs and
+    /// worker counts — the property the trace CI job diffs.
+    pub fn to_trace_ndjson(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            for event in &r.trace {
+                let mut entries = vec![
+                    ("experiment".to_string(), Value::Str(r.experiment.clone())),
+                    ("cell".to_string(), Value::UInt(r.cell as u64)),
+                    ("topology".to_string(), Value::Str(r.topology.clone())),
+                    ("n".to_string(), Value::UInt(r.n as u64)),
+                ];
+                match event.to_value() {
+                    Value::Map(fields) => entries.extend(fields),
+                    other => entries.push(("event".to_string(), other)),
+                }
+                out.push_str(&Value::Map(entries).to_json());
+                out.push('\n');
+            }
         }
         out
     }

@@ -19,6 +19,26 @@ use std::sync::{Arc, Mutex};
 
 use crate::spec::{parse_graph, SpecError};
 
+std::thread_local! {
+    /// The worker index cache accesses on this thread are attributed to
+    /// (`None` outside any [`TopologyCache::enter_worker`] scope).
+    static CURRENT_WORKER: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// RAII scope attributing this thread's cache accesses to one worker;
+/// restores the previous attribution on drop. Created by
+/// [`TopologyCache::enter_worker`].
+#[derive(Debug)]
+pub struct WorkerScope {
+    prev: Option<usize>,
+}
+
+impl Drop for WorkerScope {
+    fn drop(&mut self) {
+        CURRENT_WORKER.with(|c| c.set(self.prev));
+    }
+}
+
 /// Minimum bases are memoized per (label, input values) pair.
 type BaseMemo = BTreeMap<(String, Vec<u64>), Arc<MinimumBase>>;
 
@@ -36,12 +56,36 @@ pub struct TopologyCache {
     gaps: Mutex<BTreeMap<String, f64>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    per_worker: Mutex<BTreeMap<Option<usize>, (u64, u64)>>,
 }
 
 impl TopologyCache {
     /// An empty cache.
     pub fn new() -> TopologyCache {
         TopologyCache::default()
+    }
+
+    /// Attribute this thread's cache accesses to `worker` until the
+    /// returned scope is dropped. The [`Runner`](crate::Runner) enters a
+    /// scope per worker thread, so [`TopologyCache::worker_stats`] can
+    /// break the global counters down by worker.
+    pub fn enter_worker(worker: usize) -> WorkerScope {
+        let prev = CURRENT_WORKER.with(|c| c.replace(Some(worker)));
+        WorkerScope { prev }
+    }
+
+    /// Bump the global and per-worker counters for one access.
+    fn record(&self, hit: bool) {
+        let counter = if hit { &self.hits } else { &self.misses };
+        counter.fetch_add(1, Ordering::Relaxed);
+        let worker = CURRENT_WORKER.with(|c| c.get());
+        let mut map = self.per_worker.lock().expect("stats lock");
+        let entry = map.entry(worker).or_insert((0, 0));
+        if hit {
+            entry.0 += 1;
+        } else {
+            entry.1 += 1;
+        }
     }
 
     fn memo<K: Ord + Clone, V: Clone>(
@@ -56,10 +100,10 @@ impl TopologyCache {
         // locks, so a base computation never blocks a graph parse.)
         let mut map = table.lock().expect("cache lock");
         if let Some(v) = map.get(key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.record(true);
             return v.clone();
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.record(false);
         let v = compute();
         map.insert(key.clone(), v.clone());
         v
@@ -76,13 +120,13 @@ impl TopologyCache {
         {
             let map = self.graphs.lock().expect("cache lock");
             if let Some(g) = map.get(label) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.record(true);
                 return Ok(g.clone());
             }
         }
         // Parse outside the lock: failures must not poison or block.
         let g = Arc::new(parse_graph(label)?);
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.record(false);
         let mut map = self.graphs.lock().expect("cache lock");
         Ok(map.entry(label.to_string()).or_insert(g).clone())
     }
@@ -166,6 +210,21 @@ impl TopologyCache {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// (worker, hits, misses) per attribution bucket, in worker order.
+    /// `None` collects accesses made outside any worker scope (e.g.
+    /// direct cache use from tests). The buckets partition
+    /// [`TopologyCache::stats`]: summing them reproduces the totals.
+    pub fn worker_stats(&self) -> Vec<(Option<usize>, u64, u64)> {
+        let map = self.per_worker.lock().expect("stats lock");
+        map.iter().map(|(&w, &(h, m))| (w, h, m)).collect()
+    }
+
+    /// (hits, misses) attributed to one worker so far.
+    pub fn stats_for_worker(&self, worker: usize) -> (u64, u64) {
+        let map = self.per_worker.lock().expect("stats lock");
+        map.get(&Some(worker)).copied().unwrap_or((0, 0))
     }
 }
 
@@ -290,6 +349,36 @@ mod tests {
         }
         // Degree-2 ring: off-diagonal weight 1/3.
         assert!((w[(0, 1)] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worker_scopes_partition_the_counters() {
+        let cache = TopologyCache::new();
+        let _ = cache.graph("ring:4"); // unattributed miss
+        {
+            let _scope = TopologyCache::enter_worker(3);
+            let _ = cache.graph("ring:4"); // hit for worker 3
+            let _ = cache.graph("ring:5"); // miss for worker 3
+            {
+                // Scopes nest and restore on drop.
+                let _inner = TopologyCache::enter_worker(7);
+                let _ = cache.graph("ring:5"); // hit for worker 7
+            }
+            let _ = cache.diameter("ring:4"); // hit + miss for worker 3
+        }
+        let _ = cache.graph("ring:4"); // unattributed hit
+        assert_eq!(
+            cache.worker_stats(),
+            vec![(None, 1, 1), (Some(3), 2, 2), (Some(7), 1, 0)]
+        );
+        assert_eq!(cache.stats_for_worker(3), (2, 2));
+        assert_eq!(cache.stats_for_worker(9), (0, 0));
+        let (hits, misses) = cache.stats();
+        let (h_sum, m_sum) = cache
+            .worker_stats()
+            .iter()
+            .fold((0, 0), |(h, m), &(_, wh, wm)| (h + wh, m + wm));
+        assert_eq!((hits, misses), (h_sum, m_sum));
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::algorithm::Algorithm;
 use crate::faults::FaultEvents;
 use crate::metric::Metric;
 use crate::report::CellReport;
+use crate::telemetry::{NullObserver, Observer};
 use kya_graph::{Digraph, DynamicGraph};
 
 /// An execution of an [`Algorithm`] on a network: the sequence of global
@@ -21,24 +22,6 @@ pub struct Execution<A: Algorithm> {
     algo: A,
     states: Vec<A::State>,
     round: u64,
-}
-
-/// The result of running until outputs stabilize (discrete-metric
-/// convergence, §2.3).
-#[deprecated(
-    since = "0.2.0",
-    note = "use Execution::run_until with DiscreteMetric, which returns the unified CellReport"
-)]
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct StabilizationReport<O> {
-    /// The common stabilized outputs, indexed by agent.
-    pub outputs: Vec<O>,
-    /// First round at the end of which the outputs held their final value
-    /// (0 = already stable initially).
-    pub stabilized_at: u64,
-    /// Total rounds executed (stabilization was confirmed over the
-    /// remaining window).
-    pub rounds_run: u64,
 }
 
 impl<A: Algorithm> Execution<A> {
@@ -86,8 +69,20 @@ impl<A: Algorithm> Execution<A> {
     /// Panics if the vertex count mismatches, a self-loop is missing, or
     /// the algorithm returns the wrong number of port messages.
     pub fn step(&mut self, graph: &Digraph) {
+        self.step_observed(graph, &mut NullObserver);
+    }
+
+    /// Like [`Execution::step`], with an [`Observer`] seeing the round
+    /// boundaries and every delivered message (in the deterministic
+    /// routing order).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Execution::step`].
+    pub fn step_observed<O: Observer<A>>(&mut self, graph: &Digraph, obs: &mut O) {
         assert_eq!(graph.n(), self.states.len(), "graph size != agent count");
         self.round += 1;
+        obs.on_round_start(self.round, &self.states);
         let n = graph.n();
         let mut inboxes: Vec<Vec<A::Msg>> = (0..n)
             .map(|v| Vec::with_capacity(graph.indegree(v)))
@@ -113,20 +108,33 @@ impl<A: Algorithm> Execution<A> {
                 .collect();
             ports.sort_unstable();
             for (msg, (_, e)) in msgs.into_iter().zip(ports) {
-                inboxes[graph.edges()[e].dst].push(msg);
+                let dst = graph.edges()[e].dst;
+                obs.on_message(self.round, v, dst, &msg);
+                inboxes[dst].push(msg);
             }
         }
         for (v, inbox) in inboxes.into_iter().enumerate() {
             self.states[v] = self.algo.transition(&self.states[v], &inbox);
         }
+        obs.on_round_end(self.round, &self.algo, &self.states);
     }
 
     /// Execute `rounds` rounds on a dynamic graph, starting from the round
     /// after the current one.
     pub fn run(&mut self, net: &dyn DynamicGraph, rounds: u64) {
+        self.run_observed(net, rounds, &mut NullObserver);
+    }
+
+    /// Like [`Execution::run`], driving an [`Observer`] each round.
+    pub fn run_observed<O: Observer<A>>(
+        &mut self,
+        net: &dyn DynamicGraph,
+        rounds: u64,
+        obs: &mut O,
+    ) {
         for _ in 0..rounds {
             let g = net.graph(self.round + 1);
-            self.step(&g);
+            self.step_observed(&g, obs);
         }
     }
 
@@ -149,9 +157,34 @@ impl<A: Algorithm> Execution<A> {
         A::State: Send + Sync,
         A::Msg: Send + Sync,
     {
+        self.step_parallel_observed(graph, threads, &mut NullObserver);
+    }
+
+    /// Like [`Execution::step_parallel`], with an [`Observer`].
+    ///
+    /// The observer runs on the calling thread and sees the **same event
+    /// stream** as [`Execution::step_observed`]: `on_message` fires in
+    /// the sequential routing phase, which iterates agents and ports in
+    /// the sequential executor's order. `tests/parallel_equivalence.rs`
+    /// pins this for every algorithm in `kya_algos`.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Execution::step_parallel`].
+    pub fn step_parallel_observed<O: Observer<A>>(
+        &mut self,
+        graph: &Digraph,
+        threads: usize,
+        obs: &mut O,
+    ) where
+        A: Sync,
+        A::State: Send + Sync,
+        A::Msg: Send + Sync,
+    {
         assert!(threads > 0, "at least one worker thread");
         assert_eq!(graph.n(), self.states.len(), "graph size != agent count");
         self.round += 1;
+        obs.on_round_start(self.round, &self.states);
         let n = graph.n();
         for v in 0..n {
             assert!(
@@ -211,7 +244,9 @@ impl<A: Algorithm> Execution<A> {
                 .collect();
             ports.sort_unstable();
             for (msg, (_, e)) in msgs.into_iter().zip(ports) {
-                inboxes[graph.edges()[e].dst].push(msg);
+                let dst = graph.edges()[e].dst;
+                obs.on_message(self.round, v, dst, &msg);
+                inboxes[dst].push(msg);
             }
         }
 
@@ -239,25 +274,29 @@ impl<A: Algorithm> Execution<A> {
         .expect("crossbeam scope");
         next.sort_by_key(|(v, _)| *v);
         self.states = next.into_iter().map(|(_, s)| s).collect();
+        obs.on_round_end(self.round, &self.algo, &self.states);
     }
 
     /// The measuring loop behind [`Execution::run_until`] and friends:
     /// step, record the worst-case distance, optionally break early once
-    /// the outputs have stayed in the ε-ball for `confirm` rounds.
-    fn run_measuring(
+    /// the outputs have stayed in the ε-ball for `confirm` rounds. The
+    /// observer sees every round; `on_converged` fires once the report
+    /// is sealed, if the outputs converged.
+    fn run_measuring<O: Observer<A>>(
         &mut self,
         net: &dyn DynamicGraph,
         max_rounds: u64,
         dist: &dyn Fn(&[A::Output]) -> f64,
         eps: f64,
         confirm: Option<u64>,
+        obs: &mut O,
     ) -> CellReport {
         let start = self.round;
         let mut distances = Vec::new();
         let mut entered: Option<u64> = None;
         while self.round - start < max_rounds {
             let g = net.graph(self.round + 1);
-            self.step(&g);
+            self.step_observed(&g, obs);
             let d = dist(&self.outputs());
             distances.push(d);
             if let Some(confirm) = confirm {
@@ -271,7 +310,11 @@ impl<A: Algorithm> Execution<A> {
                 }
             }
         }
-        CellReport::from_trace(start, distances, eps, 0, FaultEvents::default(), None)
+        let report = CellReport::from_trace(start, distances, eps, 0, FaultEvents::default(), None);
+        if let Some(round) = report.converged_at {
+            obs.on_converged(round, report.final_distance);
+        }
+        report
     }
 
     /// Run for up to `max_rounds` rounds, measuring the worst-case
@@ -292,12 +335,27 @@ impl<A: Algorithm> Execution<A> {
         eps: f64,
         max_rounds: u64,
     ) -> CellReport {
+        self.run_until_observed(net, metric, target, eps, max_rounds, &mut NullObserver)
+    }
+
+    /// Like [`Execution::run_until`], driving an [`Observer`] each round
+    /// (and firing `on_converged` when the sealed report says so).
+    pub fn run_until_observed<M: Metric<A::Output>, O: Observer<A>>(
+        &mut self,
+        net: &dyn DynamicGraph,
+        metric: &M,
+        target: &A::Output,
+        eps: f64,
+        max_rounds: u64,
+        obs: &mut O,
+    ) -> CellReport {
         self.run_measuring(
             net,
             max_rounds,
             &|outputs| crate::metric::max_distance(metric, outputs, target),
             eps,
             None,
+            obs,
         )
     }
 
@@ -319,12 +377,37 @@ impl<A: Algorithm> Execution<A> {
         max_rounds: u64,
         confirm: u64,
     ) -> CellReport {
+        self.run_until_converged_observed(
+            net,
+            metric,
+            target,
+            eps,
+            max_rounds,
+            confirm,
+            &mut NullObserver,
+        )
+    }
+
+    /// Like [`Execution::run_until_converged`], driving an [`Observer`]
+    /// each round.
+    #[allow(clippy::too_many_arguments)] // mirrors run_until_converged + observer
+    pub fn run_until_converged_observed<M: Metric<A::Output>, O: Observer<A>>(
+        &mut self,
+        net: &dyn DynamicGraph,
+        metric: &M,
+        target: &A::Output,
+        eps: f64,
+        max_rounds: u64,
+        confirm: u64,
+        obs: &mut O,
+    ) -> CellReport {
         self.run_measuring(
             net,
             max_rounds,
             &|outputs| crate::metric::max_distance(metric, outputs, target),
             eps,
             Some(confirm),
+            obs,
         )
     }
 
@@ -357,46 +440,8 @@ impl<A: Algorithm> Execution<A> {
             },
             eps,
             None,
+            &mut NullObserver,
         )
-    }
-
-    /// Run until the outputs have been constant for `window` consecutive
-    /// rounds, or `max_rounds` rounds have elapsed.
-    ///
-    /// Returns `None` on timeout. Note that stabilization over a finite
-    /// window is *empirical*: the model itself has no termination
-    /// awareness (§2.3), so callers choose a window that the relevant
-    /// theory (e.g. the `n + D` bound of §3.2) justifies.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Execution::run_until with DiscreteMetric, which returns the unified CellReport"
-    )]
-    #[allow(deprecated)]
-    pub fn run_until_stable(
-        &mut self,
-        net: &dyn DynamicGraph,
-        max_rounds: u64,
-        window: u64,
-    ) -> Option<StabilizationReport<A::Output>> {
-        let mut last = self.outputs();
-        let mut stable_since = self.round;
-        while self.round < max_rounds {
-            let g = net.graph(self.round + 1);
-            self.step(&g);
-            let now = self.outputs();
-            if now != last {
-                last = now;
-                stable_since = self.round;
-            }
-            if self.round - stable_since >= window {
-                return Some(StabilizationReport {
-                    outputs: last,
-                    stabilized_at: stable_since,
-                    rounds_run: self.round,
-                });
-            }
-        }
-        None
     }
 }
 
@@ -521,41 +566,118 @@ mod tests {
         let _ = exec.run_until_targets(&net, &DiscreteMetric, &[1u32], 0.0, 5);
     }
 
-    #[test]
-    #[allow(deprecated)] // the compatibility shim must keep working one release
-    fn stabilization_detection() {
-        let net = StaticGraph::new(generators::directed_ring(6));
-        let inits: Vec<Vec<u32>> = (0..6).map(|v| vec![v]).collect();
-        let mut exec = Execution::new(Broadcast(SetGossip), inits);
-        let report = exec
-            .run_until_stable(&net, 100, 10)
-            .expect("gossip stabilizes");
-        // Information needs diameter = 5 rounds to flood the ring.
-        assert_eq!(report.stabilized_at, 5);
-        assert!(report.outputs.iter().all(|&x| x == 5));
+    /// Frozen states: each agent keeps its value forever.
+    struct Keep;
+    impl BroadcastAlgorithm for Keep {
+        type State = u32;
+        type Msg = ();
+        type Output = u32;
+        fn message(&self, _: &u32) {}
+        fn transition(&self, s: &u32, _: &[()]) -> u32 {
+            *s
+        }
+        fn output(&self, s: &u32) -> u32 {
+            *s
+        }
     }
 
     #[test]
-    #[allow(deprecated)] // the compatibility shim must keep working one release
-    fn stabilization_timeout() {
-        /// An algorithm that never stabilizes: counts rounds mod 2.
-        struct Blinker;
-        impl BroadcastAlgorithm for Blinker {
-            type State = u8;
+    fn run_until_with_zero_budget_reports_nothing() {
+        use crate::metric::DiscreteMetric;
+        let net = StaticGraph::new(generators::directed_ring(3));
+        let mut exec = Execution::new(Broadcast(Keep), vec![5, 5, 5]);
+        let report = exec.run_until(&net, &DiscreteMetric, &5u32, 0.0, 0);
+        // Zero rounds: nothing measured, so nothing converged — even
+        // though the initial states already sit on the target.
+        assert_eq!(report.rounds_run, 0);
+        assert_eq!(report.converged_at, None);
+        assert_eq!(report.final_distance, 0.0, "empty trace defaults to 0");
+        assert!(report.distances.is_empty());
+        assert_eq!(exec.round(), 0, "no rounds executed");
+        // The early-exit variant behaves identically at budget 0.
+        let report = exec.run_until_converged(&net, &DiscreteMetric, &5u32, 0.0, 0, 3);
+        assert_eq!(report.rounds_run, 0);
+        assert_eq!(report.converged_at, None);
+    }
+
+    #[test]
+    fn run_until_on_already_converged_states_reports_round_one() {
+        use crate::metric::{DiscreteMetric, EuclideanMetric};
+        // Outputs sit on the target from the start; convergence is still
+        // dated to the end of round 1, the first *measured* round.
+        let net = StaticGraph::new(generators::directed_ring(3));
+        let mut exec = Execution::new(Broadcast(Keep), vec![5, 5, 5]);
+        let report = exec.run_until(&net, &DiscreteMetric, &5u32, 0.0, 4);
+        assert_eq!(report.converged_at, Some(1));
+        assert_eq!(report.convergence_rounds, Some(1));
+        assert_eq!(report.rounds_run, 4);
+        assert!(report.distances.iter().all(|&d| d == 0.0));
+        // Same under a continuous metric on f64 outputs.
+        struct KeepF;
+        impl BroadcastAlgorithm for KeepF {
+            type State = f64;
             type Msg = ();
-            type Output = u8;
-            fn message(&self, _: &u8) {}
-            fn transition(&self, state: &u8, _: &[()]) -> u8 {
-                1 - state
+            type Output = f64;
+            fn message(&self, _: &f64) {}
+            fn transition(&self, s: &f64, _: &[()]) -> f64 {
+                *s
             }
-            fn output(&self, state: &u8) -> u8 {
-                *state
+            fn output(&self, s: &f64) -> f64 {
+                *s
+            }
+        }
+        let mut exec = Execution::new(Broadcast(KeepF), vec![2.5, 2.5, 2.5]);
+        let report = exec.run_until(&net, &EuclideanMetric, &2.5, 0.0, 4);
+        assert_eq!(report.converged_at, Some(1));
+        // run_until_converged stops right after the confirm window.
+        let mut exec = Execution::new(Broadcast(Keep), vec![5, 5, 5]);
+        let report = exec.run_until_converged(&net, &DiscreteMetric, &5u32, 0.0, 1000, 2);
+        assert_eq!(report.converged_at, Some(1));
+        assert_eq!(report.rounds_run, 3, "1 to converge + 2 to confirm");
+    }
+
+    #[test]
+    fn eps_zero_discrete_vs_euclidean() {
+        use crate::metric::{DiscreteMetric, EuclideanMetric};
+        struct KeepF;
+        impl BroadcastAlgorithm for KeepF {
+            type State = f64;
+            type Msg = ();
+            type Output = f64;
+            fn message(&self, _: &f64) {}
+            fn transition(&self, s: &f64, _: &[()]) -> f64 {
+                *s
+            }
+            fn output(&self, s: &f64) -> f64 {
+                *s
             }
         }
         let net = StaticGraph::new(generators::directed_ring(3));
-        let mut exec = Execution::new(Broadcast(Blinker), vec![0, 0, 0]);
-        assert!(exec.run_until_stable(&net, 20, 5).is_none());
-        assert_eq!(exec.round(), 20);
+        // Outputs a hair off the target: the discrete metric says
+        // distance 1 and the euclidean metric a tiny positive number —
+        // at eps = 0.0 neither ever converges.
+        let inits = vec![1.0, 1.0, 1.0 + 1e-12];
+        let mut exec = Execution::new(Broadcast(KeepF), inits.clone());
+        let report = exec.run_until(&net, &DiscreteMetric, &1.0, 0.0, 5);
+        assert_eq!(report.converged_at, None);
+        assert_eq!(report.final_distance, 1.0, "discrete: unequal is 1");
+        let mut exec = Execution::new(Broadcast(KeepF), inits);
+        let report = exec.run_until(&net, &EuclideanMetric, &1.0, 0.0, 5);
+        assert_eq!(report.converged_at, None);
+        assert!(report.final_distance > 0.0 && report.final_distance < 1e-11);
+        // Exactly on target, eps = 0.0 converges under both metrics.
+        let mut exec = Execution::new(Broadcast(KeepF), vec![1.0, 1.0, 1.0]);
+        assert_eq!(
+            exec.run_until(&net, &DiscreteMetric, &1.0, 0.0, 5)
+                .converged_at,
+            Some(1)
+        );
+        let mut exec = Execution::new(Broadcast(KeepF), vec![1.0, 1.0, 1.0]);
+        assert_eq!(
+            exec.run_until(&net, &EuclideanMetric, &1.0, 0.0, 5)
+                .converged_at,
+            Some(1)
+        );
     }
 
     #[test]

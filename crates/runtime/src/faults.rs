@@ -540,17 +540,6 @@ pub struct FaultyExecution<A: FaultAware> {
     events: FaultEvents,
 }
 
-/// Measured recovery of a faulted execution, produced by
-/// [`FaultyExecution::run_with_recovery`].
-///
-/// The fields formerly named `recovered_at` / `recovery_rounds` are now
-/// [`CellReport::converged_at`] / [`CellReport::convergence_rounds`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use kya_runtime::CellReport (recovered_at is now converged_at)"
-)]
-pub type RecoveryReport = CellReport;
-
 impl<A: FaultAware> FaultyExecution<A> {
     /// Start a faulted execution from the given initial states.
     pub fn new(algo: A, initial_states: Vec<A::State>, plan: FaultPlan) -> FaultyExecution<A> {
@@ -615,6 +604,23 @@ impl<A: FaultAware> FaultyExecution<A> {
     /// matching vertex count, self-loops everywhere, correct message
     /// counts from the algorithm.
     pub fn step(&mut self, graph: &Digraph) {
+        self.step_observed(graph, &mut crate::telemetry::NullObserver);
+    }
+
+    /// Like [`FaultyExecution::step`], with an
+    /// [`Observer`](crate::telemetry::Observer) seeing delivered
+    /// messages (`on_message`, twice for a duplicated one) and messages
+    /// lost to faults (`on_message_dropped`, covering both in-flight
+    /// drops and bounces off crashed recipients).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`FaultyExecution::step`].
+    pub fn step_observed<O: crate::telemetry::Observer<A>>(
+        &mut self,
+        graph: &Digraph,
+        obs: &mut O,
+    ) {
         assert_eq!(graph.n(), self.states.len(), "graph size != agent count");
         self.round += 1;
         let t = self.round;
@@ -625,6 +631,7 @@ impl<A: FaultAware> FaultyExecution<A> {
             self.events.last_fault_round = t;
         }
 
+        obs.on_round_start(t, &self.states);
         let mut inboxes: Vec<Vec<A::Msg>> = (0..n)
             .map(|v| Vec::with_capacity(graph.indegree(v)))
             .collect();
@@ -654,21 +661,27 @@ impl<A: FaultAware> FaultyExecution<A> {
             for (msg, (_, e)) in msgs.into_iter().zip(ports) {
                 let dst = graph.edges()[e].dst;
                 if dst == v {
+                    obs.on_message(t, v, dst, &msg);
                     inboxes[dst].push(msg);
                 } else if frozen[dst] {
                     self.events.bounced_to_crashed += 1;
                     self.events.last_fault_round = t;
+                    obs.on_message_dropped(t, v, dst, &msg);
                     bounced[v].push(msg);
                 } else if self.plan.drops(t, v, dst) {
                     self.events.dropped += 1;
                     self.events.last_fault_round = t;
+                    obs.on_message_dropped(t, v, dst, &msg);
                     bounced[v].push(msg);
                 } else if self.plan.duplicates(t, v, dst) {
                     self.events.duplicated += 1;
                     self.events.last_fault_round = t;
+                    obs.on_message(t, v, dst, &msg);
+                    obs.on_message(t, v, dst, &msg);
                     inboxes[dst].push(msg.clone());
                     inboxes[dst].push(msg);
                 } else {
+                    obs.on_message(t, v, dst, &msg);
                     inboxes[dst].push(msg);
                 }
             }
@@ -683,6 +696,7 @@ impl<A: FaultAware> FaultyExecution<A> {
             }
             self.states[v] = next;
         }
+        obs.on_round_end(t, &self.algo, &self.states);
     }
 
     /// Execute `rounds` rounds on a dynamic graph.
@@ -710,12 +724,38 @@ impl<A: FaultAware> FaultyExecution<A> {
         eps: f64,
         invariant: Option<Invariant<'_, A::State>>,
     ) -> CellReport {
+        self.run_with_recovery_observed(
+            net,
+            rounds,
+            metric,
+            target,
+            eps,
+            invariant,
+            &mut crate::telemetry::NullObserver,
+        )
+    }
+
+    /// Like [`FaultyExecution::run_with_recovery`], driving an
+    /// [`Observer`](crate::telemetry::Observer) each round (fault drops
+    /// fire `on_message_dropped`; `on_converged` fires once the report
+    /// is sealed, if the outputs recovered).
+    #[allow(clippy::too_many_arguments)] // mirrors run_with_recovery + observer
+    pub fn run_with_recovery_observed<M: Metric<A::Output>, O: crate::telemetry::Observer<A>>(
+        &mut self,
+        net: &dyn DynamicGraph,
+        rounds: u64,
+        metric: &M,
+        target: &A::Output,
+        eps: f64,
+        invariant: Option<Invariant<'_, A::State>>,
+        obs: &mut O,
+    ) -> CellReport {
         let start = self.round;
         let events_before = self.events;
         let mut distances = Vec::with_capacity(rounds as usize);
         for _ in 0..rounds {
             let g = net.graph(self.round + 1);
-            self.step(&g);
+            self.step_observed(&g, obs);
             distances.push(crate::metric::max_distance(metric, &self.outputs(), target));
         }
         let last_fault_round = if self.events.last_fault_round > start {
@@ -728,14 +768,18 @@ impl<A: FaultAware> FaultyExecution<A> {
         events.duplicated -= events_before.duplicated;
         events.bounced_to_crashed -= events_before.bounced_to_crashed;
         events.crashed_rounds -= events_before.crashed_rounds;
-        CellReport::from_trace(
+        let report = CellReport::from_trace(
             start,
             distances,
             eps,
             last_fault_round,
             events,
             invariant.map(|f| f(&self.states)),
-        )
+        );
+        if let Some(round) = report.converged_at {
+            obs.on_converged(round, report.final_distance);
+        }
+        report
     }
 }
 

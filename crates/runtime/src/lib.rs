@@ -55,12 +55,14 @@ mod execution;
 pub mod faults;
 pub mod metric;
 pub mod report;
+pub mod telemetry;
 pub mod testing;
 
 pub use algorithm::{
     Algorithm, Broadcast, BroadcastAlgorithm, CommunicationModel, Isotropic, IsotropicAlgorithm,
 };
 pub use execution::Execution;
-#[allow(deprecated)]
-pub use execution::StabilizationReport;
 pub use report::CellReport;
+pub use telemetry::{
+    CountSummary, CountingObserver, NullObserver, Observer, ResidualObserver, RoundEvent, TraceSink,
+};

@@ -86,6 +86,38 @@ fn shared_cache_matches_private_caches() {
     assert!(hits > misses, "repeat runs are mostly cache hits");
 }
 
+#[test]
+fn per_worker_cache_counters_partition_the_totals() {
+    let spec = demo_spec();
+    let cache = TopologyCache::new();
+    let _ = Runner::new(&spec)
+        .workers(4)
+        .run_with_cache(&cache, demo_cell);
+    let per_worker = cache.worker_stats();
+    let (hits, misses) = cache.stats();
+    let hit_sum: u64 = per_worker.iter().map(|&(_, h, _)| h).sum();
+    let miss_sum: u64 = per_worker.iter().map(|&(_, _, m)| m).sum();
+    assert_eq!(hit_sum, hits, "worker hit buckets sum to the global total");
+    assert_eq!(
+        miss_sum, misses,
+        "worker miss buckets sum to the global total"
+    );
+    // The runner's pre-warm pass runs outside any worker scope (the None
+    // bucket); the cells themselves run under workers 0..4.
+    assert!(
+        per_worker
+            .iter()
+            .all(|&(w, _, _)| w.is_none() || w < Some(4)),
+        "unexpected worker bucket: {per_worker:?}"
+    );
+    let worker_hits: u64 = per_worker
+        .iter()
+        .filter(|(w, _, _)| w.is_some())
+        .map(|&(_, h, _)| h)
+        .sum();
+    assert!(worker_hits > 0, "cells hit the cache under worker scopes");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

@@ -1,0 +1,152 @@
+//! `Execution::step` and `Execution::step_parallel` are one semantics
+//! with two schedules: for every algorithm in `kya_algos` they must
+//! produce identical per-round states **and** drive an [`Observer`]
+//! through an identical event stream (same hooks, same order, same
+//! arguments). The routing phase of the parallel step iterates agents
+//! and ports in the sequential executor's order precisely so this
+//! holds; this test pins it.
+
+use kya_algos::frequency::{CensusOutdegree, CensusPorts, CensusSymmetric};
+use kya_algos::gossip::SetGossip;
+use kya_algos::metropolis::{FixedWeight, LazyMetropolis, Metropolis};
+use kya_algos::min_base::{MinBaseBroadcast, MinBaseOutdegree, MinBasePorts, ViewState};
+use kya_algos::push_sum::{PushSum, PushSumState, SelfHealingPushSum};
+use kya_harness::parse_graph;
+use kya_runtime::{Algorithm, Broadcast, Execution, Isotropic, Observer};
+
+/// Records every observer hook as a rendered line, so two runs can be
+/// compared with one `assert_eq!` regardless of state/message types.
+#[derive(Default)]
+struct Recorder {
+    events: Vec<String>,
+}
+
+impl<A: Algorithm> Observer<A> for Recorder
+where
+    A::State: std::fmt::Debug,
+    A::Msg: std::fmt::Debug,
+{
+    fn on_round_start(&mut self, round: u64, states: &[A::State]) {
+        self.events.push(format!("start {round} {states:?}"));
+    }
+
+    fn on_message(&mut self, round: u64, src: usize, dst: usize, msg: &A::Msg) {
+        self.events
+            .push(format!("msg {round} {src}->{dst} {msg:?}"));
+    }
+
+    fn on_round_end(&mut self, round: u64, _algo: &A, states: &[A::State]) {
+        self.events.push(format!("end {round} {states:?}"));
+    }
+}
+
+const ROUNDS: usize = 5;
+
+fn check<A, F>(make: F, label: &str)
+where
+    A: Algorithm + Sync,
+    A::State: std::fmt::Debug + Send + Sync,
+    A::Msg: std::fmt::Debug + Send + Sync,
+    F: Fn() -> Execution<A>,
+{
+    // Bidirectional so the symmetric-model algorithms are in contract.
+    let g = parse_graph("biring:6").expect("grammar").with_self_loops();
+    let mut seq = make();
+    let mut par = make();
+    let mut seq_obs = Recorder::default();
+    let mut par_obs = Recorder::default();
+    for round in 0..ROUNDS {
+        seq.step_observed(&g, &mut seq_obs);
+        par.step_parallel_observed(&g, 3, &mut par_obs);
+        assert_eq!(
+            format!("{:?}", seq.states()),
+            format!("{:?}", par.states()),
+            "{label}: states diverge at round {round}"
+        );
+    }
+    assert_eq!(
+        seq_obs.events, par_obs.events,
+        "{label}: observer event streams diverge"
+    );
+    // Sanity: the streams are non-trivial — every round fired its
+    // bracketing hooks and at least one delivery per edge.
+    let msgs = seq_obs
+        .events
+        .iter()
+        .filter(|e| e.starts_with("msg"))
+        .count();
+    assert_eq!(
+        msgs,
+        ROUNDS * g.edge_count(),
+        "{label}: one event per delivery"
+    );
+    assert_eq!(
+        seq_obs
+            .events
+            .iter()
+            .filter(|e| e.starts_with("start"))
+            .count(),
+        ROUNDS,
+        "{label}"
+    );
+}
+
+#[test]
+fn every_algorithm_agrees_between_schedules() {
+    let values: [u64; 6] = [3, 1, 4, 1, 5, 9];
+    let floats: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+
+    check(
+        || Execution::new(Broadcast(SetGossip), SetGossip::initial(&values)),
+        "SetGossip",
+    );
+    check(
+        || Execution::new(Broadcast(MinBaseBroadcast), ViewState::initial(&values)),
+        "MinBaseBroadcast",
+    );
+    check(
+        || Execution::new(Isotropic(MinBaseOutdegree), ViewState::initial(&values)),
+        "MinBaseOutdegree",
+    );
+    check(
+        || Execution::new(MinBasePorts, ViewState::initial(&values)),
+        "MinBasePorts",
+    );
+    check(
+        || Execution::new(Isotropic(CensusOutdegree), ViewState::initial(&values)),
+        "CensusOutdegree",
+    );
+    check(
+        || Execution::new(Broadcast(CensusSymmetric), ViewState::initial(&values)),
+        "CensusSymmetric",
+    );
+    check(
+        || Execution::new(CensusPorts, ViewState::initial(&values)),
+        "CensusPorts",
+    );
+    check(
+        || Execution::new(Isotropic(PushSum), PushSumState::averaging(&floats)),
+        "PushSum",
+    );
+    check(
+        || {
+            Execution::new(
+                Isotropic(SelfHealingPushSum),
+                PushSumState::averaging(&floats),
+            )
+        },
+        "SelfHealingPushSum",
+    );
+    check(
+        || Execution::new(Isotropic(Metropolis), floats.clone()),
+        "Metropolis",
+    );
+    check(
+        || Execution::new(Isotropic(LazyMetropolis), floats.clone()),
+        "LazyMetropolis",
+    );
+    check(
+        || Execution::new(Broadcast(FixedWeight::new(6)), floats.clone()),
+        "FixedWeight",
+    );
+}

@@ -1,0 +1,172 @@
+//! End-to-end telemetry: observer counters flow unchanged from an
+//! execution into `CellRecord` telemetry blocks, trace streams are
+//! byte-stable across runs and worker counts, and the **unobserved**
+//! `step` pays nothing measurable for the observer layer.
+
+use kya_algos::gossip::SetGossip;
+use kya_algos::push_sum::{PushSum, PushSumState};
+use kya_graph::{Digraph, StaticGraph};
+use kya_harness::{parse_graph, CellCtx, CellOutcome, ExperimentSpec, Runner, TelemetryMode};
+use kya_runtime::telemetry::TraceSink;
+use kya_runtime::{Algorithm, Broadcast, CountingObserver, Execution, Isotropic};
+use std::time::{Duration, Instant};
+
+const ROUNDS: u64 = 7;
+
+fn demo_spec() -> ExperimentSpec {
+    ExperimentSpec::new("telemetry_demo")
+        .topologies(["ring:{n}", "torus:{n}"])
+        .sizes([6, 9])
+        .rounds(ROUNDS)
+}
+
+/// Runs the same Push-Sum execution twice — once under a
+/// [`CountingObserver`], once under a [`TraceSink`] — and reports the
+/// counters of the first with the events of the second, so the test can
+/// cross-check the two observers against each other.
+fn traced_cell(ctx: &CellCtx) -> CellOutcome {
+    let g = ctx.graph().expect("static label");
+    let n = g.n();
+    let values: Vec<f64> = (0..n).map(|i| ((i * i) % 13) as f64).collect();
+    let net = StaticGraph::new((*g).clone());
+    let mut counter = CountingObserver::new();
+    Execution::new(Isotropic(PushSum), PushSumState::averaging(&values)).run_observed(
+        &net,
+        ctx.rounds(),
+        &mut counter,
+    );
+    let mut trace = TraceSink::new();
+    Execution::new(Isotropic(PushSum), PushSumState::averaging(&values)).run_observed(
+        &net,
+        ctx.rounds(),
+        &mut trace,
+    );
+    let (events, summary) = trace.finish();
+    assert_eq!(summary, counter.summary(), "the two observers agree");
+    CellOutcome::new()
+        .telemetry(counter.summary())
+        .trace(events)
+}
+
+#[test]
+fn counting_totals_land_in_cell_records() {
+    let spec = demo_spec();
+    let mode = TelemetryMode {
+        trace: true,
+        residuals: false,
+    };
+    let sink = Runner::new(&spec)
+        .telemetry(mode)
+        .workers(2)
+        .run(traced_cell);
+    assert_eq!(sink.records().len(), 4);
+    for r in sink.records() {
+        let t = r.telemetry.as_ref().expect("telemetry block recorded");
+        // Independent ground truth: one delivery per edge of the closed
+        // graph per round, of which exactly the n self-loops are
+        // self-messages (rings and tori have none of their own).
+        let closed = parse_graph(&r.topology).expect("grammar").with_self_loops();
+        let n = closed.n() as u64;
+        let edges = closed.edge_count() as u64;
+        assert_eq!(t.rounds, ROUNDS, "{}", r.topology);
+        assert_eq!(t.self_messages, ROUNDS * n, "{}", r.topology);
+        assert_eq!(t.messages, ROUNDS * (edges - n), "{}", r.topology);
+        assert_eq!(t.dropped, 0);
+        assert!(t.payload_bytes > 0 && t.peak_state_bytes > 0);
+        // The trace stream restates the same counters per round.
+        assert_eq!(r.trace.len() as u64, ROUNDS);
+        let msgs: u64 = r.trace.iter().map(|e| e.messages).sum();
+        let bytes: u64 = r.trace.iter().map(|e| e.payload_bytes).sum();
+        assert_eq!(msgs, t.messages);
+        assert_eq!(bytes, t.payload_bytes);
+    }
+}
+
+#[test]
+fn trace_streams_are_identical_across_runs_and_workers() {
+    let spec = demo_spec();
+    let mode = TelemetryMode {
+        trace: true,
+        residuals: false,
+    };
+    let run = |workers: usize| {
+        Runner::new(&spec)
+            .telemetry(mode)
+            .workers(workers)
+            .run(traced_cell)
+            .to_trace_ndjson()
+    };
+    let baseline = run(1);
+    assert!(!baseline.is_empty());
+    assert_eq!(baseline, run(1), "repeat run diverged");
+    assert_eq!(baseline, run(4), "worker count changed trace bytes");
+}
+
+/// The executor's round body before the observer layer existed,
+/// reproduced against the public APIs — the cost baseline that the
+/// `NullObserver`-monomorphized `step` must match.
+fn baseline_step<A: Algorithm>(algo: &A, states: &mut [A::State], graph: &Digraph) {
+    let n = graph.n();
+    let mut inboxes: Vec<Vec<A::Msg>> = (0..n)
+        .map(|v| Vec::with_capacity(graph.indegree(v)))
+        .collect();
+    for (v, state) in states.iter().enumerate() {
+        assert!(graph.has_self_loop(v));
+        let outdeg = graph.outdegree(v);
+        let msgs = algo.send(state, outdeg);
+        assert_eq!(msgs.len(), outdeg);
+        let mut ports: Vec<_> = graph
+            .out_edges(v)
+            .map(|e| (graph.edges()[e].port, e))
+            .collect();
+        ports.sort_unstable();
+        for (msg, (_, e)) in msgs.into_iter().zip(ports) {
+            inboxes[graph.edges()[e].dst].push(msg);
+        }
+    }
+    for (v, inbox) in inboxes.into_iter().enumerate() {
+        states[v] = algo.transition(&states[v], &inbox);
+    }
+}
+
+#[test]
+fn unobserved_step_shows_no_measurable_slowdown() {
+    let g = parse_graph("random:64:4:7")
+        .expect("grammar")
+        .with_self_loops();
+    let values: Vec<u64> = (0..64).map(|i| (i * 37) % 101).collect();
+    const STEPS: usize = 40;
+    const TRIALS: usize = 9;
+    let mut base_times = Vec::with_capacity(TRIALS);
+    let mut step_times = Vec::with_capacity(TRIALS);
+    // Interleave the two variants so CPU noise hits both equally.
+    for _ in 0..TRIALS {
+        let algo = Broadcast(SetGossip);
+        let mut states = SetGossip::initial(&values);
+        let t0 = Instant::now();
+        for _ in 0..STEPS {
+            baseline_step(&algo, &mut states, &g);
+        }
+        base_times.push(t0.elapsed());
+        std::hint::black_box(&states);
+
+        let mut exec = Execution::new(Broadcast(SetGossip), SetGossip::initial(&values));
+        let t0 = Instant::now();
+        for _ in 0..STEPS {
+            exec.step(&g);
+        }
+        step_times.push(t0.elapsed());
+        std::hint::black_box(exec.states());
+    }
+    base_times.sort();
+    step_times.sort();
+    let (base, step) = (base_times[TRIALS / 2], step_times[TRIALS / 2]);
+    // Medians over interleaved trials; the generous factor (plus an
+    // absolute floor for timer granularity) keeps CI noise out while
+    // still catching an accidentally un-elided observer dispatch, which
+    // would cost well over 3x on this message-heavy workload.
+    assert!(
+        step <= base * 3 + Duration::from_millis(5),
+        "unobserved step regressed: median {step:?} vs inline baseline {base:?}"
+    );
+}
