@@ -110,14 +110,14 @@ impl FibreCensus {
     /// The frequency of each *value* (summing fibres that share a value),
     /// sorted by value. Frequencies sum to 1.
     pub fn frequencies(&self) -> Vec<(u64, BigRational)> {
-        let total = BigRational::from(self.ray_total());
+        let total = self.ray_total();
         let mut acc: std::collections::BTreeMap<u64, BigInt> = std::collections::BTreeMap::new();
         for (v, z) in self.values.iter().zip(&self.ray) {
             let e = acc.entry(*v).or_insert_with(BigInt::zero);
             *e += z;
         }
         acc.into_iter()
-            .map(|(v, z)| (v, &BigRational::from(z) / &total))
+            .map(|(v, z)| (v, BigRational::new(z, total.clone())))
             .collect()
     }
 

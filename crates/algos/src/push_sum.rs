@@ -212,8 +212,8 @@ impl IsotropicAlgorithm for PushSumExact {
     type Output = BigRational;
 
     fn message(&self, state: &PushSumExactState, outdegree: usize) -> Self::Msg {
-        let d = BigRational::from_integer(outdegree as i64);
-        (&state.y / &d, &state.z / &d)
+        let d = outdegree as u64;
+        (state.y.div_integer(d), state.z.div_integer(d))
     }
 
     fn transition(&self, _state: &PushSumExactState, inbox: &[Self::Msg]) -> PushSumExactState {
@@ -439,11 +439,11 @@ impl IsotropicAlgorithm for PushSumFrequencyExact {
     type Output = BTreeMap<u64, BigRational>;
 
     fn message(&self, state: &ExactFrequencyState, outdegree: usize) -> Self::Msg {
-        let d = BigRational::from_integer(outdegree as i64);
+        let d = outdegree as u64;
         state
             .masses
             .iter()
-            .map(|(&v, (y, z))| (v, (y / &d, z / &d)))
+            .map(|(&v, (y, z))| (v, (y.div_integer(d), z.div_integer(d))))
             .collect()
     }
 

@@ -1,10 +1,13 @@
 //! Arbitrary-precision signed integers.
 //!
-//! Sign-magnitude representation over little-endian `u64` limbs. The
-//! implementation favours simplicity and exactness over raw speed: the
-//! matrices arising from minimum bases of anonymous networks are small
-//! (one row per fibre), so schoolbook multiplication and binary long
-//! division are more than adequate.
+//! Sign-magnitude representation over little-endian `u64` limbs.
+//! Multiplication is schoolbook (operands here rarely exceed a few
+//! thousand bits), but division and gcd — the hot kernels of the exact
+//! Push-Sum referee, whose rational state grows every round — work a
+//! limb at a time: division is Knuth's Algorithm D, gcd is the binary
+//! (Stein) algorithm with a `u64` fast path. Both are differentially
+//! tested against the simple bit-at-a-time references they replaced,
+//! which are kept in the test module.
 
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
@@ -226,7 +229,7 @@ fn mag_divmod_limb(a: &[u64], d: u64) -> (Vec<u64>, u64) {
     (q, rem as u64)
 }
 
-/// Full multi-limb division via binary long division.
+/// Full multi-limb division.
 /// Returns (quotient, remainder) with `a = q*b + r`, `0 <= r < b`.
 fn mag_divmod(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
     assert!(!b.is_empty(), "division by zero");
@@ -237,22 +240,164 @@ fn mag_divmod(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
         let (q, r) = mag_divmod_limb(a, b[0]);
         return (q, if r == 0 { Vec::new() } else { vec![r] });
     }
-    let shift = mag_bits(a) - mag_bits(b);
-    let mut q = vec![0u64; a.len()];
-    let mut rem = a.to_vec();
-    let mut d = mag_shl(b, shift);
-    for s in (0..=shift).rev() {
-        if mag_cmp(&rem, &d) != Ordering::Less {
-            rem = mag_sub(&rem, &d);
-            q[s / 64] |= 1u64 << (s % 64);
+    mag_divmod_knuth(a, b)
+}
+
+/// Schoolbook multi-limb division: Knuth TAOCP vol. 2, Algorithm 4.3.1 D.
+///
+/// Requires `b.len() >= 2` and `a >= b`. One quotient limb per iteration:
+/// the divisor is normalized so its top limb has the high bit set (D1),
+/// each trial quotient is estimated from the top two dividend limbs and
+/// corrected against the top *two* divisor limbs (D3) — after which it is
+/// off by at most one, fixed by the rare add-back step (D6).
+fn mag_divmod_knuth(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    let n = b.len();
+    let m = a.len() - n;
+    // D1: normalize so the divisor's top limb has its high bit set. The
+    // dividend gains one extra high limb.
+    let shift = b[n - 1].leading_zeros() as usize;
+    let vn = mag_shl_fixed(b, shift, n);
+    let mut un = mag_shl_fixed(a, shift, a.len() + 1);
+    let v_hi = vn[n - 1];
+    let v_lo = vn[n - 2];
+    let mut q = vec![0u64; m + 1];
+    for j in (0..=m).rev() {
+        // D3: trial quotient from the top two dividend limbs, then the
+        // classical two-limb correction (runs at most twice).
+        let num = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+        let mut qhat = num / v_hi as u128;
+        let mut rhat = num % v_hi as u128;
+        while qhat >> 64 != 0 || qhat * v_lo as u128 > ((rhat << 64) | un[j + n - 2] as u128) {
+            qhat -= 1;
+            rhat += v_hi as u128;
+            if rhat >> 64 != 0 {
+                break;
+            }
         }
-        if s > 0 {
-            d = mag_shr(&d, 1);
+        // D4: multiply-and-subtract qhat * v from un[j ..= j+n].
+        let mut mul_carry = 0u64;
+        let mut borrow = 0u64;
+        for i in 0..n {
+            let p = qhat * vn[i] as u128 + mul_carry as u128;
+            mul_carry = (p >> 64) as u64;
+            let (d, b1) = un[j + i].overflowing_sub(p as u64);
+            let (d, b2) = d.overflowing_sub(borrow);
+            un[j + i] = d;
+            borrow = (b1 as u64) | (b2 as u64);
+        }
+        let (d, b1) = un[j + n].overflowing_sub(mul_carry);
+        let (d, b2) = d.overflowing_sub(borrow);
+        un[j + n] = d;
+        if b1 || b2 {
+            // D6: qhat was one too large (probability ~2/2^64) — add the
+            // divisor back and decrement.
+            qhat -= 1;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let s = un[j + i] as u128 + vn[i] as u128 + carry as u128;
+                un[j + i] = s as u64;
+                carry = (s >> 64) as u64;
+            }
+            un[j + n] = un[j + n].wrapping_add(carry);
+        }
+        q[j] = qhat as u64;
+    }
+    // D8: denormalize the remainder.
+    un.truncate(n);
+    let rem = mag_shr(&un, shift);
+    mag_trim(&mut q);
+    (q, rem)
+}
+
+/// `a << shift` (with `shift < 64`) padded/truncated to exactly `len`
+/// limbs — the fixed-width shift Algorithm D needs for its working copies.
+fn mag_shl_fixed(a: &[u64], shift: usize, len: usize) -> Vec<u64> {
+    debug_assert!(shift < 64);
+    let mut out = mag_shl(a, shift);
+    debug_assert!(out.len() <= len);
+    out.resize(len, 0);
+    out
+}
+
+/// Number of trailing zero bits of a non-zero magnitude.
+fn mag_trailing_zeros(a: &[u64]) -> usize {
+    debug_assert!(!a.is_empty());
+    let mut bits = 0usize;
+    for &limb in a {
+        if limb == 0 {
+            bits += 64;
+        } else {
+            return bits + limb.trailing_zeros() as usize;
         }
     }
-    mag_trim(&mut q);
-    mag_trim(&mut rem);
-    (q, rem)
+    unreachable!("magnitude has no trailing zero limbs")
+}
+
+/// Binary (Stein) gcd on `u64`.
+fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let k = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << k;
+        }
+    }
+}
+
+/// Limb-level binary (Stein) gcd of two magnitudes.
+///
+/// Single-limb operands take a `u64` fast path; a mixed big/small pair is
+/// reduced with one `O(len)` limb division first (one Euclid step), which
+/// avoids the long subtraction chains plain Stein would need there. The
+/// general multi-limb case is the classical odd-odd subtract-and-shift
+/// loop, re-entering the fast paths as the operands shrink.
+fn mag_gcd(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() {
+        return b.to_vec();
+    }
+    if b.is_empty() {
+        return a.to_vec();
+    }
+    if b.len() == 1 {
+        let (_, r) = mag_divmod_limb(a, b[0]);
+        let g = gcd_u64(r, b[0]);
+        return vec![g];
+    }
+    if a.len() == 1 {
+        return mag_gcd(b, a);
+    }
+    // Both multi-limb: factor out the common power of two, make both odd.
+    let za = mag_trailing_zeros(a);
+    let zb = mag_trailing_zeros(b);
+    let k = za.min(zb);
+    let mut a = mag_shr(a, za);
+    let mut b = mag_shr(b, zb);
+    loop {
+        // Invariant: both odd and non-zero here.
+        if a.len() == 1 || b.len() == 1 {
+            return mag_shl(&mag_gcd(&a, &b), k);
+        }
+        match mag_cmp(&a, &b) {
+            Ordering::Equal => break,
+            Ordering::Less => std::mem::swap(&mut a, &mut b),
+            Ordering::Greater => {}
+        }
+        a = mag_sub(&a, &b); // even and non-zero (a != b, both odd)
+        let z = mag_trailing_zeros(&a);
+        a = mag_shr(&a, z);
+    }
+    mag_shl(&a, k)
 }
 
 // ---------------------------------------------------------------------
@@ -423,6 +568,38 @@ impl BigInt {
             Sign::Zero => Some(0),
             Sign::Positive if self.mag.len() == 1 => Some(self.mag[0]),
             _ => None,
+        }
+    }
+
+    /// Exact conversion to `i128` when the value fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        if self.mag.len() > 2 {
+            return None;
+        }
+        let lo = self.mag.first().copied().unwrap_or(0) as u128;
+        let hi = self.mag.get(1).copied().unwrap_or(0) as u128;
+        let m = (hi << 64) | lo;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive if m <= i128::MAX as u128 => Some(m as i128),
+            Sign::Negative if m <= i128::MAX as u128 + 1 => Some((m as i128).wrapping_neg()),
+            _ => None,
+        }
+    }
+
+    /// Greatest common divisor (always non-negative; `gcd(0, 0) == 0`).
+    ///
+    /// Limb-level binary (Stein) gcd with a `u64` fast path — the
+    /// normalization kernel of every [`crate::BigRational`] operation.
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mag = mag_gcd(&self.mag, &other.mag);
+        if mag.is_empty() {
+            BigInt::zero()
+        } else {
+            BigInt {
+                sign: Sign::Positive,
+                mag,
+            }
         }
     }
 }
@@ -743,6 +920,60 @@ mod tests {
         BigInt::from(v)
     }
 
+    /// The pre-Algorithm-D bit-by-bit binary long division, kept verbatim
+    /// as the differential reference for `mag_divmod_knuth`.
+    fn mag_divmod_binary_reference(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
+        assert!(!b.is_empty(), "division by zero");
+        if mag_cmp(a, b) == Ordering::Less {
+            return (Vec::new(), a.to_vec());
+        }
+        if b.len() == 1 {
+            let (q, r) = mag_divmod_limb(a, b[0]);
+            return (q, if r == 0 { Vec::new() } else { vec![r] });
+        }
+        let shift = mag_bits(a) - mag_bits(b);
+        let mut q = vec![0u64; a.len()];
+        let mut rem = a.to_vec();
+        let mut d = mag_shl(b, shift);
+        for s in (0..=shift).rev() {
+            if mag_cmp(&rem, &d) != Ordering::Less {
+                rem = mag_sub(&rem, &d);
+                q[s / 64] |= 1u64 << (s % 64);
+            }
+            if s > 0 {
+                d = mag_shr(&d, 1);
+            }
+        }
+        mag_trim(&mut q);
+        mag_trim(&mut rem);
+        (q, rem)
+    }
+
+    /// Random magnitude of up to `limbs` limbs with a bias toward shapes
+    /// that stress Algorithm D (trailing zeros, saturated limbs).
+    fn arb_mag(limbs: usize) -> impl Strategy<Value = Vec<u64>> {
+        (
+            proptest::collection::vec(
+                (any::<u64>(), 0u32..4).prop_map(|(v, tag)| match tag {
+                    0 => u64::MAX,
+                    1 => 0,
+                    2 => 1,
+                    _ => v,
+                }),
+                0..limbs + 1,
+            ),
+            0usize..100,
+        )
+            .prop_map(|(mut mag, shift)| {
+                mag_trim(&mut mag);
+                if mag.is_empty() {
+                    mag
+                } else {
+                    mag_shl(&mag, shift)
+                }
+            })
+    }
+
     #[test]
     fn construction_and_signs() {
         assert!(BigInt::zero().is_zero());
@@ -832,7 +1063,89 @@ mod tests {
         assert_eq!(xs.into_iter().product::<BigInt>(), big(120));
     }
 
+    #[test]
+    fn division_edge_cases_match_reference() {
+        let one = vec![1u64];
+        let top = vec![0u64, 0, 1]; // 2^128
+        let all_ones = vec![u64::MAX; 4];
+        let mut big_pow = vec![0u64; 63];
+        big_pow.push(1); // 2^4032
+        let cases: Vec<(Vec<u64>, Vec<u64>)> = vec![
+            (Vec::new(), one.clone()),               // 0 / 1
+            (one.clone(), one.clone()),              // equal single-limb
+            (all_ones.clone(), all_ones.clone()),    // equal multi-limb
+            (top.clone(), vec![u64::MAX, u64::MAX]), // forces qhat correction
+            (all_ones.clone(), vec![1u64, 1]),
+            (big_pow.clone(), all_ones.clone()),
+            (big_pow.clone(), vec![u64::MAX, 1]),
+            (vec![5u64], all_ones.clone()), // dividend < divisor
+        ];
+        for (a, b) in &cases {
+            assert_eq!(
+                mag_divmod(a, b),
+                mag_divmod_binary_reference(a, b),
+                "divmod({a:?}, {b:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn division_qhat_addback_path() {
+        // Classic Algorithm D stress case: dividend top limbs equal to the
+        // normalized divisor's, which drives qhat to b-1 and exercises the
+        // add-back branch probability region.
+        let b = vec![0u64, u64::MAX - 1, 1u64 << 63];
+        let mut a = mag_mul(&b, &[u64::MAX, u64::MAX, u64::MAX]);
+        a = mag_add(&a, &mag_sub(&b, &[1]));
+        let (q, r) = mag_divmod(&a, &b);
+        assert_eq!((q, r), mag_divmod_binary_reference(&a, &b));
+    }
+
     proptest! {
+        /// Differential: Algorithm D == binary long division reference on
+        /// operands up to ~4096 bits.
+        #[test]
+        fn divmod_matches_binary_reference(a in arb_mag(64), b in arb_mag(32)) {
+            prop_assume!(!b.is_empty());
+            let (q, r) = mag_divmod(&a, &b);
+            let (q_ref, r_ref) = mag_divmod_binary_reference(&a, &b);
+            prop_assert_eq!(&q, &q_ref);
+            prop_assert_eq!(&r, &r_ref);
+            // And the result reconstructs: a = q*b + r with r < b.
+            prop_assert_eq!(mag_add(&mag_mul(&q, &b), &r), a);
+            prop_assert_eq!(mag_cmp(&r, &b), Ordering::Less);
+        }
+
+        /// Differential on *correlated* operands (a = b * c + d), where
+        /// trial quotients hit exact boundaries.
+        #[test]
+        fn divmod_matches_reference_on_products(
+            b in arb_mag(24),
+            c in arb_mag(24),
+            d in arb_mag(8),
+        ) {
+            prop_assume!(!b.is_empty());
+            let a = mag_add(&mag_mul(&b, &c), &d);
+            prop_assert_eq!(mag_divmod(&a, &b), mag_divmod_binary_reference(&a, &b));
+        }
+
+        #[test]
+        fn gcd_of_products_shares_factor(a in arb_mag(12), b in arb_mag(12), f in arb_mag(6)) {
+            prop_assume!(!f.is_empty() && !a.is_empty() && !b.is_empty());
+            let fa = BigInt::from_mag(Sign::Positive, mag_mul(&a, &f));
+            let fb = BigInt::from_mag(Sign::Positive, mag_mul(&b, &f));
+            let g = fa.gcd(&fb);
+            // The common factor divides the gcd, and the gcd divides both.
+            prop_assert!((&g % &BigInt::from_mag(Sign::Positive, f)).is_zero());
+            prop_assert!((&fa % &g).is_zero());
+            prop_assert!((&fb % &g).is_zero());
+        }
+
+        #[test]
+        fn to_i128_roundtrip(v in any::<i128>()) {
+            prop_assert_eq!(BigInt::from(v).to_i128(), Some(v));
+        }
+
         #[test]
         fn add_matches_i128(a in -(1i128<<100)..(1i128<<100), b in -(1i128<<100)..(1i128<<100)) {
             prop_assert_eq!(big(a) + big(b), big(a + b));

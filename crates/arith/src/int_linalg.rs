@@ -11,7 +11,7 @@
 //! the two are cross-checked against each other in tests and compared in
 //! the `linalg` benchmark.
 
-use crate::{gcd, BigInt};
+use crate::BigInt;
 use std::fmt;
 
 /// A dense integer matrix.
@@ -176,7 +176,7 @@ impl IMatrix {
                     continue;
                 }
                 let pivot = e[(r, pc)].clone();
-                let g = gcd(&pivot, &residual);
+                let g = pivot.gcd(&residual);
                 let scale = &pivot / &g;
                 // Scale everything so the division is exact, then set
                 // x[pc] = -residual_scaled / pivot.
@@ -190,7 +190,7 @@ impl IMatrix {
                 x[pc] = -q;
             }
             // Reduce to coprime entries.
-            let g = x.iter().fold(BigInt::zero(), |acc, v| gcd(&acc, v));
+            let g = x.iter().fold(BigInt::zero(), |acc, v| acc.gcd(v));
             if !g.is_zero() && !g.is_one() {
                 for xi in &mut x {
                     *xi = &*xi / &g;
@@ -234,7 +234,7 @@ impl fmt::Debug for IMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{BigRational, QMatrix};
+    use crate::{gcd, BigRational, QMatrix};
     use proptest::prelude::*;
 
     #[test]

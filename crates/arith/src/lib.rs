@@ -61,14 +61,7 @@ pub use rational::{BigRational, ParseRationalError};
 /// assert_eq!(gcd(&BigInt::from(12), &BigInt::from(-18)), BigInt::from(6));
 /// ```
 pub fn gcd(a: &BigInt, b: &BigInt) -> BigInt {
-    let mut a = a.abs();
-    let mut b = b.abs();
-    while !b.is_zero() {
-        let r = &a % &b;
-        a = b;
-        b = r;
-    }
-    a
+    a.gcd(b)
 }
 
 /// Least common multiple of two big integers (always non-negative).
@@ -90,12 +83,90 @@ pub fn lcm(a: &BigInt, b: &BigInt) -> BigInt {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    /// The pre-fast-path remainder-chain Euclid, kept as the differential
+    /// reference for the limb-level binary gcd.
+    fn gcd_euclid_reference(a: &BigInt, b: &BigInt) -> BigInt {
+        let mut a = a.abs();
+        let mut b = b.abs();
+        while !b.is_zero() {
+            let r = &a % &b;
+            a = b;
+            b = r;
+        }
+        a
+    }
 
     #[test]
     fn gcd_lcm_basics() {
         assert_eq!(gcd(&BigInt::zero(), &BigInt::zero()), BigInt::zero());
         assert_eq!(gcd(&BigInt::from(7), &BigInt::zero()), BigInt::from(7));
+        assert_eq!(gcd(&BigInt::from(12), &BigInt::from(-18)), BigInt::from(6));
         assert_eq!(lcm(&BigInt::zero(), &BigInt::from(5)), BigInt::zero());
         assert_eq!(lcm(&BigInt::from(21), &BigInt::from(6)), BigInt::from(42));
+    }
+
+    #[test]
+    fn gcd_edge_cases_match_reference() {
+        let two_pow_4096 = &BigInt::one() << 4096;
+        let cases = [
+            (BigInt::zero(), BigInt::zero()),
+            (BigInt::zero(), two_pow_4096.clone()),
+            (two_pow_4096.clone(), two_pow_4096.clone()),
+            (two_pow_4096.clone(), &two_pow_4096 - &BigInt::one()),
+            (
+                &two_pow_4096 * &BigInt::from(6),
+                &two_pow_4096 * &BigInt::from(15),
+            ),
+            (BigInt::from(u64::MAX), two_pow_4096.clone()),
+        ];
+        for (a, b) in &cases {
+            assert_eq!(gcd(a, b), gcd_euclid_reference(a, b), "gcd({a}, {b})");
+            assert_eq!(gcd(b, a), gcd_euclid_reference(a, b), "gcd symmetric");
+        }
+    }
+
+    /// Random-limb strategy: magnitudes up to `limbs * 64` bits, biased
+    /// toward interesting shapes (trailing zeros, equal halves).
+    fn arb_bigint(limbs: usize) -> impl Strategy<Value = BigInt> {
+        (
+            proptest::collection::vec(any::<u64>(), 0..limbs + 1),
+            0usize..128,
+            any::<bool>(),
+        )
+            .prop_map(|(ls, shift, neg)| {
+                let mut acc = BigInt::zero();
+                for l in ls {
+                    acc = (acc << 64) + BigInt::from(l);
+                }
+                acc = acc << shift;
+                if neg {
+                    -acc
+                } else {
+                    acc
+                }
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Differential: binary gcd == Euclid reference, up to ~4096 bits.
+        #[test]
+        fn gcd_matches_euclid_reference(a in arb_bigint(62), b in arb_bigint(62)) {
+            prop_assert_eq!(gcd(&a, &b), gcd_euclid_reference(&a, &b));
+        }
+
+        /// gcd divides both operands and lcm * gcd == |a * b|.
+        #[test]
+        fn gcd_lcm_laws(a in arb_bigint(8), b in arb_bigint(8)) {
+            let g = gcd(&a, &b);
+            if !g.is_zero() {
+                prop_assert!((&a % &g).is_zero());
+                prop_assert!((&b % &g).is_zero());
+                prop_assert_eq!(&g * &lcm(&a, &b), (&a * &b).abs());
+            }
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! exact Gaussian elimination, rank, kernel basis, and the coprime-integer
 //! scaling that this requires.
 
-use crate::{gcd, lcm, BigInt, BigRational};
+use crate::{lcm, BigInt, BigRational};
 use std::fmt;
 
 /// A dense matrix of exact rationals.
@@ -258,7 +258,7 @@ fn scale_to_coprime_positive(v: &[BigRational]) -> Option<Vec<BigInt>> {
             }
         })
         .collect();
-    let g = ints.iter().fold(BigInt::zero(), |acc, x| gcd(&acc, x));
+    let g = ints.iter().fold(BigInt::zero(), |acc, x| acc.gcd(x));
     Some(ints.iter().map(|x| x / &g).collect())
 }
 

@@ -14,6 +14,60 @@ use std::iter::Sum;
 use std::ops::{Add, Div, Mul, Neg, Sub};
 use std::str::FromStr;
 
+// ---------------------------------------------------------------------
+// small-value (i128) fast path
+// ---------------------------------------------------------------------
+
+/// Binary gcd on `u128` (both operands may be zero).
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let k = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << k;
+        }
+    }
+}
+
+/// Both operands as `(num, den)` machine words, when all four parts fit
+/// `i64`. With single-limb inputs every product below stays within
+/// `i128` (|n|, d < 2^63 ⇒ |n₁d₂ ± n₂d₁| < 2^127, d₁d₂ < 2^126), so the
+/// fast paths need no overflow checks.
+#[inline]
+fn small_parts(x: &BigRational, y: &BigRational) -> Option<(i128, i128, i128, i128)> {
+    Some((
+        x.num.to_i64()? as i128,
+        x.den.to_i64()? as i128,
+        y.num.to_i64()? as i128,
+        y.den.to_i64()? as i128,
+    ))
+}
+
+/// Normalize a small `num / den` (`den > 0`) into a reduced rational.
+#[inline]
+fn from_small(num: i128, den: i128) -> BigRational {
+    debug_assert!(den > 0);
+    if num == 0 {
+        return BigRational::zero();
+    }
+    let g = gcd_u128(num.unsigned_abs(), den as u128) as i128;
+    BigRational {
+        num: BigInt::from(num / g),
+        den: BigInt::from(den / g),
+    }
+}
+
 /// An exact rational number `num / den` with `den > 0` and
 /// `gcd(num, den) == 1`.
 ///
@@ -136,26 +190,73 @@ impl BigRational {
 
     /// Multiplicative inverse.
     ///
+    /// Swaps the (already coprime) parts directly — no gcd needed.
+    ///
     /// # Panics
     ///
     /// Panics if `self` is zero.
     pub fn recip(&self) -> BigRational {
         assert!(!self.is_zero(), "reciprocal of zero");
-        BigRational::new(self.den.clone(), self.num.clone())
+        if self.num.is_negative() {
+            BigRational {
+                num: -&self.den,
+                den: self.num.abs(),
+            }
+        } else {
+            BigRational {
+                num: self.den.clone(),
+                den: self.num.clone(),
+            }
+        }
+    }
+
+    /// Divide by a positive machine integer — the per-neighbor share
+    /// split of exact Push-Sum (`y / outdegree`) — without materializing
+    /// the integer as a rational: one small gcd against the numerator
+    /// replaces the full normalization of `self / from_integer(k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn div_integer(&self, k: u64) -> BigRational {
+        assert!(k != 0, "division by zero");
+        if self.is_zero() {
+            return BigRational::zero();
+        }
+        let kb = BigInt::from(k);
+        let g = self.num.gcd(&kb);
+        BigRational {
+            num: &self.num / &g,
+            den: &self.den * &(&kb / &g),
+        }
     }
 
     /// Approximate conversion to `f64`.
+    ///
+    /// Numerator and denominator are scaled to machine range
+    /// *independently* and the two exponents are recombined (ldexp
+    /// style), so lopsided values — a tiny numerator over a huge
+    /// denominator like `1/2^1000`, the shape late-round exact Push-Sum
+    /// residuals take — convert to the correct (sub)normal instead of
+    /// collapsing to `0.0`.
     pub fn to_f64(&self) -> f64 {
-        // Scale so both parts fit comfortably in f64 range.
         let nb = self.num.bits();
         let db = self.den.bits();
         if nb <= 900 && db <= 900 {
             return self.num.to_f64() / self.den.to_f64();
         }
-        let shift = nb.max(db) - 512;
-        let n = (&self.num >> shift).to_f64();
-        let d = (&self.den >> shift).to_f64();
-        n / d
+        let ns = nb.saturating_sub(64);
+        let ds = db.saturating_sub(64);
+        let n = (&self.num >> ns).to_f64();
+        let d = (&self.den >> ds).to_f64();
+        // n/d carries the top 64 bits of each side; 2^(ns-ds) restores
+        // the magnitudes. Beyond ±2400 the result saturates to ±inf or
+        // 0 regardless of the mantissas, so clamping is exact; the
+        // two-step multiply keeps each factor inside f64's exponent
+        // range so the only rounding happens on the final product.
+        let exp = (ns as i64 - ds as i64).clamp(-2400, 2400) as i32;
+        let h = exp / 2;
+        (n / d) * 2f64.powi(h) * 2f64.powi(exp - h)
     }
 
     /// Exact conversion from a finite `f64` (every finite float is a
@@ -398,30 +499,93 @@ impl Ord for BigRational {
     }
 }
 
+/// `x ± y` over the big-integer path, via the classic d1/d2
+/// decomposition (Knuth 4.5.1; the same shape as GMP's `mpq_add`): with
+/// `g = gcd(d1, d2)` the only common factor the raw cross-multiplied sum
+/// can share with the product denominator divides `g`, so one *small*
+/// gcd replaces the full-size normalization gcd of `BigRational::new` —
+/// this is what keeps Push-Sum's `y/z` intermediates from ballooning.
+fn add_big(x: &BigRational, y_num: &BigInt, y_den: &BigInt) -> BigRational {
+    let g = x.den.gcd(y_den);
+    if g.is_one() {
+        // Coprime denominators: the result is already in lowest terms.
+        let num = &x.num * y_den + y_num * &x.den;
+        if num.is_zero() {
+            return BigRational::zero();
+        }
+        return BigRational {
+            num,
+            den: &x.den * y_den,
+        };
+    }
+    let da = &x.den / &g;
+    let db = y_den / &g;
+    let t = &x.num * &db + y_num * &da;
+    if t.is_zero() {
+        return BigRational::zero();
+    }
+    let g2 = t.gcd(&g);
+    BigRational {
+        num: &t / &g2,
+        den: &da * &(y_den / &g2),
+    }
+}
+
+/// `x * y` over the big-integer path: cross-cancel `gcd(n1, d2)` and
+/// `gcd(n2, d1)` *before* multiplying, so the products are formed from
+/// already-reduced halves and need no final gcd. Requires both operands
+/// non-zero.
+fn mul_big(x: &BigRational, y_num: &BigInt, y_den: &BigInt) -> BigRational {
+    let g1 = x.num.gcd(y_den);
+    let g2 = y_num.gcd(&x.den);
+    BigRational {
+        num: &(&x.num / &g1) * &(y_num / &g2),
+        den: &(&x.den / &g2) * &(y_den / &g1),
+    }
+}
+
 impl Add for &BigRational {
     type Output = BigRational;
     fn add(self, rhs: &BigRational) -> BigRational {
-        BigRational::new(
-            &self.num * &rhs.den + &rhs.num * &self.den,
-            &self.den * &rhs.den,
-        )
+        if self.is_zero() {
+            return rhs.clone();
+        }
+        if rhs.is_zero() {
+            return self.clone();
+        }
+        if let Some((n1, d1, n2, d2)) = small_parts(self, rhs) {
+            return from_small(n1 * d2 + n2 * d1, d1 * d2);
+        }
+        add_big(self, &rhs.num, &rhs.den)
     }
 }
 
 impl Sub for &BigRational {
     type Output = BigRational;
     fn sub(self, rhs: &BigRational) -> BigRational {
-        BigRational::new(
-            &self.num * &rhs.den - &rhs.num * &self.den,
-            &self.den * &rhs.den,
-        )
+        if rhs.is_zero() {
+            return self.clone();
+        }
+        if self.is_zero() {
+            return -rhs;
+        }
+        if let Some((n1, d1, n2, d2)) = small_parts(self, rhs) {
+            return from_small(n1 * d2 - n2 * d1, d1 * d2);
+        }
+        add_big(self, &-&rhs.num, &rhs.den)
     }
 }
 
 impl Mul for &BigRational {
     type Output = BigRational;
     fn mul(self, rhs: &BigRational) -> BigRational {
-        BigRational::new(&self.num * &rhs.num, &self.den * &rhs.den)
+        if self.is_zero() || rhs.is_zero() {
+            return BigRational::zero();
+        }
+        if let Some((n1, d1, n2, d2)) = small_parts(self, rhs) {
+            return from_small(n1 * n2, d1 * d2);
+        }
+        mul_big(self, &rhs.num, &rhs.den)
     }
 }
 
@@ -429,7 +593,24 @@ impl Div for &BigRational {
     type Output = BigRational;
     fn div(self, rhs: &BigRational) -> BigRational {
         assert!(!rhs.is_zero(), "division by zero rational");
-        BigRational::new(&self.num * &rhs.den, &self.den * &rhs.num)
+        if self.is_zero() {
+            return BigRational::zero();
+        }
+        if let Some((n1, d1, n2, d2)) = small_parts(self, rhs) {
+            let (num, den) = if n2 < 0 {
+                (n1 * -d2, d1 * -n2)
+            } else {
+                (n1 * d2, d1 * n2)
+            };
+            return from_small(num, den);
+        }
+        // x / y = x * recip(y); the reciprocal's parts are already
+        // coprime, so this is one mul_big with the roles swapped.
+        if rhs.num.is_negative() {
+            mul_big(self, &-&rhs.den, &rhs.num.abs())
+        } else {
+            mul_big(self, &rhs.den, &rhs.num)
+        }
     }
 }
 
@@ -535,6 +716,71 @@ mod tests {
         BigRational::from_i64(n, d)
     }
 
+    /// Pre-fast-path reference ops: cross-multiply, then fully normalize
+    /// through `BigRational::new`'s single big gcd.
+    fn add_reference(x: &BigRational, y: &BigRational) -> BigRational {
+        BigRational::new(
+            x.numer() * y.denom() + y.numer() * x.denom(),
+            x.denom() * y.denom(),
+        )
+    }
+
+    fn sub_reference(x: &BigRational, y: &BigRational) -> BigRational {
+        BigRational::new(
+            x.numer() * y.denom() - y.numer() * x.denom(),
+            x.denom() * y.denom(),
+        )
+    }
+
+    fn mul_reference(x: &BigRational, y: &BigRational) -> BigRational {
+        BigRational::new(x.numer() * y.numer(), x.denom() * y.denom())
+    }
+
+    fn div_reference(x: &BigRational, y: &BigRational) -> BigRational {
+        BigRational::new(x.numer() * y.denom(), x.denom() * y.numer())
+    }
+
+    /// The reduced-form invariant every constructor and operator must
+    /// maintain: positive denominator, coprime parts, canonical zero.
+    fn assert_normalized(x: &BigRational) {
+        assert!(x.denom().is_positive(), "denominator not positive: {x:?}");
+        if x.numer().is_zero() {
+            assert!(x.denom().is_one(), "non-canonical zero: {x:?}");
+        } else {
+            assert!(
+                x.numer().gcd(x.denom()).is_one(),
+                "parts not coprime: {x:?}"
+            );
+        }
+    }
+
+    /// Rationals with multi-limb parts (numerators up to ~4096 bits),
+    /// biased toward power-of-two factors and shared structure.
+    fn arb_big_rat() -> impl Strategy<Value = BigRational> {
+        (
+            proptest::collection::vec(any::<u64>(), 1usize..17),
+            proptest::collection::vec(any::<u64>(), 1usize..17),
+            0usize..128,
+            any::<bool>(),
+        )
+            .prop_map(|(ns, ds, shift, neg)| {
+                let mut num = BigInt::zero();
+                for l in ns {
+                    num = (num << 64) + BigInt::from(l);
+                }
+                let mut den = BigInt::zero();
+                for l in ds {
+                    den = (den << 64) + BigInt::from(l);
+                }
+                den = den + BigInt::one();
+                num = num << shift;
+                if neg {
+                    num = -num;
+                }
+                BigRational::new(num, den)
+            })
+    }
+
     #[test]
     fn normalization() {
         assert_eq!(rat(2, 4), rat(1, 2));
@@ -583,6 +829,44 @@ mod tests {
             assert_eq!(r.to_f64(), v);
         }
         assert_eq!(BigRational::from_f64(f64::INFINITY), None);
+    }
+
+    #[test]
+    fn to_f64_lopsided_tiny() {
+        // Regression: 1/2^1000 is perfectly representable in f64, but the
+        // old shared-shift conversion pushed the numerator to 0 and
+        // returned 0.0 — silently flattening late-round exact Push-Sum
+        // residual telemetry.
+        let tiny = BigRational::new(BigInt::one(), &BigInt::one() << 1000);
+        assert_eq!(tiny.to_f64(), 2f64.powi(-1000));
+        assert_eq!((-&tiny).to_f64(), -2f64.powi(-1000));
+        // Subnormal outputs survive too. (Spelled via from_bits because
+        // 2f64.powi(-1070) itself underflows: it divides by 2^1070 = inf.)
+        let sub = BigRational::new(BigInt::one(), &BigInt::one() << 1070);
+        assert_eq!(sub.to_f64(), f64::from_bits(1 << 4)); // 2^-1070
+        assert!(sub.to_f64() > 0.0);
+        // Below f64's range the correct answer *is* zero...
+        let below = BigRational::new(BigInt::one(), &BigInt::one() << 2000);
+        assert_eq!(below.to_f64(), 0.0);
+        // ...and a huge numerator overflows to infinity.
+        let above = BigRational::from_integer(&BigInt::one() << 2000);
+        assert_eq!(above.to_f64(), f64::INFINITY);
+        assert_eq!((-&above).to_f64(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn to_f64_lopsided_huge() {
+        // Huge over small: relative error bounded by the 64-bit truncation.
+        let x = BigRational::new(&BigInt::one() << 1000, BigInt::from(3));
+        let expect = 2f64.powi(1000) / 3.0;
+        assert!((x.to_f64() / expect - 1.0).abs() < 1e-12);
+        // Both parts huge but ratio ~1 — denominators blow up together in
+        // late-round Push-Sum.
+        let big = &BigInt::one() << 1000;
+        let y = BigRational::new(&big + &BigInt::one(), big.clone());
+        assert!((y.to_f64() - 1.0).abs() < 1e-12);
+        let f = BigRational::new(&big * &BigInt::from(3u64), &big * &BigInt::from(4u64));
+        assert_eq!(f.to_f64(), 0.75);
     }
 
     #[test]
@@ -649,6 +933,77 @@ mod tests {
         assert_eq!(BigRational::from_continued_fraction(&cf), rat(-7, 2));
     }
 
+    #[test]
+    fn continued_fraction_negative_floor_edges() {
+        // The first coefficient is the *floor*, so values just below an
+        // integer flip it: -1/q has floor -1 for every q >= 1.
+        for q in [1i64, 2, 3, 97] {
+            let x = rat(-1, q);
+            let cf = x.continued_fraction();
+            assert_eq!(cf[0], BigInt::from(-1), "-1/{q}");
+            assert!(cf[1..].iter().all(|a| a >= &BigInt::one()));
+            assert_eq!(BigRational::from_continued_fraction(&cf), x);
+        }
+        // Exactly-integer negatives stay single-coefficient.
+        assert_eq!(rat(-4, 2).continued_fraction(), vec![BigInt::from(-2)]);
+        // Just above/below a negative integer.
+        for x in [rat(-201, 100), rat(-199, 100), rat(-2, 1)] {
+            let cf = x.continued_fraction();
+            assert_eq!(BigRational::from_continued_fraction(&cf), x);
+        }
+    }
+
+    #[test]
+    fn div_integer_matches_general_division() {
+        let xs = [
+            rat(0, 1),
+            rat(5, 3),
+            rat(-7, 12),
+            BigRational::new(&BigInt::one() << 200, BigInt::from(9)),
+        ];
+        for x in &xs {
+            for k in [1u64, 2, 6, 97, u64::MAX] {
+                let expect = x / &BigRational::from_integer(BigInt::from(k));
+                let got = x.div_integer(k);
+                assert_eq!(got, expect, "{x} / {k}");
+                assert_normalized(&got);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_integer_zero_panics() {
+        let _ = rat(1, 2).div_integer(0);
+    }
+
+    #[test]
+    fn operator_edge_cases_match_reference() {
+        let big = BigRational::new(
+            &BigInt::one() << 2000,
+            (&BigInt::one() << 1000) + BigInt::one(),
+        );
+        let cases = [
+            (BigRational::zero(), big.clone()),
+            (big.clone(), BigRational::zero()),
+            (big.clone(), big.clone()),        // equal operands
+            (big.clone(), -&big),              // cancellation to zero
+            (big.clone(), BigRational::one()), // den == 1 on one side
+            (BigRational::from_integer(7), big.clone()),
+            (big.clone(), big.recip()),
+        ];
+        for (x, y) in &cases {
+            assert_eq!(&(x + y), &add_reference(x, y), "{x} + {y}");
+            assert_eq!(&(x - y), &sub_reference(x, y), "{x} - {y}");
+            assert_eq!(&(x * y), &mul_reference(x, y), "{x} * {y}");
+            if !y.is_zero() {
+                assert_eq!(&(x / y), &div_reference(x, y), "{x} / {y}");
+            }
+            assert_normalized(&(x + y));
+            assert_normalized(&(x * y));
+        }
+    }
+
     proptest! {
         #[test]
         fn continued_fraction_roundtrip(n in -400i64..400, d in 1i64..120) {
@@ -693,6 +1048,82 @@ mod tests {
             // Error is at most the distance to the floor integer.
             let floor = BigRational::from_integer(x.floor());
             prop_assert!((&best - &x).abs() <= (&floor - &x).abs() + BigRational::one());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The fast-path operators (i128 small values, d1/d2 gcd trick,
+        /// cross-cancellation) agree with the naive cross-multiply
+        /// references on operands up to ~1000 bits per side.
+        #[test]
+        fn operators_match_reference(x in arb_big_rat(), y in arb_big_rat()) {
+            let sum = &x + &y;
+            prop_assert_eq!(&sum, &add_reference(&x, &y));
+            assert_normalized(&sum);
+            let diff = &x - &y;
+            prop_assert_eq!(&diff, &sub_reference(&x, &y));
+            assert_normalized(&diff);
+            let prod = &x * &y;
+            prop_assert_eq!(&prod, &mul_reference(&x, &y));
+            assert_normalized(&prod);
+            if !y.is_zero() {
+                let quot = &x / &y;
+                prop_assert_eq!(&quot, &div_reference(&x, &y));
+                assert_normalized(&quot);
+            }
+            // Self-cancellation and self-division hit the equal-operand paths.
+            prop_assert!((&x - &x).is_zero());
+            if !x.is_zero() {
+                prop_assert_eq!(&x / &x, BigRational::one());
+            }
+        }
+
+        /// The i128 fast path and the big path agree on small operands.
+        #[test]
+        fn small_value_fast_path_matches(
+            a in -10_000i64..10_000, b in 1i64..10_000,
+            c in -10_000i64..10_000, d in 1i64..10_000,
+        ) {
+            let x = rat(a, b);
+            let y = rat(c, d);
+            // Force the big path by inflating with a common factor that
+            // pushes the parts past i64 (the value is unchanged).
+            let huge = &BigInt::one() << 80;
+            let inflate = |r: &BigRational| BigRational {
+                num: &r.num * &huge,
+                den: &r.den * &huge,
+            };
+            prop_assert_eq!(&x + &y, &inflate(&x) + &inflate(&y));
+            prop_assert_eq!(&x - &y, &inflate(&x) - &inflate(&y));
+            prop_assert_eq!(&x * &y, &inflate(&x) * &inflate(&y));
+            if c != 0 {
+                prop_assert_eq!(&x / &y, &inflate(&x) / &inflate(&y));
+            }
+        }
+
+        /// div_integer agrees with general division for arbitrary operands.
+        #[test]
+        fn div_integer_matches_reference(x in arb_big_rat(), k in 1u64..u64::MAX) {
+            let expect = &x / &BigRational::from_integer(BigInt::from(k));
+            let got = x.div_integer(k);
+            prop_assert_eq!(&got, &expect);
+            assert_normalized(&got);
+        }
+
+        /// to_f64 stays within 1 ulp of the cross-checked quotient for
+        /// moderate operands and never returns junk for lopsided ones.
+        #[test]
+        fn to_f64_tracks_float_division(n in -1_000_000i64..1_000_000, d in 1i64..1_000_000, shift in 0u32..900) {
+            let x = BigRational::new(BigInt::from(n), BigInt::from(d) << shift as usize);
+            let expect = (n as f64) / (d as f64) / 2f64.powi(shift as i32);
+            let got = x.to_f64();
+            if expect == 0.0 {
+                prop_assert_eq!(got, expect);
+            } else {
+                prop_assert!(((got - expect) / expect).abs() < 1e-12, "{} vs {}", got, expect);
+            }
         }
     }
 }

@@ -35,8 +35,20 @@ pub fn is_row_stochastic(a: &FMatrix, tol: f64) -> bool {
 
 /// Whether every *positive* entry of `a` is at least `alpha`
 /// (the paper's α-safety, §5.2).
-pub fn is_alpha_safe(a: &FMatrix, alpha: f64) -> bool {
-    (0..a.dim()).all(|i| (0..a.dim()).all(|j| a[(i, j)] == 0.0 || a[(i, j)] >= alpha))
+///
+/// Entries with `|x| <= zero_tol` count as structural zeros: Metropolis
+/// weights produced by floating-point division can leave denormal-tiny
+/// residue where an exact zero is meant, and the strict `== 0.0` compare
+/// this helper used to do made such matrices spuriously fail the
+/// α-safety check. As with the `is_*_stochastic` helpers, the caller
+/// chooses the tolerance; `0.0` recovers the exact-compare behavior.
+pub fn is_alpha_safe(a: &FMatrix, alpha: f64, zero_tol: f64) -> bool {
+    (0..a.dim()).all(|i| {
+        (0..a.dim()).all(|j| {
+            let x = a[(i, j)];
+            x.abs() <= zero_tol || x >= alpha
+        })
+    })
 }
 
 /// Dobrushin's ergodic coefficient of a row-stochastic matrix
@@ -118,10 +130,26 @@ mod tests {
         let m = doubly(3);
         assert!(is_column_stochastic(&m, 1e-12));
         assert!(is_row_stochastic(&m, 1e-12));
-        assert!(is_alpha_safe(&m, 1.0 / 3.0));
-        assert!(!is_alpha_safe(&m, 0.5));
+        assert!(is_alpha_safe(&m, 1.0 / 3.0, 0.0));
+        assert!(!is_alpha_safe(&m, 0.5, 0.0));
         let neg = FMatrix::from_rows(&[&[-1.0, 2.0], &[0.0, 1.0]]);
         assert!(!is_row_stochastic(&neg, 1e-12));
+    }
+
+    #[test]
+    fn alpha_safety_tolerates_denormal_residue() {
+        // A Metropolis-style weight row whose "zero" entry carries the
+        // denormal residue of a floating-point cancellation.
+        let denormal = f64::MIN_POSITIVE / 4.0;
+        let m = FMatrix::from_rows(&[&[0.5, 0.5, denormal], &[0.0, 0.5, 0.5], &[0.5, 0.0, 0.5]]);
+        // The exact compare (zero_tol = 0) spuriously fails...
+        assert!(!is_alpha_safe(&m, 0.5, 0.0));
+        // ...while any positive tolerance classifies it as a zero.
+        assert!(is_alpha_safe(&m, 0.5, 1e-300));
+        assert!(is_alpha_safe(&m, 0.5, 1e-12));
+        // A genuinely sub-alpha positive entry still fails.
+        let bad = FMatrix::from_rows(&[&[0.9, 0.1], &[0.5, 0.5]]);
+        assert!(!is_alpha_safe(&bad, 0.5, 1e-12));
     }
 
     #[test]

@@ -98,6 +98,7 @@ fn report(group: &str, id: &str, iters: u32, elapsed: Duration) {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: u32,
+    test_mode: bool,
     _parent: &'a mut Criterion,
 }
 
@@ -109,8 +110,11 @@ impl<'a> BenchmarkGroup<'a> {
     }
 
     /// Iterations per benchmark (upstream: samples per benchmark).
+    /// Ignored in `--test` mode, which pins every benchmark to one run.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1) as u32;
+        if !self.test_mode {
+            self.sample_size = n.max(1) as u32;
+        }
         self
     }
 
@@ -149,12 +153,16 @@ impl<'a> BenchmarkGroup<'a> {
 /// Benchmark driver.
 pub struct Criterion {
     default_sample_size: u32,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Criterion {
         Criterion {
             default_sample_size: 10,
+            // Mirror upstream criterion's `--test` flag: run every
+            // benchmark exactly once as a smoke test (used by CI).
+            test_mode: std::env::args().any(|a| a == "--test"),
         }
     }
 }
@@ -162,10 +170,16 @@ impl Default for Criterion {
 impl Criterion {
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        let sample_size = self.default_sample_size;
+        let sample_size = if self.test_mode {
+            1
+        } else {
+            self.default_sample_size
+        };
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             name: name.into(),
             sample_size,
+            test_mode,
             _parent: self,
         }
     }
@@ -177,7 +191,11 @@ impl Criterion {
     {
         let id = id.into();
         let mut b = Bencher {
-            iters: self.default_sample_size,
+            iters: if self.test_mode {
+                1
+            } else {
+                self.default_sample_size
+            },
             elapsed: Duration::ZERO,
         };
         f(&mut b);
@@ -228,6 +246,24 @@ mod tests {
         });
         group.finish();
         assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn test_mode_pins_one_iteration() {
+        let mut c = Criterion {
+            default_sample_size: 10,
+            test_mode: true,
+        };
+        let mut runs = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(50); // ignored in test mode
+            group.bench_function("f", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        assert_eq!(runs, 1);
+        c.bench_function("top", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 2);
     }
 
     #[test]
