@@ -80,6 +80,14 @@ impl IsotropicAlgorithm for PushSum {
         PushSumState { y, z }
     }
 
+    /// The mass quotient `y / z`, deliberately unguarded: on lopsided
+    /// topologies (e.g. a directed in-star, where a leaf halves its
+    /// masses every round) `z` underflows to exactly `0.0` after ~1075
+    /// rounds and the output goes inf/NaN. The runtime surfaces this as
+    /// [`CellReport::diverged_at`](kya_runtime::CellReport) rather than
+    /// the algorithm masking it — a non-finite output *is* the signal
+    /// that f64 left the regime where Theorem 5.2's analysis applies
+    /// (the exact backend [`PushSumExact`] has no such failure mode).
     fn output(&self, state: &PushSumState) -> f64 {
         state.y / state.z
     }
@@ -529,6 +537,39 @@ mod tests {
         for x in exec.outputs() {
             assert!((x - avg).abs() < 1e-9, "{x} != {avg}");
         }
+    }
+
+    #[test]
+    fn in_star_underflow_surfaces_divergence_not_convergence() {
+        use kya_graph::Digraph;
+        use kya_runtime::metric::EuclideanMetric;
+        // Directed in-star: every leaf sends to the center (plus the
+        // mandatory self-loops). A leaf's outdegree is 2, so it halves
+        // (y, z) every round; z underflows to exactly 0.0 near round
+        // 1075 and the output goes inf/NaN. The center meanwhile holds
+        // essentially all the mass and sits on the correct average, so
+        // a NaN-dropping max_distance would let the dead leaves vanish
+        // from the maximum and falsely report convergence (~round 1080).
+        let n = 8;
+        let mut g = Digraph::new(n);
+        for leaf in 1..n {
+            g.add_edge(leaf, 0);
+        }
+        let net = StaticGraph::new(g.with_self_loops());
+        let values: Vec<f64> = (0..n).map(|v| v as f64).collect();
+        let target = values.iter().sum::<f64>() / n as f64;
+        let mut exec = Execution::new(Isotropic(PushSum), PushSumState::averaging(&values));
+        let report = exec.run_until(&net, &EuclideanMetric, &target, 1e-9, 1400);
+        assert!(
+            report.diverged_at.is_some(),
+            "leaf z underflow must surface as divergence: {report}"
+        );
+        assert!(!report.converged(), "a diverged run never converges");
+        assert!(
+            report.rounds_run < 1400,
+            "divergence ends the run early, got {} rounds",
+            report.rounds_run
+        );
     }
 
     #[test]

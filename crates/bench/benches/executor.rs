@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kya_algos::gossip::SetGossip;
-use kya_graph::generators;
+use kya_graph::{generators, DynamicGraph, StaticGraph};
 use kya_runtime::{Broadcast, CountingObserver, Execution};
 use std::time::Duration;
 
@@ -50,5 +50,41 @@ fn bench_step(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_step);
+/// Prices the `DynamicGraph::graph_ref` borrowing accessor against the
+/// by-value `graph(t)`: on static schedules the former is a pointer
+/// copy, the latter clones the whole edge list every round — the clone
+/// the measuring loops used to pay before they migrated to `graph_ref`.
+fn bench_graph_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_graph_access_40_rounds");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    for n in [64usize, 256] {
+        let net = StaticGraph::new(generators::random_strongly_connected(n, 2 * n, 5));
+        let inits: Vec<Vec<u64>> = (0..n as u64).map(|v| vec![v % 16]).collect();
+        group.bench_with_input(BenchmarkId::new("graph_owned", n), &n, |b, _| {
+            b.iter(|| {
+                let mut exec = Execution::new(Broadcast(SetGossip), inits.clone());
+                for t in 1..=40u64 {
+                    let g = net.graph(t);
+                    exec.step(&g);
+                }
+                exec.round()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("graph_ref", n), &n, |b, _| {
+            b.iter(|| {
+                let mut exec = Execution::new(Broadcast(SetGossip), inits.clone());
+                for t in 1..=40u64 {
+                    let g = net.graph_ref(t);
+                    exec.step(&g);
+                }
+                exec.round()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step, bench_graph_access);
 criterion_main!(benches);

@@ -21,6 +21,10 @@
 //!                                  run a sweep with round-level telemetry:
 //!                                  records (with counters) on stdout, one
 //!                                  NDJSON line per round in the trace file
+//! kya check    [--matrix small|full] [--workers N] [--ndjson]
+//!                                  run the conformance matrix: differential
+//!                                  oracles keeping the execution paths and
+//!                                  arithmetic backends in agreement
 //! ```
 //!
 //! Graph specs: `ring:6`, `biring:6`, `star:5`, `path:4`, `complete:4`,
@@ -58,6 +62,7 @@ const USAGE: &str = "usage:
               [--until H] [--rounds R] [--seed S] [--eps E] [--plain] [--json]
   kya sweep   [EXPERIMENT] [--workers N] [--ndjson | --json] [sweep flags...]
   kya trace   [EXPERIMENT] [--trace-out FILE] [--residuals] [sweep flags...]
+  kya check   [--matrix small|full] [--workers N] [--ndjson]
 
 graph specs: ring:6 biring:6 star:5 path:4 complete:4 torus:3x4 torus:12
              hypercube:3 debruijn:2x3 kautz:2x1 layered:3x8
@@ -442,6 +447,39 @@ fn cmd_trace(argv: &[String]) -> Result<(), SpecError> {
     }
 }
 
+/// The conformance matrix: run every differential oracle and report
+/// per-check pass/fail counts (or the raw NDJSON stream with
+/// `--ndjson`, which is byte-identical at any `--workers N`).
+fn cmd_check(args: &Args) -> Result<(), SpecError> {
+    let matrix = kya_conformance::Matrix::parse(args.optional("matrix").unwrap_or("small"))?;
+    let workers = match args.optional("workers") {
+        Some(w) => w
+            .parse::<usize>()
+            .map_err(|_| SpecError(format!("invalid worker count `{w}`")))?,
+        None => 1,
+    };
+    let results = kya_conformance::run(matrix, workers);
+    if args.is_set("ndjson") {
+        print!("{}", kya_conformance::to_ndjson(&results));
+    } else {
+        for (kind, sink) in &results {
+            let failures = sink.failures();
+            println!("{kind:?}: {} cells, {} failed", sink.len(), failures.len());
+            for r in failures {
+                println!("  FAIL {}", serde::to_json_string(r));
+            }
+        }
+    }
+    if kya_conformance::all_ok(&results) {
+        Ok(())
+    } else {
+        Err(SpecError(format!(
+            "conformance: {} cell(s) FAILED",
+            kya_conformance::failure_count(&results)
+        )))
+    }
+}
+
 fn run() -> Result<(), SpecError> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
@@ -493,6 +531,10 @@ fn run() -> Result<(), SpecError> {
                 ],
             )?;
             cmd_faults(&args)
+        }
+        "check" => {
+            args.reject_unknown(&kya_cmd, &["matrix", "workers", "ndjson"])?;
+            cmd_check(&args)
         }
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

@@ -1,0 +1,498 @@
+//! The differential oracles, one per check kind.
+//!
+//! Every oracle is a pure function of the harness [`CellCtx`]: the cell
+//! names a topology, an algorithm, and a derived seed, and the oracle
+//! returns a pass/fail [`CellOutcome`] whose details are deterministic —
+//! so the whole matrix serializes to byte-identical NDJSON at any
+//! `--workers N`, which the CI job diffs.
+
+use crate::fingerprint::Fingerprint;
+use crate::nets::{build_net, lift_ring};
+use kya_algos::gossip::SetGossip;
+use kya_algos::lifting::check_lifting;
+use kya_algos::metropolis::Metropolis;
+use kya_algos::min_base::{DepthCapped, MinBaseBroadcast, ViewState};
+use kya_algos::push_sum::{
+    total_mass, FrequencyState, PushSum, PushSumExact, PushSumExactState, PushSumFrequency,
+    PushSumFrequencyExact, PushSumState, SelfHealingPushSum,
+};
+use kya_arith::BigRational;
+use kya_graph::{Digraph, DynamicGraph, StaticGraph};
+use kya_harness::{parse_graph, CellCtx, CellOutcome};
+use kya_runtime::faults::{FaultPlan, FaultyExecution, FaultyNetwork, Lossy};
+use kya_runtime::telemetry::{CountingObserver, NullObserver};
+use kya_runtime::{Algorithm, Broadcast, Execution, Isotropic};
+
+/// The five oracle kinds, in the fixed order `kya check` runs them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckKind {
+    /// (b) Byte-identical state streams across all execution paths.
+    Paths,
+    /// (a) f64 vs exact `BigRational` within the derived tolerance.
+    Backend,
+    /// (c) Vertex-relabeling equivariance.
+    Relabel,
+    /// (c) Mass conservation under graph- and message-level faults.
+    Mass,
+    /// (c) Lift/base indistinguishability along a ring fibration.
+    Lift,
+}
+
+impl CheckKind {
+    /// Dispatch a cell to its oracle.
+    pub fn run(self, ctx: &CellCtx) -> CellOutcome {
+        match self {
+            CheckKind::Paths => check_paths(ctx),
+            CheckKind::Backend => check_backend(ctx),
+            CheckKind::Relabel => check_relabel(ctx),
+            CheckKind::Mass => check_mass(ctx),
+            CheckKind::Lift => check_lift(ctx),
+        }
+    }
+}
+
+/// The f64-vs-exact tolerance model (documented in EXPERIMENTS.md):
+/// every round performs an `O(n)`-term f64 accumulation, each operation
+/// contributing at most one ulp of relative error on magnitudes bounded
+/// by `scale`, and first-order error compounds linearly in the round
+/// count — `tol = c · rounds · n · ε_mach · scale` with safety factor
+/// `c = 8`.
+pub fn f64_tolerance(rounds: u64, n: usize, scale: f64) -> f64 {
+    8.0 * rounds as f64 * n as f64 * f64::EPSILON * scale.max(1.0)
+}
+
+/// `splitmix64` finalizer — the same mixer the harness uses for cell
+/// seeds, reused to derive deterministic per-cell input values.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Small input values in `1..=9` (repeats on purpose — the frequency
+/// solvers need collisions to be interesting).
+fn vals_u64(seed: u64, n: usize) -> Vec<u64> {
+    (0..n).map(|i| 1 + mix(seed ^ (i as u64 + 1)) % 9).collect()
+}
+
+/// Full-precision f64 inputs in `(0, 1)`: every mantissa bit is live, so
+/// any reordering of a 3-term-or-longer sum almost surely changes the
+/// rounding — what the paths oracle needs to catch delivery-order bugs.
+fn vals_f64(seed: u64, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| (mix(seed ^ (i as u64 + 0x9e37)) >> 11) as f64 / (1u64 << 53) as f64 + 0.25)
+        .collect()
+}
+
+fn fail(msg: impl Into<String>) -> CellOutcome {
+    CellOutcome::new().ok(false).detail("error", msg.into())
+}
+
+// ---------------------------------------------------------------------
+// (b) Path agreement
+// ---------------------------------------------------------------------
+
+/// Run the five entry points side by side and demand bit-identical
+/// global states after every round: `step` (the reference), the
+/// destination-sharded `step_parallel`, `step_observed`, the sequential-
+/// routing `step_parallel_observed`, and `FaultyExecution` under a
+/// quiescent plan. f64 `Debug` is shortest-roundtrip, so equal renderings
+/// mean equal bit patterns.
+fn paths_agree<A>(
+    algo: A,
+    inits: Vec<A::State>,
+    net: &dyn DynamicGraph,
+    rounds: u64,
+) -> Result<u64, String>
+where
+    A: Algorithm + Clone + Sync,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
+{
+    let mut seq = Execution::new(algo.clone(), inits.clone());
+    let mut par = Execution::new(algo.clone(), inits.clone());
+    let mut obs = Execution::new(algo.clone(), inits.clone());
+    let mut par_obs = Execution::new(algo.clone(), inits.clone());
+    let mut faulty = FaultyExecution::new(Lossy(algo), inits, FaultPlan::new(0));
+    let mut counter = CountingObserver::new();
+    let mut fp = Fingerprint::new();
+    for t in 1..=rounds {
+        let g = net.graph_ref(t);
+        seq.step(&g);
+        par.step_parallel(&g, 3);
+        obs.step_observed(&g, &mut counter);
+        par_obs.step_parallel_observed(&g, 2, &mut NullObserver);
+        faulty.step(&g);
+        let canon = format!("{:?}", seq.states());
+        let others = [
+            ("step_parallel", format!("{:?}", par.states())),
+            ("step_observed", format!("{:?}", obs.states())),
+            ("step_parallel_observed", format!("{:?}", par_obs.states())),
+            ("faulty_quiescent", format!("{:?}", faulty.states())),
+        ];
+        for (name, rendered) in others {
+            if rendered != canon {
+                return Err(format!(
+                    "round {t}: `{name}` diverged bitwise from sequential `step`"
+                ));
+            }
+        }
+        fp.absorb(seq.states());
+    }
+    Ok(fp.digest())
+}
+
+fn check_paths(ctx: &CellCtx) -> CellOutcome {
+    let cell = ctx.cell;
+    let net = match build_net(&cell.topology) {
+        Ok(net) => net,
+        Err(e) => return fail(e.0),
+    };
+    let n = net.n();
+    let rounds = ctx.rounds();
+    let seed = cell.cell_seed;
+    let vals = vals_u64(seed, n);
+    let res = match cell.algorithm.as_str() {
+        "pushsum" => paths_agree(
+            Isotropic(PushSum),
+            PushSumState::averaging(&vals_f64(seed, n)),
+            net.as_ref(),
+            rounds,
+        ),
+        "metropolis" => paths_agree(
+            Isotropic(Metropolis),
+            vals_f64(seed, n),
+            net.as_ref(),
+            rounds,
+        ),
+        "gossip" => paths_agree(
+            Broadcast(SetGossip),
+            SetGossip::initial(&vals),
+            net.as_ref(),
+            rounds,
+        ),
+        "pushsum-freq" => paths_agree(
+            Isotropic(PushSumFrequency::frequency()),
+            FrequencyState::initial(&vals),
+            net.as_ref(),
+            rounds,
+        ),
+        "pushsum-leader" => {
+            let leaders: Vec<bool> = (0..n).map(|v| v == 0).collect();
+            paths_agree(
+                Isotropic(PushSumFrequency::with_leaders(1)),
+                FrequencyState::initial_with_leaders(&vals, &leaders),
+                net.as_ref(),
+                rounds,
+            )
+        }
+        "minbase" => paths_agree(
+            DepthCapped::new(Broadcast(MinBaseBroadcast), 3),
+            ViewState::initial(&vals),
+            net.as_ref(),
+            rounds.min(8), // views grow with depth; 8 rounds saturate the cap
+        ),
+        other => return fail(format!("unknown paths algorithm `{other}`")),
+    };
+    match res {
+        Ok(digest) => CellOutcome::new()
+            .ok(true)
+            .detail("digest", format!("{digest:016x}")),
+        Err(e) => fail(e),
+    }
+}
+
+// ---------------------------------------------------------------------
+// (a) Backend agreement
+// ---------------------------------------------------------------------
+
+fn check_backend(ctx: &CellCtx) -> CellOutcome {
+    let cell = ctx.cell;
+    let net = match build_net(&cell.topology) {
+        Ok(net) => net,
+        Err(e) => return fail(e.0),
+    };
+    let n = net.n();
+    let rounds = ctx.rounds();
+    let vals = vals_u64(cell.cell_seed, n);
+    match cell.algorithm.as_str() {
+        "pushsum" => {
+            let floats: Vec<f64> = vals.iter().map(|&v| v as f64).collect();
+            let ints: Vec<i64> = vals.iter().map(|&v| v as i64).collect();
+            let mut approx = Execution::new(Isotropic(PushSum), PushSumState::averaging(&floats));
+            let mut exact =
+                Execution::new(Isotropic(PushSumExact), PushSumExactState::averaging(&ints));
+            approx.run(net.as_ref(), rounds);
+            exact.run(net.as_ref(), rounds);
+            // The error is measured in exact arithmetic (the f64 output
+            // lifted exactly via `from_f64`), so the measurement itself
+            // cannot round away a violation.
+            let tol = f64_tolerance(rounds, n, 9.0);
+            let tol_q = BigRational::from_f64(tol).expect("tolerance is finite");
+            let mut max_err = BigRational::zero();
+            for (a, e) in approx.outputs().iter().zip(exact.outputs()) {
+                let Some(approx_q) = BigRational::from_f64(*a) else {
+                    return fail(format!("non-finite f64 output {a} vs exact {e}"));
+                };
+                let err = (&approx_q - e).abs();
+                if err > max_err {
+                    max_err = err;
+                }
+            }
+            if max_err > tol_q {
+                return fail(format!(
+                    "f64 deviates from exact by {:e} > tol {tol:e}",
+                    max_err.to_f64()
+                ));
+            }
+            CellOutcome::new()
+                .ok(true)
+                .detail("max_err", format!("{:e}", max_err.to_f64()))
+        }
+        "frequency" => {
+            let mut approx = Execution::new(
+                Isotropic(PushSumFrequency::frequency()),
+                FrequencyState::initial(&vals),
+            );
+            let mut exact = Execution::new(
+                Isotropic(PushSumFrequencyExact),
+                kya_algos::push_sum::ExactFrequencyState::initial(&vals),
+            );
+            approx.run(net.as_ref(), rounds);
+            exact.run(net.as_ref(), rounds);
+            // Frequencies are bounded by n, and the estimate is a ratio
+            // of two accumulated masses.
+            let tol = f64_tolerance(rounds, n, n as f64);
+            let tol_q = BigRational::from_f64(tol).expect("tolerance is finite");
+            let mut max_err = BigRational::zero();
+            for (a, e) in approx.outputs().iter().zip(exact.outputs()) {
+                if a.keys().ne(e.keys()) {
+                    return fail(format!(
+                        "key sets differ: f64 {:?} vs exact {:?}",
+                        a.keys().collect::<Vec<_>>(),
+                        e.keys().collect::<Vec<_>>()
+                    ));
+                }
+                for (v, x) in a {
+                    let Some(x_q) = BigRational::from_f64(*x) else {
+                        return fail(format!("non-finite frequency for value {v}: {x}"));
+                    };
+                    let err = (&x_q - &e[v]).abs();
+                    if err > max_err {
+                        max_err = err;
+                    }
+                }
+            }
+            if max_err > tol_q {
+                return fail(format!(
+                    "frequency f64 deviates from exact by {:e} > tol {tol:e}",
+                    max_err.to_f64()
+                ));
+            }
+            CellOutcome::new()
+                .ok(true)
+                .detail("max_err", format!("{:e}", max_err.to_f64()))
+        }
+        other => fail(format!("unknown backend algorithm `{other}`")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// (c) Relabeling equivariance
+// ---------------------------------------------------------------------
+
+/// A seeded Fisher–Yates permutation of `0..n`.
+fn permutation(seed: u64, n: usize) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (mix(seed ^ (i as u64) << 17) % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Run `algo` on `g` and on `g.relabel(perm)` (inputs carried along the
+/// permutation) and compare final states fibrewise with `agree`.
+fn relabel_agree<A, F>(
+    algo: A,
+    inits: Vec<A::State>,
+    g: &Digraph,
+    perm: &[usize],
+    rounds: u64,
+    agree: F,
+) -> Result<(), String>
+where
+    A: Algorithm + Clone,
+    F: Fn(&A::State, &A::State) -> bool,
+{
+    let mut permuted_inits = inits.clone();
+    for (v, &p) in perm.iter().enumerate() {
+        permuted_inits[p] = inits[v].clone();
+    }
+    let mut original = Execution::new(algo.clone(), inits);
+    let mut relabeled = Execution::new(algo, permuted_inits);
+    original.run(&StaticGraph::new(g.clone()), rounds);
+    relabeled.run(&StaticGraph::new(g.relabel(perm)), rounds);
+    for (v, &p) in perm.iter().enumerate() {
+        if !agree(&original.states()[v], &relabeled.states()[p]) {
+            return Err(format!(
+                "vertex {v} (relabeled {p}) differs after {rounds} rounds"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_relabel(ctx: &CellCtx) -> CellOutcome {
+    let cell = ctx.cell;
+    // Relabeling is defined on static graphs; parse the loop-less graph
+    // so both copies get their self-loop closure the same way.
+    let g = match parse_graph(&cell.topology) {
+        Ok(g) => g,
+        Err(e) => return fail(e.0),
+    };
+    let n = g.n();
+    let rounds = ctx.rounds();
+    let perm = permutation(cell.cell_seed, n);
+    let vals = vals_u64(cell.cell_seed, n);
+    let res = match cell.algorithm.as_str() {
+        // Order-insensitive state: relabeling must commute *exactly*.
+        "gossip" => relabel_agree(
+            Broadcast(SetGossip),
+            SetGossip::initial(&vals),
+            &g,
+            &perm,
+            rounds,
+            |a, b| a == b,
+        ),
+        // Exact arithmetic: multiset-invariant transitions, so exact
+        // equality holds even though delivery orders differ.
+        "pushsum-exact" => relabel_agree(
+            Isotropic(PushSumExact),
+            PushSumExactState::averaging(&vals.iter().map(|&v| v as i64).collect::<Vec<_>>()),
+            &g,
+            &perm,
+            rounds,
+            |a, b| a == b,
+        ),
+        // f64: relabeling permutes inbox orders, so agreement only up to
+        // the accumulated-rounding tolerance.
+        "pushsum" => {
+            let tol = f64_tolerance(rounds, n, 9.0);
+            relabel_agree(
+                Isotropic(PushSum),
+                PushSumState::averaging(&vals.iter().map(|&v| v as f64).collect::<Vec<_>>()),
+                &g,
+                &perm,
+                rounds,
+                move |a, b| (a.y - b.y).abs() <= tol && (a.z - b.z).abs() <= tol,
+            )
+        }
+        other => return fail(format!("unknown relabel algorithm `{other}`")),
+    };
+    match res {
+        Ok(()) => CellOutcome::new().ok(true),
+        Err(e) => fail(e),
+    }
+}
+
+// ---------------------------------------------------------------------
+// (c) Mass conservation under faults
+// ---------------------------------------------------------------------
+
+fn check_mass(ctx: &CellCtx) -> CellOutcome {
+    let cell = ctx.cell;
+    let g = match parse_graph(&cell.topology) {
+        Ok(g) => g,
+        Err(e) => return fail(e.0),
+    };
+    let n = g.n();
+    let rounds = ctx.rounds();
+    let vals = vals_u64(cell.cell_seed, n);
+    let plan = ctx.fault_plan();
+    match cell.algorithm.as_str() {
+        // Graph-level faults (FaultyNetwork): links vanish from the
+        // round graph, but every share the sender splits still lands
+        // somewhere — mass is conserved *exactly*, checked in exact
+        // arithmetic.
+        "exact-graph-faults" => {
+            let ints: Vec<i64> = vals.iter().map(|&v| v as i64).collect();
+            let inits = PushSumExactState::averaging(&ints);
+            let y0: BigRational = inits.iter().map(|s| &s.y).sum();
+            let z0: BigRational = inits.iter().map(|s| &s.z).sum();
+            let net = FaultyNetwork::new(StaticGraph::new(g), plan);
+            let mut exec = Execution::new(Isotropic(PushSumExact), inits);
+            exec.run(&net, rounds);
+            let y: BigRational = exec.states().iter().map(|s| &s.y).sum();
+            let z: BigRational = exec.states().iter().map(|s| &s.z).sum();
+            if y != y0 || z != z0 {
+                return fail(format!(
+                    "exact mass drifted under graph faults: y {y0} -> {y}, z {z0} -> {z}"
+                ));
+            }
+            CellOutcome::new().ok(true)
+        }
+        // Message-level faults (FaultyExecution): dropped shares bounce
+        // back to the sender and SelfHealingPushSum reabsorbs them, so
+        // f64 mass is conserved up to accumulated rounding.
+        "healing-message-faults" => {
+            let floats: Vec<f64> = vals.iter().map(|&v| v as f64).collect();
+            let mut exec = FaultyExecution::new(
+                Isotropic(SelfHealingPushSum),
+                PushSumState::averaging(&floats),
+                plan,
+            );
+            exec.run(&StaticGraph::new(g), rounds);
+            let (_, z) = total_mass(exec.states());
+            let deficit = (n as f64 - z).abs();
+            let tol = f64_tolerance(rounds, n, 9.0);
+            if deficit > tol {
+                return fail(format!(
+                    "self-healing z mass deficit {deficit:e} > tol {tol:e}"
+                ));
+            }
+            CellOutcome::new()
+                .ok(true)
+                .detail("z_deficit", format!("{deficit:e}"))
+        }
+        other => fail(format!("unknown mass algorithm `{other}`")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// (c) Lift/base indistinguishability
+// ---------------------------------------------------------------------
+
+fn check_lift(ctx: &CellCtx) -> CellOutcome {
+    let cell = ctx.cell;
+    let n = cell.n;
+    if n < 4 || !n.is_multiple_of(2) {
+        return fail(format!("liftring needs an even n >= 4, got {n}"));
+    }
+    let (gc, bc, phic) = lift_ring(n);
+    let base_vals = vals_u64(cell.cell_seed, n / 2);
+    let rounds = ctx.rounds();
+    let res = match cell.algorithm.as_str() {
+        "gossip" => check_lifting(
+            &Broadcast(SetGossip),
+            &gc,
+            &bc,
+            &phic,
+            SetGossip::initial(&base_vals),
+            rounds,
+        ),
+        "pushsum-exact" => check_lifting(
+            &Isotropic(PushSumExact),
+            &gc,
+            &bc,
+            &phic,
+            PushSumExactState::averaging(&base_vals.iter().map(|&v| v as i64).collect::<Vec<_>>()),
+            rounds,
+        ),
+        other => return fail(format!("unknown lift algorithm `{other}`")),
+    };
+    match res {
+        Ok(()) => CellOutcome::new().ok(true),
+        Err(v) => fail(v.to_string()),
+    }
+}

@@ -1,0 +1,105 @@
+//! The conformance topology grammar.
+//!
+//! Extends the harness's static-graph grammar (`ring:6`, `star:6`,
+//! `torus:6`, ...) with the dynamic and adversarial families the
+//! differential matrix needs:
+//!
+//! - `periodic:N` — a [`PeriodicGraph`] alternating a directed ring and
+//!   an out-star on `N` vertices (period 2);
+//! - `dyn:N:SEED` — [`RandomDynamicGraph::directed`] with 2 extra edges
+//!   per round;
+//! - `instar:N` — the directed in-star (every leaf sends to vertex 0),
+//!   built with sources in *descending* order so the center's in-edge
+//!   list is the reverse of the canonical delivery order — the topology
+//!   that catches a parallel router that forgets to sort; it is also
+//!   Push-Sum's worst case for `z` underflow;
+//! - `liftring:N` — the self-loop closure of the ring fibration
+//!   `R_N -> R_{N/2}` (§4.1), used by the lift/base oracle.
+
+use kya_graph::{Digraph, DynamicGraph, PeriodicGraph, RandomDynamicGraph, StaticGraph};
+use kya_harness::{parse_graph, SpecError};
+
+/// Build the dynamic network named by a conformance topology label.
+///
+/// # Errors
+///
+/// [`SpecError`] for unknown families or malformed parameters.
+pub fn build_net(label: &str) -> Result<Box<dyn DynamicGraph + Sync>, SpecError> {
+    let mut parts = label.split(':');
+    let family = parts.next().unwrap_or_default();
+    let rest: Vec<&str> = parts.collect();
+    let num = |i: usize, what: &str| -> Result<usize, SpecError> {
+        rest.get(i)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| SpecError(format!("`{family}` needs a numeric {what} (`{label}`)")))
+    };
+    match family {
+        "periodic" => {
+            let n = num(0, "size")?.max(2);
+            let phases = vec![
+                kya_graph::generators::directed_ring(n),
+                kya_graph::generators::star(n),
+            ];
+            Ok(Box::new(PeriodicGraph::new(phases)))
+        }
+        "dyn" => {
+            let n = num(0, "size")?.max(2);
+            let seed = num(1, "seed")? as u64;
+            Ok(Box::new(RandomDynamicGraph::directed(n, 2, seed)))
+        }
+        "instar" => Ok(Box::new(StaticGraph::new(instar(num(0, "size")?.max(2))))),
+        "liftring" => {
+            let (g, _, _) = lift_ring(num(0, "size")?);
+            Ok(Box::new(StaticGraph::new(g)))
+        }
+        _ => Ok(Box::new(StaticGraph::new(parse_graph(label)?))),
+    }
+}
+
+/// The directed in-star on `n` vertices, edges inserted from the highest
+/// leaf down (no self-loops; `StaticGraph::new` closes them).
+pub fn instar(n: usize) -> Digraph {
+    let mut g = Digraph::new(n);
+    for leaf in (1..n).rev() {
+        g.add_edge(leaf, 0);
+    }
+    g
+}
+
+/// The closed ring fibration `R_n -> R_{n/2}` used by the lift oracle:
+/// `(total graph, base graph, morphism)`, all with self-loops.
+///
+/// # Panics
+///
+/// Panics if `n < 4` or `n` is odd.
+pub fn lift_ring(n: usize) -> (Digraph, Digraph, kya_fibration::GraphMorphism) {
+    assert!(
+        n >= 4 && n.is_multiple_of(2),
+        "liftring needs an even n >= 4"
+    );
+    let (g, b, phi) = kya_algos::lifting::ring_fibration(n, n / 2);
+    kya_algos::lifting::close_fibration(&phi, &g, &b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_build() {
+        for label in ["ring:5", "periodic:4", "dyn:5:7", "instar:6", "liftring:6"] {
+            let net = build_net(label).expect(label);
+            assert!(net.n() >= 2, "{label}");
+            let g = net.graph(1);
+            assert!((0..net.n()).all(|v| g.has_self_loop(v)), "{label}");
+        }
+        assert!(build_net("nosuch:3").is_err());
+    }
+
+    #[test]
+    fn instar_in_edges_are_descending() {
+        let g = instar(5);
+        let srcs: Vec<usize> = g.in_edges(0).map(|e| g.edges()[e].src).collect();
+        assert_eq!(srcs, vec![4, 3, 2, 1]);
+    }
+}

@@ -10,6 +10,7 @@ use crate::product::{compose, is_complete_reflexive};
 use crate::{generators, Digraph};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::borrow::Cow;
 
 /// A round-indexed communication topology.
 ///
@@ -23,8 +24,24 @@ pub trait DynamicGraph {
     /// Number of agents (constant over time).
     fn n(&self) -> usize;
 
-    /// The communication graph of round `t >= 1`.
+    /// The communication graph of round `t >= 1`, owned.
+    ///
+    /// Executors should prefer [`DynamicGraph::graph_ref`], which lets
+    /// static and periodic networks lend their phase graph instead of
+    /// cloning the full adjacency every round.
     fn graph(&self, t: u64) -> Digraph;
+
+    /// The communication graph of round `t >= 1`, borrowed when the
+    /// implementation stores it (static and periodic networks) and owned
+    /// otherwise.
+    ///
+    /// The default forwards to [`DynamicGraph::graph`]; implementations
+    /// that keep their round graphs materialized should override it with
+    /// `Cow::Borrowed` — the executors call this every round, and the
+    /// clone of a large adjacency is pure overhead.
+    fn graph_ref(&self, t: u64) -> Cow<'_, Digraph> {
+        Cow::Owned(self.graph(t))
+    }
 
     /// An upper bound on the dynamic diameter, if the adversary knows one
     /// by construction.
@@ -69,6 +86,10 @@ impl DynamicGraph for StaticGraph {
         self.g.clone()
     }
 
+    fn graph_ref(&self, _t: u64) -> Cow<'_, Digraph> {
+        Cow::Borrowed(&self.g)
+    }
+
     fn diameter_hint(&self) -> Option<usize> {
         crate::connectivity::diameter(&self.g)
     }
@@ -105,6 +126,19 @@ impl PeriodicGraph {
     pub fn period(&self) -> usize {
         self.phases.len()
     }
+
+    /// The phase index of round `t`: round 1 is phase 0, and
+    /// `graph(t) == graph(t + period)` for every `t >= 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0` — rounds are numbered from 1 (§2.1), and a
+    /// round-0 query would silently alias phase `period - 1` through the
+    /// `(t - 1) % period` wrap-around.
+    fn phase_index(&self, t: u64) -> usize {
+        assert!(t >= 1, "rounds are numbered from 1");
+        ((t - 1) % self.phases.len() as u64) as usize
+    }
 }
 
 impl DynamicGraph for PeriodicGraph {
@@ -112,10 +146,15 @@ impl DynamicGraph for PeriodicGraph {
         self.phases[0].n()
     }
 
+    /// # Panics
+    ///
+    /// Panics if `t == 0`; see [`PeriodicGraph::phase_index`].
     fn graph(&self, t: u64) -> Digraph {
-        debug_assert!(t >= 1, "rounds are numbered from 1");
-        let idx = ((t - 1) % self.phases.len() as u64) as usize;
-        self.phases[idx].clone()
+        self.phases[self.phase_index(t)].clone()
+    }
+
+    fn graph_ref(&self, t: u64) -> Cow<'_, Digraph> {
+        Cow::Borrowed(&self.phases[self.phase_index(t)])
     }
 }
 
@@ -315,9 +354,9 @@ pub fn measured_dynamic_diameter(
     'outer: for d in 1..=d_max {
         let mut t = 1u64;
         while t + d as u64 - 1 <= t_max {
-            let mut acc = net.graph(t);
+            let mut acc = net.graph_ref(t).into_owned();
             for s in 1..d {
-                acc = compose(&acc, &net.graph(t + s as u64));
+                acc = compose(&acc, &net.graph_ref(t + s as u64));
             }
             if !is_complete_reflexive(&acc) {
                 continue 'outer;
@@ -370,6 +409,30 @@ mod tests {
         // Round 1 -> phase 0, round 2 -> phase 1, round 3 -> phase 0.
         assert_eq!(net.graph(1).edge_count(), net.graph(3).edge_count());
         assert!(net.graph(2).edge_count() > net.graph(1).edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "rounds are numbered from 1")]
+    fn periodic_graph_rejects_round_zero() {
+        let net = PeriodicGraph::new(vec![generators::directed_ring(3)]);
+        let _ = net.graph(0);
+    }
+
+    #[test]
+    fn graph_ref_matches_graph() {
+        let ring = generators::directed_ring(5);
+        let statics = StaticGraph::new(ring.clone());
+        let periodic = PeriodicGraph::new(vec![ring, generators::complete(5)]);
+        let random = RandomDynamicGraph::directed(5, 2, 9);
+        let nets: [&dyn DynamicGraph; 3] = [&statics, &periodic, &random];
+        for net in nets {
+            for t in 1..=6 {
+                assert_eq!(net.graph_ref(t).as_ref(), &net.graph(t), "round {t}");
+            }
+        }
+        // The borrowing accessors actually borrow.
+        assert!(matches!(statics.graph_ref(3), Cow::Borrowed(_)));
+        assert!(matches!(periodic.graph_ref(3), Cow::Borrowed(_)));
     }
 
     #[test]

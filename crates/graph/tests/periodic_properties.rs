@@ -1,0 +1,75 @@
+//! Property tests for `PeriodicGraph` round indexing.
+//!
+//! Rounds are numbered from 1 (§2.1), so the phase of round `t` is
+//! `(t - 1) % period`: round 1 must be phase 0, and the schedule must be
+//! periodic in `t`. These are exactly the two facts the executors rely on
+//! when replaying a periodic adversary.
+
+use kya_graph::{Digraph, DynamicGraph, PeriodicGraph};
+use proptest::prelude::*;
+
+/// Raw generator input: vertex count, period, and a flat pool of edge
+/// pairs (reduced mod `n` and dealt round-robin across the phases — the
+/// vendored proptest has no `prop_flat_map`, so sizes cannot feed the
+/// element strategy directly).
+type RawInput = (usize, usize, Vec<(usize, usize)>);
+
+fn phases_strategy() -> impl Strategy<Value = RawInput> {
+    (
+        2usize..6,
+        1usize..5,
+        proptest::collection::vec((0usize..16, 0usize..16), 0..32),
+    )
+}
+
+fn edge_lists(input: &RawInput) -> (usize, Vec<Vec<(usize, usize)>>) {
+    let (n, period, ref pool) = *input;
+    let mut lists = vec![Vec::new(); period];
+    for (i, &(u, v)) in pool.iter().enumerate() {
+        lists[i % period].push((u % n, v % n));
+    }
+    (n, lists)
+}
+
+fn build(n: usize, edge_lists: &[Vec<(usize, usize)>]) -> PeriodicGraph {
+    let phases = edge_lists
+        .iter()
+        .map(|edges| {
+            let mut g = Digraph::new(n);
+            for &(u, v) in edges {
+                g.add_edge(u, v);
+            }
+            g
+        })
+        .collect();
+    PeriodicGraph::new(phases)
+}
+
+proptest! {
+    /// `graph(t) == graph(t + period)` for every round `t >= 1`.
+    #[test]
+    fn schedule_is_periodic(input in phases_strategy(), offset in 0u64..32) {
+        let (n, lists) = edge_lists(&input);
+        let net = build(n, &lists);
+        let period = net.period() as u64;
+        let t = 1 + offset;
+        prop_assert_eq!(net.graph(t), net.graph(t + period));
+        prop_assert_eq!(net.graph_ref(t).as_ref(), net.graph_ref(t + period).as_ref());
+    }
+
+    /// Round 1 is phase 0 (with self-loops closed), and in general round
+    /// `t` is phase `(t - 1) % period`.
+    #[test]
+    fn round_one_is_phase_zero(input in phases_strategy()) {
+        let (n, lists) = edge_lists(&input);
+        let net = build(n, &lists);
+        for (i, edges) in lists.iter().enumerate() {
+            let mut expected = Digraph::new(n);
+            for &(u, v) in edges {
+                expected.add_edge(u, v);
+            }
+            let expected = expected.with_self_loops();
+            prop_assert_eq!(net.graph(1 + i as u64), expected);
+        }
+    }
+}

@@ -64,6 +64,15 @@ impl<A: Algorithm> Execution<A> {
     /// The graph must have `n()` vertices and a self-loop at every vertex
     /// (§2.1); [`Digraph::with_self_loops`] provides the closure.
     ///
+    /// **Delivery order contract:** every inbox is delivered in ascending
+    /// `(source id, port rank)` order, where the port rank of an edge is
+    /// its index in the source's `(port label, edge id)`-sorted out-edge
+    /// list. Algorithms must treat the inbox as a multiset, but f64
+    /// summation is order-sensitive, so all execution paths — `step`,
+    /// [`Execution::step_parallel`], and `FaultyExecution` — pin this
+    /// one order to keep float runs bit-identical across paths
+    /// (conformance check `paths`, `kya check`).
+    ///
     /// # Panics
     ///
     /// Panics if the vertex count mismatches, a self-loop is missing, or
@@ -133,19 +142,25 @@ impl<A: Algorithm> Execution<A> {
         obs: &mut O,
     ) {
         for _ in 0..rounds {
-            let g = net.graph(self.round + 1);
+            let g = net.graph_ref(self.round + 1);
             self.step_observed(&g, obs);
         }
     }
 
-    /// Like [`Execution::step`], but computes sends and transitions in
-    /// parallel across agents (`threads` crossbeam workers).
+    /// Like [`Execution::step`], but computes sends, routing, and
+    /// transitions in parallel across agents (`threads` crossbeam
+    /// workers).
     ///
-    /// Semantically identical to `step` — the round is communication
-    /// closed, so per-agent work is embarrassingly parallel; per-agent
-    /// inboxes keep the same deterministic delivery order. Useful for
-    /// large-`n` simulations; for small networks the sequential `step`
-    /// is faster.
+    /// Bit-identical to `step` — the round is communication closed, so
+    /// per-agent work is embarrassingly parallel, and routing is sharded
+    /// by *destination*: each worker assembles its agents' inboxes from
+    /// the in-edge lists and then restores the canonical ascending
+    /// `(source id, port rank)` delivery order (see
+    /// [`Execution::step_observed`]). In-edge lists are in insertion
+    /// order, not source order, so the sort is load-bearing: without it
+    /// f64 runs diverge bitwise from the sequential path
+    /// (`tests/conformance.rs` pins this). Useful for large-`n`
+    /// simulations; for small networks the sequential `step` is faster.
     ///
     /// # Panics
     ///
@@ -157,7 +172,131 @@ impl<A: Algorithm> Execution<A> {
         A::State: Send + Sync,
         A::Msg: Send + Sync,
     {
-        self.step_parallel_observed(graph, threads, &mut NullObserver);
+        assert!(threads > 0, "at least one worker thread");
+        assert_eq!(graph.n(), self.states.len(), "graph size != agent count");
+        self.round += 1;
+        let n = graph.n();
+        for v in 0..n {
+            assert!(
+                graph.has_self_loop(v),
+                "round {}: vertex {v} lacks a self-loop",
+                self.round
+            );
+        }
+        let algo = &self.algo;
+        let states = &self.states;
+        let round = self.round;
+
+        // Phase 1: sends, sharded by source agent.
+        let sends: Vec<Vec<A::Msg>> = {
+            let mut collected: Vec<(usize, Vec<A::Msg>)> = Vec::with_capacity(n);
+            crossbeam::scope(|scope| {
+                let mut handles = Vec::new();
+                for t in 0..threads {
+                    handles.push(scope.spawn(move |_| {
+                        let mut local = Vec::new();
+                        let mut v = t;
+                        while v < n {
+                            let outdeg = graph.outdegree(v);
+                            let msgs = algo.send(&states[v], outdeg);
+                            assert_eq!(
+                                msgs.len(),
+                                outdeg,
+                                "round {round}: wrong message count from agent {v}"
+                            );
+                            local.push((v, msgs));
+                            v += threads;
+                        }
+                        local
+                    }));
+                }
+                for h in handles {
+                    collected.extend(h.join().expect("send worker panicked"));
+                }
+            })
+            .expect("crossbeam scope");
+            collected.sort_unstable_by_key(|(v, _)| *v);
+            collected.into_iter().map(|(_, m)| m).collect()
+        };
+
+        // Port rank of every edge: its index in the source's
+        // (port label, edge id)-sorted out-edge list. sends[v][r] is the
+        // message the algorithm addressed to port rank r of agent v.
+        let mut port_rank: Vec<u32> = vec![0; graph.edges().len()];
+        for v in 0..n {
+            let mut ports: Vec<(Option<u32>, usize)> = graph
+                .out_edges(v)
+                .map(|e| (graph.edges()[e].port, e))
+                .collect();
+            ports.sort_unstable();
+            for (rank, &(_, e)) in ports.iter().enumerate() {
+                port_rank[e] = rank as u32;
+            }
+        }
+
+        // Phase 2: routing, sharded by destination agent. Workers read
+        // in-edges (insertion order) and sort each inbox back into the
+        // canonical ascending (src, port rank) delivery order.
+        let sends_ref = &sends;
+        let port_rank_ref = &port_rank;
+        let inboxes: Vec<Vec<A::Msg>> = {
+            let mut collected: Vec<(usize, Vec<A::Msg>)> = Vec::with_capacity(n);
+            crossbeam::scope(|scope| {
+                let mut handles = Vec::new();
+                for t in 0..threads {
+                    handles.push(scope.spawn(move |_| {
+                        let mut local = Vec::new();
+                        let mut dst = t;
+                        while dst < n {
+                            let mut keyed: Vec<(u64, A::Msg)> = graph
+                                .in_edges(dst)
+                                .map(|e| {
+                                    let src = graph.edges()[e].src;
+                                    let rank = port_rank_ref[e];
+                                    let key = ((src as u64) << 32) | rank as u64;
+                                    (key, sends_ref[src][rank as usize].clone())
+                                })
+                                .collect();
+                            keyed.sort_unstable_by_key(|&(k, _)| k);
+                            local
+                                .push((dst, keyed.into_iter().map(|(_, m)| m).collect::<Vec<_>>()));
+                            dst += threads;
+                        }
+                        local
+                    }));
+                }
+                for h in handles {
+                    collected.extend(h.join().expect("route worker panicked"));
+                }
+            })
+            .expect("crossbeam scope");
+            collected.sort_unstable_by_key(|(v, _)| *v);
+            collected.into_iter().map(|(_, m)| m).collect()
+        };
+
+        // Phase 3: transitions, sharded by agent.
+        let inboxes_ref = &inboxes;
+        let mut next: Vec<(usize, A::State)> = Vec::with_capacity(n);
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                handles.push(scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    let mut v = t;
+                    while v < n {
+                        local.push((v, algo.transition(&states[v], &inboxes_ref[v])));
+                        v += threads;
+                    }
+                    local
+                }));
+            }
+            for h in handles {
+                next.extend(h.join().expect("transition worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        next.sort_unstable_by_key(|(v, _)| *v);
+        self.states = next.into_iter().map(|(_, s)| s).collect();
     }
 
     /// Like [`Execution::step_parallel`], with an [`Observer`].
@@ -282,6 +421,11 @@ impl<A: Algorithm> Execution<A> {
     /// the outputs have stayed in the ε-ball for `confirm` rounds. The
     /// observer sees every round; `on_converged` fires once the report
     /// is sealed, if the outputs converged.
+    ///
+    /// A non-finite distance (an output went NaN/inf — e.g. Push-Sum's
+    /// `y / z` after `z` underflows to 0.0) ends the run immediately:
+    /// no later round can converge, and the divergence is surfaced as
+    /// [`CellReport::diverged_at`] instead of burning the budget.
     fn run_measuring<O: Observer<A>>(
         &mut self,
         net: &dyn DynamicGraph,
@@ -295,10 +439,13 @@ impl<A: Algorithm> Execution<A> {
         let mut distances = Vec::new();
         let mut entered: Option<u64> = None;
         while self.round - start < max_rounds {
-            let g = net.graph(self.round + 1);
+            let g = net.graph_ref(self.round + 1);
             self.step_observed(&g, obs);
             let d = dist(&self.outputs());
             distances.push(d);
+            if !d.is_finite() {
+                break;
+            }
             if let Some(confirm) = confirm {
                 if d <= eps {
                     let at = *entered.get_or_insert(self.round);
@@ -322,11 +469,12 @@ impl<A: Algorithm> Execution<A> {
     /// the outputs entered the ε-ball *and stayed there* for the rest of
     /// the run (§2.3's convergence at tolerance `eps`).
     ///
-    /// The full budget is always executed — convergence is judged
-    /// post-hoc over the whole trace, so a transient dip into the ball
-    /// does not count. Non-consuming: the execution can be stepped or
-    /// measured again afterwards; a second call measures from the
-    /// current round.
+    /// The full budget is executed — convergence is judged post-hoc over
+    /// the whole trace, so a transient dip into the ball does not count —
+    /// unless an output goes non-finite, which ends the run at once with
+    /// [`CellReport::diverged_at`] set. Non-consuming: the execution can
+    /// be stepped or measured again afterwards; a second call measures
+    /// from the current round.
     pub fn run_until<M: Metric<A::Output>>(
         &mut self,
         net: &dyn DynamicGraph,
@@ -435,7 +583,14 @@ impl<A: Algorithm> Execution<A> {
                 outputs
                     .iter()
                     .zip(targets)
-                    .map(|(o, t)| metric.distance(o, t))
+                    .map(|(o, t)| {
+                        let d = metric.distance(o, t);
+                        if d.is_finite() {
+                            d
+                        } else {
+                            f64::INFINITY
+                        }
+                    })
                     .fold(0.0, f64::max)
             },
             eps,
@@ -707,6 +862,53 @@ mod tests {
             par.step_parallel(&g, 4);
             assert_eq!(seq.states(), par.states());
             assert_eq!(seq.round(), par.round());
+        }
+    }
+
+    /// Order-sensitive f64 fold: the sum of the inbox, accumulated in
+    /// delivery order. Any reordering of the inbox changes the rounding
+    /// and hence the bit pattern of the result.
+    #[derive(Clone)]
+    struct OrderSum;
+    impl BroadcastAlgorithm for OrderSum {
+        type State = f64;
+        type Msg = f64;
+        type Output = f64;
+        fn message(&self, s: &f64) -> f64 {
+            *s
+        }
+        fn transition(&self, _: &f64, inbox: &[f64]) -> f64 {
+            inbox.iter().fold(0.0, |acc, m| acc + m)
+        }
+        fn output(&self, s: &f64) -> f64 {
+            *s
+        }
+    }
+
+    #[test]
+    fn parallel_routing_restores_delivery_order() {
+        // In-star built with sources in *descending* order, so the
+        // center's in-edge list is the reverse of the canonical
+        // ascending-source delivery order; the self-loops come last.
+        // step_parallel routes by in-edge list and must sort back to
+        // canonical order, or the f64 fold below rounds differently.
+        let n = 6;
+        let mut g = Digraph::new(n);
+        for src in (1..n).rev() {
+            g.add_edge(src, 0);
+        }
+        let g = g.with_self_loops();
+        // Magnitudes spread far enough that every permutation of the
+        // sum rounds differently.
+        let inits = vec![1e16, 3.0, 1e-7, 2.0, 1e7, 1.0];
+        let mut seq = Execution::new(Broadcast(OrderSum), inits.clone());
+        let mut par = Execution::new(Broadcast(OrderSum), inits);
+        for _ in 0..4 {
+            seq.step(&g);
+            par.step_parallel(&g, 3);
+            for (a, b) in seq.states().iter().zip(par.states()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "f64 paths diverged bitwise");
+            }
         }
     }
 

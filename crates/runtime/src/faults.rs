@@ -598,6 +598,13 @@ impl<A: FaultAware> FaultyExecution<A> {
     /// Execute one round on `graph`, injecting the plan's message-level
     /// faults.
     ///
+    /// Surviving messages keep the canonical ascending `(source id,
+    /// port rank)` delivery order of
+    /// [`Execution::step`](crate::Execution::step) — faults delete or
+    /// duplicate entries in place, they never reorder — so a quiescent
+    /// plan is bit-identical to the fault-free executor even for
+    /// order-sensitive f64 algorithms (conformance check `paths`).
+    ///
     /// # Panics
     ///
     /// Same contract as [`Execution::step`](crate::Execution::step):
@@ -702,7 +709,7 @@ impl<A: FaultAware> FaultyExecution<A> {
     /// Execute `rounds` rounds on a dynamic graph.
     pub fn run(&mut self, net: &dyn DynamicGraph, rounds: u64) {
         for _ in 0..rounds {
-            let g = net.graph(self.round + 1);
+            let g = net.graph_ref(self.round + 1);
             self.step(&g);
         }
     }
@@ -754,9 +761,16 @@ impl<A: FaultAware> FaultyExecution<A> {
         let events_before = self.events;
         let mut distances = Vec::with_capacity(rounds as usize);
         for _ in 0..rounds {
-            let g = net.graph(self.round + 1);
+            let g = net.graph_ref(self.round + 1);
             self.step_observed(&g, obs);
-            distances.push(crate::metric::max_distance(metric, &self.outputs(), target));
+            let d = crate::metric::max_distance(metric, &self.outputs(), target);
+            distances.push(d);
+            // An output went NaN/inf: no later round can recover, so
+            // seal the report with `diverged_at` instead of burning the
+            // remaining budget.
+            if !d.is_finite() {
+                break;
+            }
         }
         let last_fault_round = if self.events.last_fault_round > start {
             self.events.last_fault_round

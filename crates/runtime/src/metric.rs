@@ -64,11 +64,22 @@ pub fn all_within<X, M: Metric<X>>(metric: &M, outputs: &[X], target: &X, eps: f
 
 /// The worst-case distance of any output from `target`.
 ///
-/// Returns `0.0` for empty input.
+/// Returns `0.0` for empty input. A non-finite per-output distance (a
+/// NaN or infinite output — e.g. Push-Sum's `y / z` after `z` underflows
+/// to 0.0) yields `f64::INFINITY`: `f64::max` silently *drops* NaN
+/// (`f64::max(0.0, NaN) == 0.0`), which used to let a diverged agent
+/// vanish from the maximum and report spurious convergence.
 pub fn max_distance<X, M: Metric<X>>(metric: &M, outputs: &[X], target: &X) -> f64 {
     outputs
         .iter()
-        .map(|o| metric.distance(o, target))
+        .map(|o| {
+            let d = metric.distance(o, target);
+            if d.is_finite() {
+                d
+            } else {
+                f64::INFINITY
+            }
+        })
         .fold(0.0, f64::max)
 }
 
@@ -136,6 +147,15 @@ mod tests {
         assert_eq!(m.distance(&vec![0.0, 0.0], &vec![3.0, 4.0]), 5.0);
         assert_eq!(max_distance(&m, &[1.0, 2.0, 3.5], &2.0), 1.5);
         assert_eq!(max_distance::<f64, _>(&m, &[], &0.0), 0.0);
+    }
+
+    #[test]
+    fn max_distance_does_not_drop_nan() {
+        let m = EuclideanMetric;
+        // A NaN output must dominate the max, not vanish from it.
+        assert_eq!(max_distance(&m, &[1.0, f64::NAN], &0.0), f64::INFINITY);
+        assert_eq!(max_distance(&m, &[f64::NAN, 1.0], &0.0), f64::INFINITY);
+        assert_eq!(max_distance(&m, &[1.0, f64::INFINITY], &0.0), f64::INFINITY);
     }
 
     #[test]

@@ -55,6 +55,11 @@ pub struct CellReport {
     /// Deficit of the caller-supplied conserved quantity at the final
     /// round (e.g. Push-Sum mass), if an invariant was supplied.
     pub mass_deficit: Option<f64>,
+    /// First round whose measured distance was non-finite — an output
+    /// went NaN/inf (e.g. Push-Sum's `y / z` after `z` underflowed to
+    /// 0.0). `None` for a numerically sane run. A diverged run never
+    /// converges.
+    pub diverged_at: Option<u64>,
     /// Per-round worst-case distance from the target (round `start+1`
     /// first).
     pub distances: Vec<f64>,
@@ -101,6 +106,13 @@ impl CellReport {
         }
         let converged_at = converged_idx.map(|i| start + i as u64 + 1);
         let convergence_rounds = converged_at.map(|r| r - last_fault_round.max(start));
+        // A non-finite distance is a numerical divergence, never
+        // convergence (NaN fails `d <= eps` above, so the stay-in-ball
+        // scan already rejects it — this dates the failure).
+        let diverged_at = distances
+            .iter()
+            .position(|d| !d.is_finite())
+            .map(|i| start + i as u64 + 1);
         CellReport {
             rounds_run,
             converged_at,
@@ -109,6 +121,7 @@ impl CellReport {
             last_fault_round,
             max_divergence_during_faults,
             mass_deficit,
+            diverged_at,
             distances,
             events,
         }
@@ -151,6 +164,9 @@ impl fmt::Display for CellReport {
         write!(f, "; final distance {:.3e}", self.final_distance)?;
         if let Some(d) = self.mass_deficit {
             write!(f, "; mass deficit {d:.3e}")?;
+        }
+        if let Some(r) = self.diverged_at {
+            write!(f, "; DIVERGED (non-finite output) at round {r}")?;
         }
         Ok(())
     }
@@ -229,6 +245,23 @@ mod tests {
         assert_eq!(report.convergence_rounds, None);
         assert!(!report.converged());
         assert_eq!(report.final_distance, 3.0);
+    }
+
+    #[test]
+    fn non_finite_trace_reports_divergence() {
+        let report = CellReport::from_trace(
+            0,
+            vec![1.0, f64::INFINITY, f64::NAN],
+            0.5,
+            0,
+            FaultEvents::default(),
+            None,
+        );
+        assert_eq!(report.diverged_at, Some(2));
+        assert!(!report.converged());
+        // A sane run reports no divergence.
+        let sane = CellReport::from_trace(0, vec![1.0, 0.1], 0.5, 0, FaultEvents::default(), None);
+        assert_eq!(sane.diverged_at, None);
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //! - [`algos`]: gossip, the distributed minimum-base algorithm,
 //!   fibre-cardinality solvers, Push-Sum, and Metropolis,
 //! - [`core`]: function classes (set-/frequency-/multiset-based), metrics,
-//!   and the computability tables the paper establishes.
+//!   and the computability tables the paper establishes,
+//! - [`conformance`]: differential oracles cross-checking every execution
+//!   path and both arithmetic backends on a seeded topology matrix
+//!   (`kya check`).
 //!
 //! See the repository README for a guided tour, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -56,6 +59,7 @@
 
 pub use kya_algos as algos;
 pub use kya_arith as arith;
+pub use kya_conformance as conformance;
 pub use kya_core as core;
 pub use kya_fibration as fibration;
 pub use kya_graph as graph;

@@ -1,0 +1,29 @@
+//! Tier-1 conformance entry: the small differential matrix must pass,
+//! and its NDJSON stream must be byte-identical at every worker count
+//! (what the CI `conformance` job diffs via `kya check`).
+
+use kya_conformance::{all_ok, failure_count, run, to_ndjson, Matrix};
+use serde::Serialize;
+
+#[test]
+fn small_matrix_passes_and_is_worker_invariant() {
+    let sequential = run(Matrix::Small, 1);
+    assert!(
+        all_ok(&sequential),
+        "{} conformance cell(s) failed:\n{}",
+        failure_count(&sequential),
+        sequential
+            .iter()
+            .flat_map(|(_, sink)| sink.failures())
+            .map(|r| r.to_value().to_json())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    let parallel = run(Matrix::Small, 2);
+    assert_eq!(
+        to_ndjson(&sequential),
+        to_ndjson(&parallel),
+        "conformance NDJSON must be byte-identical across worker counts"
+    );
+}
