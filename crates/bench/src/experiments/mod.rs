@@ -1,5 +1,5 @@
 //! The experiment registry: every evaluation binary (`table1`,
-//! `table2`, `f1`–`f6`) is a thin shim over [`run_main`], which drives a
+//! `table2`, `f1`–`f6`, `f8`) is a thin shim over [`run_main`], which drives a
 //! [`kya_harness::Runner`] sweep from a set of [`ExperimentSpec`]s.
 //!
 //! Shared flags (every experiment): `--workers N` (parallelism; output
@@ -13,10 +13,14 @@ pub mod f2;
 pub mod f4;
 pub mod f5;
 pub mod f6;
+pub mod f8;
 pub mod table1;
 pub mod table2;
 
-use kya_graph::{DynamicGraph, RandomDynamicGraph, SparselyConnected};
+use kya_graph::{
+    DynamicGraph, PairingScheduler, RandomDynamicGraph, RoundRobinCover, SparselyConnected,
+    UniformRandom,
+};
 use kya_harness::{Args, CellCtx, CellOutcome, ExperimentSpec, ResultSink, Runner, SpecError};
 use kya_harness::{TelemetryMode, TopologyCache, SWEEP_FLAGS};
 use kya_runtime::adversary::AsyncStarts;
@@ -54,6 +58,7 @@ pub const EXPERIMENTS: &[&Experiment] = &[
     &f4::EXPERIMENT,
     &f5::EXPERIMENT,
     &f6::EXPERIMENT,
+    &f8::EXPERIMENT,
 ];
 
 /// Look up an experiment by registry name.
@@ -214,7 +219,10 @@ pub fn run_main(name: &str) -> ExitCode {
 /// - `async:MAXDELAY:SEED:<dyn label>` — asynchronous starts on top of
 ///   a random dynamic graph;
 /// - `sparse:BASEGAP:HORIZON:<dyn label>` — the geometric
-///   sparsely-connected schedule (gaps 2, 4, 8, …).
+///   sparsely-connected schedule (gaps 2, 4, 8, …);
+/// - `pair:uniform:N:SEED` / `pair:cover:N:SEED` — an Angluin-style
+///   [`PairingScheduler`] over `N` agents (seeded random matchings, or
+///   the deterministic round-robin tournament).
 pub fn dynamic_net(label: &str) -> Option<Box<dyn DynamicGraph>> {
     fn num<T: std::str::FromStr>(s: &str) -> Option<T> {
         s.parse().ok()
@@ -253,6 +261,19 @@ pub fn dynamic_net(label: &str) -> Option<Box<dyn DynamicGraph>> {
                 num(horizon)?,
             )))
         }
+        ["pair", "uniform", n, seed] => {
+            let n: usize = num(n)?;
+            Some(Box::new(PairingScheduler::new(
+                n.max(2),
+                UniformRandom::new((n / 2).max(1)),
+                num(seed)?,
+            )))
+        }
+        ["pair", "cover", n, seed] => Some(Box::new(PairingScheduler::new(
+            num::<usize>(n)?.max(2),
+            RoundRobinCover,
+            num(seed)?,
+        ))),
         _ => None,
     }
 }
@@ -284,7 +305,7 @@ mod tests {
 
     #[test]
     fn registry_finds_all_experiments() {
-        for name in ["table1", "table2", "f1", "f2", "f4", "f5", "f6"] {
+        for name in ["table1", "table2", "f1", "f2", "f4", "f5", "f6", "f8"] {
             assert!(find(name).is_some(), "{name} registered");
         }
         assert!(find("f3").is_none(), "F3 rides inside f2");
@@ -360,7 +381,10 @@ mod tests {
         assert!(dynamic_net("dyn:symmetric:16:4:2718").is_some());
         assert!(dynamic_net("async:8:4:dyn:symmetric:16:4:9182").is_some());
         assert!(dynamic_net("sparse:2:1023:dyn:directed:10:4:48").is_some());
+        assert!(dynamic_net("pair:uniform:12:7").is_some());
+        assert!(dynamic_net("pair:cover:9:0").is_some());
         assert!(dynamic_net("ring:6").is_none());
         assert!(dynamic_net("dyn:undirected:4:1:1").is_none());
+        assert!(dynamic_net("pair:lottery:4:1").is_none());
     }
 }

@@ -14,6 +14,12 @@
 //!              [--until H] [--rounds R] [--seed S] [--eps E] [--plain] [--json]
 //!                                  Push-Sum averaging under a fault script,
 //!                                  with a measured recovery report (F6)
+//! kya churn    --n N --values VALS [--fairness uniform|cover] [--churn SPEC]
+//!              [--algo healing|metropolis] [--drop P] [--until H] [--rounds R]
+//!              [--seed S] [--eps E] [--json]
+//!                                  averaging on an Angluin-style pairing
+//!                                  scheduler under a churn script, with a
+//!                                  churn-aware recovery report (F8)
 //! kya sweep    [EXPERIMENT] [--workers N] [--ndjson | --json] [flags...]
 //!                                  run a registered experiment sweep on the
 //!                                  parallel harness; no EXPERIMENT lists them
@@ -37,6 +43,7 @@ mod spec;
 
 use kya_algos::frequency::{CensusOutdegree, CensusPorts, CensusSymmetric, FibreCensus};
 use kya_algos::gossip::SetGossip;
+use kya_algos::metropolis::Metropolis;
 use kya_algos::min_base::ViewState;
 use kya_algos::push_sum::{
     round_to_grid, total_mass, FrequencyState, PushSum, PushSumFrequency, PushSumState,
@@ -45,7 +52,8 @@ use kya_algos::push_sum::{
 use kya_core::table::{render_table, NetworkKind};
 use kya_fibration::MinimumBase;
 use kya_graph::{connectivity, Digraph, RandomDynamicGraph, StaticGraph};
-use kya_harness::{Args, CellOutcome, ExperimentSpec, PlanSpec, Runner, TelemetryMode};
+use kya_harness::{Args, CellOutcome, ChurnSpec, ExperimentSpec, PlanSpec, Runner, TelemetryMode};
+use kya_runtime::churn::ChurnMasked;
 use kya_runtime::faults::{FaultyExecution, Lossy};
 use kya_runtime::metric::EuclideanMetric;
 use kya_runtime::{Broadcast, Execution, Isotropic};
@@ -60,6 +68,9 @@ const USAGE: &str = "usage:
   kya gossip  --graph SPEC --values VALS
   kya faults  --graph SPEC --values VALS [--drop P] [--dup P] [--crash A:FROM:UNTIL,...]
               [--until H] [--rounds R] [--seed S] [--eps E] [--plain] [--json]
+  kya churn   --n N --values VALS [--fairness uniform|cover] [--churn SPEC]
+              [--algo healing|metropolis] [--drop P] [--until H] [--rounds R]
+              [--seed S] [--eps E] [--json]
   kya sweep   [EXPERIMENT] [--workers N] [--ndjson | --json] [sweep flags...]
   kya trace   [EXPERIMENT] [--trace-out FILE] [--residuals] [sweep flags...]
   kya check   [--matrix small|full] [--workers N] [--ndjson]
@@ -69,7 +80,9 @@ graph specs: ring:6 biring:6 star:5 path:4 complete:4 torus:3x4 torus:12
              random:N:EXTRA:SEED randbi:N:EXTRA:SEED
 value lists: 1,2,3 or 5x3,7 (repeat shorthand)
 crash specs: AGENT:FROM:UNTIL (crash-recover) or AGENT:FROM:- (crash-stop)
-sweeps:      table1 table2 f1 f2 f4 f5 f6 (run `kya sweep` to list)";
+churn specs: stable, or cAGENT:LEAVE:REJOIN[,...][+reset] (- = never rejoin),
+             e.g. c1:10:30 or c1:10:30,2:20:45+reset
+sweeps:      table1 table2 f1 f2 f4 f5 f6 f8 (run `kya sweep` to list)";
 
 fn graph_and_values(args: &Args) -> Result<(Digraph, Vec<u64>), SpecError> {
     let g = parse_graph(args.required("graph")?)?;
@@ -387,6 +400,166 @@ fn cmd_faults(args: &Args) -> Result<(), SpecError> {
     Ok(())
 }
 
+/// The F8 one-off: a single-cell harness sweep over an Angluin-style
+/// pairing scheduler, a churn script, and optional message faults —
+/// self-healing Push-Sum or Metropolis averaging with the churn-aware
+/// recovery report (convergence counts only strictly after the last
+/// fault *or churn transition*).
+fn cmd_churn(args: &Args) -> Result<(), SpecError> {
+    let n: usize = args
+        .required("n")?
+        .parse()
+        .map_err(|_| SpecError("--n must be a number".into()))?;
+    if n < 2 {
+        return Err(SpecError("--n must be at least 2".into()));
+    }
+    let values = parse_values(args.required("values")?)?;
+    if values.len() != n {
+        return Err(SpecError(format!(
+            "--n {n} but {} values were given",
+            values.len()
+        )));
+    }
+    let fairness = args.optional("fairness").unwrap_or("uniform");
+    if !matches!(fairness, "uniform" | "cover") {
+        return Err(SpecError(format!(
+            "unknown fairness `{fairness}` (uniform, cover)"
+        )));
+    }
+    let algo = args.optional("algo").unwrap_or("healing");
+    if !matches!(algo, "healing" | "metropolis") {
+        return Err(SpecError(format!(
+            "unknown algorithm `{algo}` (healing, metropolis)"
+        )));
+    }
+    let churn = ChurnSpec::parse(args.optional("churn").unwrap_or("stable"))?;
+    for w in churn.windows() {
+        if w.agent >= n {
+            return Err(SpecError(format!(
+                "churn agent {} out of range (the population has {n} agents)",
+                w.agent
+            )));
+        }
+        if w.leave == 0 {
+            return Err(SpecError("churn rounds are numbered from 1".into()));
+        }
+        if let Some(rejoin) = w.rejoin {
+            if rejoin <= w.leave {
+                return Err(SpecError(format!(
+                    "churn window `{}:{}:{rejoin}` is empty (REJOIN must exceed LEAVE)",
+                    w.agent, w.leave
+                )));
+            }
+        }
+    }
+    let drop_p = args.f64_flag("drop", 0.0)?;
+    if !(0.0..1.0).contains(&drop_p) {
+        return Err(SpecError("--drop needs [0,1)".into()));
+    }
+    let rounds = args.u64_flag("rounds", 300)?.max(1);
+    let seed = args.u64_flag("seed", 42)?;
+    let eps = args.f64_flag("eps", 1e-6)?;
+    let horizon = args.u64_flag("until", rounds / 2)?.max(1);
+    let mut plan = PlanSpec::quiescent().until(horizon).with_seed(seed);
+    if drop_p > 0.0 {
+        plan = plan.drop_links(drop_p);
+    }
+
+    let inputs: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+    let target = inputs.iter().sum::<f64>() / n as f64;
+    let shown_plan = plan.build(seed);
+    let spec = ExperimentSpec::new("churn")
+        .topologies([format!("pair:{fairness}:{{n}}:{{seed}}")])
+        .sizes([n])
+        .seeds([seed])
+        .algorithms([algo])
+        .variants([churn.label()])
+        .plans([plan])
+        .rounds(rounds)
+        .eps(eps)
+        .base_seed(seed);
+    let sink = Runner::new(&spec).run(|ctx| {
+        let net = kya_bench::experiments::dynamic_net(&ctx.cell.topology).expect("validated above");
+        let membership = ChurnSpec::parse(&ctx.cell.variant)
+            .expect("validated above")
+            .build(ctx.cell.cell_seed)
+            .membership(n);
+        let stack = ChurnMasked::new(net, membership.clone());
+        let report = match ctx.cell.algorithm.as_str() {
+            "healing" => {
+                let fresh = PushSumState::averaging(&inputs);
+                let reinit = |v: usize, _parked: &PushSumState| fresh[v];
+                let z_deficit = move |states: &[PushSumState]| n as f64 - total_mass(states).1;
+                FaultyExecution::new(
+                    Isotropic(SelfHealingPushSum),
+                    fresh.clone(),
+                    ctx.fault_plan(),
+                )
+                .run_with_recovery_churned(
+                    &stack,
+                    &membership,
+                    &reinit,
+                    ctx.rounds(),
+                    &EuclideanMetric,
+                    &target,
+                    ctx.eps(),
+                    Some(&z_deficit),
+                )
+            }
+            _ => {
+                let reinit = |v: usize, _parked: &f64| inputs[v];
+                let x0: f64 = inputs.iter().sum();
+                let x_deficit = move |states: &[f64]| x0 - states.iter().sum::<f64>();
+                FaultyExecution::new(
+                    Lossy(Isotropic(Metropolis)),
+                    inputs.clone(),
+                    ctx.fault_plan(),
+                )
+                .run_with_recovery_churned(
+                    &stack,
+                    &membership,
+                    &reinit,
+                    ctx.rounds(),
+                    &EuclideanMetric,
+                    &target,
+                    ctx.eps(),
+                    Some(&x_deficit),
+                )
+            }
+        };
+        CellOutcome::new().report(report)
+    });
+    let record = sink.records().first().expect("one cell");
+    let report = record.report.as_ref().expect("report recorded");
+    if args.is_set("json") {
+        println!("{}", serde::to_json_string(record));
+        return Ok(());
+    }
+    let membership = churn.build(seed).membership(n);
+    println!(
+        "{} averaging to {target} on pair:{fairness}:{n} under churn `{}`:",
+        if algo == "healing" {
+            "self-healing push-sum"
+        } else {
+            "metropolis"
+        },
+        churn.label()
+    );
+    println!("  fault plan: {}", serde::to_json_string(&shown_plan));
+    println!(
+        "  membership: {} windows, live count at horizon {}, last transition round {}",
+        churn.windows().len(),
+        membership.live_count(rounds),
+        membership.last_transition()
+    );
+    println!(
+        "injected: {} drops, {} duplications, {} bounces to crashed agents",
+        report.events.dropped, report.events.duplicated, report.events.bounced_to_crashed
+    );
+    println!("{report}");
+    Ok(())
+}
+
 fn cmd_sweep(argv: &[String]) -> Result<(), SpecError> {
     let Some(name) = argv.first() else {
         println!("available experiment sweeps:");
@@ -531,6 +704,16 @@ fn run() -> Result<(), SpecError> {
                 ],
             )?;
             cmd_faults(&args)
+        }
+        "churn" => {
+            args.reject_unknown(
+                &kya_cmd,
+                &[
+                    "n", "values", "fairness", "churn", "algo", "drop", "until", "rounds", "seed",
+                    "eps", "json",
+                ],
+            )?;
+            cmd_churn(&args)
         }
         "check" => {
             args.reject_unknown(&kya_cmd, &["matrix", "workers", "ndjson"])?;
@@ -687,6 +870,56 @@ mod tests {
         assert!(cmd_faults(&a).unwrap_err().0.contains("empty"));
         let a = args(&["--graph", "ring:3", "--values", "1,2,3", "--drop", "1.5"]);
         assert!(cmd_faults(&a).is_err());
+    }
+
+    #[test]
+    fn churn_subcommand_runs() {
+        // Carry rejoin on the round-robin cover, no message faults.
+        let a = args(&[
+            "--n",
+            "6",
+            "--values",
+            "3,1,4,1,5,9",
+            "--fairness",
+            "cover",
+            "--churn",
+            "c1:10:30",
+            "--rounds",
+            "200",
+        ]);
+        assert!(cmd_churn(&a).is_ok());
+        // Reset rejoin + message drops + metropolis, JSON output path.
+        let a = args(&[
+            "--n",
+            "6",
+            "--values",
+            "3,1,4,1,5,9",
+            "--churn",
+            "c1:10:30,2:20:45+reset",
+            "--algo",
+            "metropolis",
+            "--drop",
+            "0.2",
+            "--rounds",
+            "200",
+            "--seed",
+            "7",
+            "--json",
+        ]);
+        assert!(cmd_churn(&a).is_ok());
+        // Validation: fairness, algo, churn label, and window sanity.
+        let a = args(&["--n", "4", "--values", "1,2,3,4", "--fairness", "lottery"]);
+        assert!(cmd_churn(&a).unwrap_err().0.contains("unknown fairness"));
+        let a = args(&["--n", "4", "--values", "1,2,3,4", "--algo", "gossip"]);
+        assert!(cmd_churn(&a).unwrap_err().0.contains("unknown algorithm"));
+        let a = args(&["--n", "4", "--values", "1,2,3,4", "--churn", "c9:5:15"]);
+        assert!(cmd_churn(&a).unwrap_err().0.contains("out of range"));
+        let a = args(&["--n", "4", "--values", "1,2,3,4", "--churn", "c1:15:5"]);
+        assert!(cmd_churn(&a).unwrap_err().0.contains("empty"));
+        let a = args(&["--n", "4", "--values", "1,2,3,4", "--churn", "bogus"]);
+        assert!(cmd_churn(&a).is_err());
+        let a = args(&["--n", "4", "--values", "1,2"]);
+        assert!(cmd_churn(&a).unwrap_err().0.contains("values were given"));
     }
 
     #[test]

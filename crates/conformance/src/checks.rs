@@ -18,12 +18,15 @@ use kya_algos::push_sum::{
 };
 use kya_arith::BigRational;
 use kya_graph::{Digraph, DynamicGraph, StaticGraph};
-use kya_harness::{parse_graph, CellCtx, CellOutcome};
+use kya_harness::{parse_graph, CellCtx, CellOutcome, ChurnSpec};
+use kya_runtime::churn::ChurnMasked;
 use kya_runtime::faults::{FaultPlan, FaultyExecution, FaultyNetwork, Lossy};
+use kya_runtime::metric::EuclideanMetric;
 use kya_runtime::telemetry::{CountingObserver, NullObserver};
 use kya_runtime::{Algorithm, Broadcast, Execution, Isotropic};
+use std::cell::{Cell, RefCell};
 
-/// The five oracle kinds, in the fixed order `kya check` runs them.
+/// The six oracle kinds, in the fixed order `kya check` runs them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CheckKind {
     /// (b) Byte-identical state streams across all execution paths.
@@ -36,6 +39,9 @@ pub enum CheckKind {
     Mass,
     /// (c) Lift/base indistinguishability along a ring fibration.
     Lift,
+    /// (c) Mass conservation, frozen absence, and stabilization under
+    /// the combined pairing + churn + faults stack.
+    Churn,
 }
 
 impl CheckKind {
@@ -47,6 +53,7 @@ impl CheckKind {
             CheckKind::Relabel => check_relabel(ctx),
             CheckKind::Mass => check_mass(ctx),
             CheckKind::Lift => check_lift(ctx),
+            CheckKind::Churn => check_churn(ctx),
         }
     }
 }
@@ -494,5 +501,160 @@ fn check_lift(ctx: &CellCtx) -> CellOutcome {
     match res {
         Ok(()) => CellOutcome::new().ok(true),
         Err(v) => fail(v.to_string()),
+    }
+}
+
+// ---------------------------------------------------------------------
+// (c) Churn under the combined adversary stack
+// ---------------------------------------------------------------------
+
+/// The churn oracle family, on the full pairing ∘ churn ∘ faults stack:
+///
+/// - `exact-mass` — exact-backend mass conservation *modulo the explicit
+///   reinjection ledger*: under `Carry` total `(Σy, Σz)` over all agent
+///   slots (present or parked) is exactly conserved; under `Reset` it
+///   drifts by exactly the sum of declared `fresh − parked` deltas,
+///   which the reinit closure records as it fires.
+/// - `healing-mass` — message-level faults with `SelfHealingPushSum`:
+///   the f64 `z` mass matches `n` plus the reset ledger within the
+///   derived tolerance, and the attached [`CellReport`] performs the
+///   quiescence/stabilization detection (convergence only counts
+///   strictly after the last fault *or churn* transition).
+/// - `frozen-absence` — an absent agent (self-loop only) is bit-frozen:
+///   its f64 state is byte-identical, round over round, for the whole
+///   absence window, even under graph-level faults.
+///
+/// Every arm's details (fingerprint digests, deficits, counts) land in
+/// the NDJSON record, so the CI byte-diff across `--workers` values
+/// certifies they are worker-invariant.
+///
+/// [`CellReport`]: kya_runtime::CellReport
+fn check_churn(ctx: &CellCtx) -> CellOutcome {
+    let cell = ctx.cell;
+    let net = match build_net(&cell.topology) {
+        Ok(net) => net,
+        Err(e) => return fail(e.0),
+    };
+    let n = net.n();
+    let rounds = ctx.rounds();
+    let spec = match ChurnSpec::parse(&cell.variant) {
+        Ok(spec) => spec,
+        Err(e) => return fail(e.0),
+    };
+    let membership = spec.build(cell.cell_seed).membership(n);
+    let plan = ctx.fault_plan();
+    let vals = vals_u64(cell.cell_seed, n);
+    match cell.algorithm.as_str() {
+        "exact-mass" => {
+            let ints: Vec<i64> = vals.iter().map(|&v| v as i64).collect();
+            let fresh = PushSumExactState::averaging(&ints);
+            let inits = fresh.clone();
+            let y0: BigRational = inits.iter().map(|s| &s.y).sum();
+            let z0: BigRational = inits.iter().map(|s| &s.z).sum();
+            let stack = FaultyNetwork::new(ChurnMasked::new(net, membership.clone()), plan);
+            let ledger = RefCell::new((BigRational::zero(), BigRational::zero()));
+            let reinit = |v: usize, parked: &PushSumExactState| {
+                let f = fresh[v].clone();
+                let mut l = ledger.borrow_mut();
+                l.0 = &l.0 + &(&f.y - &parked.y);
+                l.1 = &l.1 + &(&f.z - &parked.z);
+                f
+            };
+            let mut exec = Execution::new(Isotropic(PushSumExact), inits);
+            exec.run_churned(&stack, &membership, &reinit, rounds);
+            let y: BigRational = exec.states().iter().map(|s| &s.y).sum();
+            let z: BigRational = exec.states().iter().map(|s| &s.z).sum();
+            let (ly, lz) = ledger.into_inner();
+            let (ey, ez) = (&y0 + &ly, &z0 + &lz);
+            if y != ey || z != ez {
+                return fail(format!(
+                    "exact mass drifted beyond the reinjection ledger: \
+                     y expected {ey} got {y}, z expected {ez} got {z}"
+                ));
+            }
+            let mut fp = Fingerprint::new();
+            fp.absorb(exec.states());
+            CellOutcome::new()
+                .ok(true)
+                .detail("digest", format!("{:016x}", fp.digest()))
+        }
+        "healing-mass" => {
+            let floats: Vec<f64> = vals.iter().map(|&v| v as f64).collect();
+            let mean = floats.iter().sum::<f64>() / n as f64;
+            let fresh = PushSumState::averaging(&floats);
+            let stack = ChurnMasked::new(net, membership.clone());
+            let ledger_z = Cell::new(0.0f64);
+            let reinit = |v: usize, parked: &PushSumState| {
+                let f = fresh[v];
+                ledger_z.set(ledger_z.get() + (f.z - parked.z));
+                f
+            };
+            let mut exec = FaultyExecution::new(Isotropic(SelfHealingPushSum), fresh.clone(), plan);
+            let report = exec.run_with_recovery_churned(
+                &stack,
+                &membership,
+                &reinit,
+                rounds,
+                &EuclideanMetric,
+                &mean,
+                ctx.eps(),
+                None,
+            );
+            let (_, z) = total_mass(exec.states());
+            let expected = n as f64 + ledger_z.get();
+            let deficit = (z - expected).abs();
+            let tol = f64_tolerance(rounds, n, 9.0);
+            if deficit > tol {
+                return fail(format!(
+                    "self-healing z mass deficit {deficit:e} > tol {tol:e} \
+                     (reset ledger {:e})",
+                    ledger_z.get()
+                ));
+            }
+            CellOutcome::new()
+                .ok(true)
+                .detail("z_deficit", format!("{deficit:e}"))
+                .report(report.without_trace())
+        }
+        "frozen-absence" => {
+            let floats: Vec<f64> = vals.iter().map(|&v| v as f64).collect();
+            let fresh = PushSumState::averaging(&floats);
+            let stack = FaultyNetwork::new(ChurnMasked::new(net, membership.clone()), plan);
+            let reinit = |v: usize, _parked: &PushSumState| fresh[v];
+            let mut exec = Execution::new(Isotropic(PushSum), fresh.clone());
+            // `Debug` for f64 is shortest-roundtrip, so equal renderings
+            // mean bit-identical parked states.
+            let mut parked: Vec<Option<String>> = vec![None; n];
+            let mut frozen_agent_rounds = 0u64;
+            for t in 1..=rounds {
+                for v in exec.apply_rejoins(&membership, &reinit) {
+                    parked[v] = None;
+                }
+                for (v, slot) in parked.iter_mut().enumerate() {
+                    if !membership.is_member(v, t) && slot.is_none() {
+                        *slot = Some(format!("{:?}", exec.states()[v]));
+                    }
+                }
+                let g = stack.graph_ref(t);
+                exec.step(&g);
+                for (v, slot) in parked.iter().enumerate() {
+                    if !membership.is_member(v, t) {
+                        let now = format!("{:?}", exec.states()[v]);
+                        if slot.as_deref() != Some(now.as_str()) {
+                            return fail(format!(
+                                "round {t}: absent agent {v} drifted from its parked state \
+                                 ({} -> {now})",
+                                slot.clone().unwrap_or_default()
+                            ));
+                        }
+                        frozen_agent_rounds += 1;
+                    }
+                }
+            }
+            CellOutcome::new()
+                .ok(true)
+                .detail("frozen_agent_rounds", frozen_agent_rounds)
+        }
+        other => fail(format!("unknown churn algorithm `{other}`")),
     }
 }

@@ -16,7 +16,11 @@
 //! - **mass** — exact mass conservation under graph faults, and bounded
 //!   f64 mass deficit under message faults with self-healing;
 //! - **lift** — lift/base indistinguishability along a closed ring
-//!   fibration (the paper's lifting lemma, §4.1).
+//!   fibration (the paper's lifting lemma, §4.1);
+//! - **churn** — mass conservation modulo the explicit reinjection
+//!   ledger, frozen parked states, and quiescence/stabilization
+//!   detection under the combined pairing + churn + faults stack
+//!   ([`checks::CheckKind::Churn`]).
 //!
 //! The matrix reuses [`ExperimentSpec`]/[`Runner`]/[`ResultSink`], so
 //! results are **byte-identical at any worker count** — `kya check
@@ -34,7 +38,7 @@ pub mod nets;
 pub use checks::{f64_tolerance, CheckKind};
 pub use fingerprint::Fingerprint;
 
-use kya_harness::{ExperimentSpec, PlanSpec, ResultSink, Runner, SpecError};
+use kya_harness::{ChurnSpec, ExperimentSpec, PlanSpec, ResultSink, Runner, SpecError};
 
 /// How much of the conformance matrix to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -92,6 +96,22 @@ pub fn specs(matrix: Matrix) -> Vec<(CheckKind, ExperimentSpec)> {
     let sizes = matrix.sizes();
     let seeds = matrix.seeds();
     let rounds = matrix.rounds();
+    // Churn scripts scale with the round budget: every window closes (or
+    // permanently opens) by `3/4 · rounds`, leaving a quiescent tail for
+    // the stabilization detector.
+    let half = rounds / 2;
+    let churn_variants: Vec<String> = [
+        ChurnSpec::stable(),
+        ChurnSpec::stable().leave(1, rounds / 4..half),
+        ChurnSpec::stable()
+            .leave(1, rounds / 4..half)
+            .leave(2, rounds / 3..half + rounds / 4)
+            .reset(),
+        ChurnSpec::stable().depart(0, half),
+    ]
+    .iter()
+    .map(ChurnSpec::label)
+    .collect();
     vec![
         (
             CheckKind::Paths,
@@ -152,11 +172,23 @@ pub fn specs(matrix: Matrix) -> Vec<(CheckKind, ExperimentSpec)> {
             CheckKind::Lift,
             ExperimentSpec::new("conformance-lift")
                 .topologies(["liftring:{n}"])
-                .sizes(sizes)
-                .seeds(seeds)
+                .sizes(sizes.clone())
+                .seeds(seeds.clone())
                 .algorithms(["gossip", "pushsum-exact"])
                 .rounds(rounds)
                 .base_seed(0xc0f0_0005),
+        ),
+        (
+            CheckKind::Churn,
+            ExperimentSpec::new("conformance-churn")
+                .topologies(["pair:{n}:uniform:{seed}", "pair:{n}:cover:{seed}"])
+                .sizes(sizes)
+                .seeds(seeds)
+                .algorithms(["exact-mass", "healing-mass", "frozen-absence"])
+                .variants(churn_variants)
+                .plans([PlanSpec::quiescent().drop_links(0.25).until(half)])
+                .rounds(rounds)
+                .base_seed(0xc0f0_0006),
         ),
     ]
 }
@@ -213,6 +245,7 @@ mod tests {
                 CheckKind::Relabel,
                 CheckKind::Mass,
                 CheckKind::Lift,
+                CheckKind::Churn,
             ]
         );
         for (_, spec) in &specs {

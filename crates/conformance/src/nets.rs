@@ -14,9 +14,16 @@
 //!   that catches a parallel router that forgets to sort; it is also
 //!   Push-Sum's worst case for `z` underflow;
 //! - `liftring:N` — the self-loop closure of the ring fibration
-//!   `R_N -> R_{N/2}` (§4.1), used by the lift/base oracle.
+//!   `R_N -> R_{N/2}` (§4.1), used by the lift/base oracle;
+//! - `pair:N:FAIR[:SEED]` — an Angluin-style [`PairingScheduler`] over
+//!   `N` agents with fairness `uniform` (seeded random matchings) or
+//!   `cover` (deterministic round-robin tournament), used by the churn
+//!   oracle.
 
-use kya_graph::{Digraph, DynamicGraph, PeriodicGraph, RandomDynamicGraph, StaticGraph};
+use kya_graph::{
+    Digraph, DynamicGraph, PairingScheduler, PeriodicGraph, RandomDynamicGraph, RoundRobinCover,
+    StaticGraph, UniformRandom,
+};
 use kya_harness::{parse_graph, SpecError};
 
 /// Build the dynamic network named by a conformance topology label.
@@ -46,6 +53,25 @@ pub fn build_net(label: &str) -> Result<Box<dyn DynamicGraph + Sync>, SpecError>
             let n = num(0, "size")?.max(2);
             let seed = num(1, "seed")? as u64;
             Ok(Box::new(RandomDynamicGraph::directed(n, 2, seed)))
+        }
+        "pair" => {
+            let n = num(0, "size")?.max(2);
+            let seed = if rest.len() > 2 {
+                num(2, "seed")? as u64
+            } else {
+                0
+            };
+            match rest.get(1).copied().unwrap_or_default() {
+                "uniform" => Ok(Box::new(PairingScheduler::new(
+                    n,
+                    UniformRandom::new(n / 2),
+                    seed,
+                ))),
+                "cover" => Ok(Box::new(PairingScheduler::new(n, RoundRobinCover, seed))),
+                other => Err(SpecError(format!(
+                    "unknown fairness `{other}` in `{label}` (expected `uniform` or `cover`)"
+                ))),
+            }
         }
         "instar" => Ok(Box::new(StaticGraph::new(instar(num(0, "size")?.max(2))))),
         "liftring" => {
@@ -87,13 +113,22 @@ mod tests {
 
     #[test]
     fn families_build() {
-        for label in ["ring:5", "periodic:4", "dyn:5:7", "instar:6", "liftring:6"] {
+        for label in [
+            "ring:5",
+            "periodic:4",
+            "dyn:5:7",
+            "instar:6",
+            "liftring:6",
+            "pair:5:uniform:3",
+            "pair:6:cover",
+        ] {
             let net = build_net(label).expect(label);
             assert!(net.n() >= 2, "{label}");
             let g = net.graph(1);
             assert!((0..net.n()).all(|v| g.has_self_loop(v)), "{label}");
         }
         assert!(build_net("nosuch:3").is_err());
+        assert!(build_net("pair:5:lottery:3").is_err(), "unknown fairness");
     }
 
     #[test]

@@ -50,6 +50,27 @@ pub trait DynamicGraph {
     }
 }
 
+/// Boxed dynamic graphs forward to their contents, so the adversary
+/// wrappers (which are generic over `G: DynamicGraph`) can stack on top
+/// of a `Box<dyn DynamicGraph>` produced by a topology parser.
+impl<G: DynamicGraph + ?Sized> DynamicGraph for Box<G> {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+
+    fn graph(&self, t: u64) -> Digraph {
+        (**self).graph(t)
+    }
+
+    fn graph_ref(&self, t: u64) -> Cow<'_, Digraph> {
+        (**self).graph_ref(t)
+    }
+
+    fn diameter_hint(&self) -> Option<usize> {
+        (**self).diameter_hint()
+    }
+}
+
 /// A static network: the same graph every round.
 ///
 /// ```
@@ -278,6 +299,154 @@ impl DynamicGraph for PairwiseMatching {
     }
 }
 
+/// A pluggable fairness condition for [`PairingScheduler`]: given the
+/// population size, the round number, and the scheduler seed, produce the
+/// disjoint pairs that interact this round.
+///
+/// Implementations must be pure functions of `(n, t, seed)` so schedules
+/// are reproducible, and must return *disjoint* pairs of distinct agents
+/// (a matching). The two canonical conditions from the population-protocol
+/// literature (Angluin et al.) are provided: [`UniformRandom`] (each round
+/// an independent uniformly random matching — fair with probability 1) and
+/// [`RoundRobinCover`] (a deterministic round-robin tournament covering
+/// every pair within a bounded window — fair by construction).
+pub trait Fairness {
+    /// The disjoint interaction pairs of round `t >= 1`.
+    fn pairs(&self, n: usize, t: u64, seed: u64) -> Vec<(usize, usize)>;
+
+    /// A short label naming the condition (used in topology labels).
+    fn label(&self) -> &'static str;
+}
+
+/// Uniformly random matchings: each round, shuffle the agents and pair
+/// them off greedily, keeping up to `pairs` interactions. Every pair of
+/// agents interacts infinitely often with probability 1 — the standard
+/// probabilistic fairness of population protocols.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformRandom {
+    pairs: usize,
+}
+
+impl UniformRandom {
+    /// Up to `pairs` disjoint interactions per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs == 0`.
+    pub fn new(pairs: usize) -> UniformRandom {
+        assert!(pairs > 0, "at least one interaction per round");
+        UniformRandom { pairs }
+    }
+}
+
+impl Fairness for UniformRandom {
+    fn pairs(&self, n: usize, t: u64, seed: u64) -> Vec<(usize, usize)> {
+        use rand::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(seed ^ t.wrapping_mul(0xa0761d6478bd642f));
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        order
+            .chunks_exact(2)
+            .take(self.pairs.min(n / 2))
+            .map(|p| (p[0], p[1]))
+            .collect()
+    }
+
+    fn label(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+/// Deterministic round-robin tournament fairness (the circle method):
+/// with `m = n` rounded up to even, round `t` plays the `((t-1) mod
+/// (m-1))`-th tournament round, so **every** pair of agents interacts at
+/// least once in any window of `m - 1` consecutive rounds. For odd `n`
+/// the ghost player's opponent sits the round out. This is the strongest
+/// (bounded) fairness condition: the composed interaction graph over any
+/// `m - 1` rounds is complete.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundRobinCover;
+
+impl Fairness for RoundRobinCover {
+    fn pairs(&self, n: usize, t: u64, _seed: u64) -> Vec<(usize, usize)> {
+        if n < 2 {
+            return Vec::new();
+        }
+        // Circle method: fix player m-1, rotate the rest. Pairs of round
+        // r (0-indexed): (m-1, r) and ((r+i) mod (m-1), (r+m-1-i) mod
+        // (m-1)) for i in 1..m/2. Agents >= n are the ghost for odd n.
+        let m = n + n % 2;
+        let r = ((t - 1) % (m as u64 - 1)) as usize;
+        let mut out = Vec::with_capacity(m / 2);
+        if m - 1 < n {
+            out.push((m - 1, r));
+        }
+        for i in 1..m / 2 {
+            let a = (r + i) % (m - 1);
+            let b = (r + m - 1 - i) % (m - 1);
+            if a < n && b < n {
+                out.push((a, b));
+            }
+        }
+        out
+    }
+
+    fn label(&self) -> &'static str {
+        "cover"
+    }
+}
+
+/// An Angluin-style population-protocol scheduler: each round a matching
+/// of pairwise interactions chosen by a pluggable [`Fairness`] condition.
+///
+/// This generalizes [`PairwiseMatching`] (which is the uniform-random
+/// special case with its own legacy salt): the fairness condition decides
+/// *which* pairs meet, and the scheduler materializes each interaction as
+/// a bidirectional edge (population-protocol interactions are symmetric
+/// exchanges in our communication-model reading). Composes freely with
+/// the masking adversaries — `FaultyNetwork`, churn masking, and
+/// `AsyncStarts` all wrap any `DynamicGraph`, this one included.
+#[derive(Clone, Debug)]
+pub struct PairingScheduler<F> {
+    n: usize,
+    fairness: F,
+    seed: u64,
+}
+
+impl<F: Fairness> PairingScheduler<F> {
+    /// Schedule pairwise interactions over `n` agents under `fairness`,
+    /// deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, fairness: F, seed: u64) -> PairingScheduler<F> {
+        assert!(n > 0, "population needs at least one agent");
+        PairingScheduler { n, fairness, seed }
+    }
+
+    /// The fairness condition in use.
+    pub fn fairness(&self) -> &F {
+        &self.fairness
+    }
+}
+
+impl<F: Fairness> DynamicGraph for PairingScheduler<F> {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn graph(&self, t: u64) -> Digraph {
+        let mut g = Digraph::new(self.n);
+        for (a, b) in self.fairness.pairs(self.n, t, self.seed) {
+            debug_assert!(a != b && a < self.n && b < self.n);
+            g.add_edge(a, b);
+            g.add_edge(b, a);
+        }
+        g.with_self_loops()
+    }
+}
+
 /// The weak-connectivity regime of the paper's §6: a network that is
 /// *never permanently split* yet has **no finite dynamic diameter** —
 /// communication happens only at scheduled rounds, with idle (self-loop
@@ -464,6 +633,65 @@ mod tests {
             d >= 3,
             "matchings cannot mix in fewer rounds than pairs allow"
         );
+    }
+
+    #[test]
+    fn uniform_pairing_is_a_matching_and_deterministic() {
+        let net = PairingScheduler::new(9, UniformRandom::new(4), 77);
+        for t in 1..=12 {
+            let g = net.graph(t);
+            assert!(g.is_bidirectional());
+            for v in 0..9 {
+                assert!(g.has_self_loop(v));
+                assert!(g.outdegree(v) <= 2, "round {t} vertex {v} degree");
+            }
+        }
+        let again = PairingScheduler::new(9, UniformRandom::new(4), 77);
+        assert_eq!(net.graph(5).edges(), again.graph(5).edges());
+        // A different seed reshuffles.
+        let other = PairingScheduler::new(9, UniformRandom::new(4), 78);
+        assert!((1..=20).any(|t| net.graph(t).edges() != other.graph(t).edges()));
+    }
+
+    #[test]
+    fn round_robin_cover_hits_every_pair_within_the_window() {
+        for n in [2usize, 3, 4, 5, 6, 7, 8] {
+            let m = n + n % 2;
+            let net = PairingScheduler::new(n, RoundRobinCover, 0);
+            let mut seen = vec![vec![false; n]; n];
+            for t in 1..m as u64 {
+                let g = net.graph(t);
+                assert!(g.is_bidirectional());
+                for v in 0..n {
+                    assert!(g.outdegree(v) <= 2, "matching per round");
+                }
+                for (a, b) in RoundRobinCover.pairs(n, t, 0) {
+                    assert_ne!(a, b);
+                    seen[a][b] = true;
+                    seen[b][a] = true;
+                }
+            }
+            for (a, row) in seen.iter().enumerate() {
+                for (b, &hit) in row.iter().enumerate() {
+                    assert!(a == b || hit, "n={n}: pair ({a},{b}) missed");
+                }
+            }
+            // The schedule is periodic with period m - 1.
+            assert_eq!(
+                net.graph(1).edges(),
+                net.graph(m as u64).edges(),
+                "n={n}: period m-1"
+            );
+        }
+    }
+
+    #[test]
+    fn pairing_scheduler_mixes_under_both_fairness_conditions() {
+        let uniform = PairingScheduler::new(6, UniformRandom::new(3), 11);
+        assert!(measured_dynamic_diameter(&uniform, 120, 80).is_some());
+        let cover = PairingScheduler::new(6, RoundRobinCover, 0);
+        let d = measured_dynamic_diameter(&cover, 40, 30).expect("cover mixes");
+        assert!(d >= 3, "pairwise interactions cannot mix instantly");
     }
 
     #[test]

@@ -40,6 +40,6 @@ pub mod product;
 
 pub use digraph::{Digraph, Edge, EdgeId, Vertex};
 pub use dynamic::{
-    DynamicGraph, PairwiseMatching, PeriodicGraph, RandomDynamicGraph, SparselyConnected,
-    StaticGraph,
+    DynamicGraph, Fairness, PairingScheduler, PairwiseMatching, PeriodicGraph, RandomDynamicGraph,
+    RoundRobinCover, SparselyConnected, StaticGraph, UniformRandom,
 };

@@ -57,6 +57,7 @@ pub use args::Args;
 pub use runner::{CellCtx, CellOutcome, Runner, TelemetryMode};
 pub use sink::{CellRecord, CellTelemetry, ResultSink};
 pub use spec::{
-    parse_graph, parse_values, CellSpec, ExperimentSpec, PlanSpec, SpecError, SWEEP_FLAGS,
+    parse_graph, parse_values, CellSpec, ChurnSpec, ExperimentSpec, PlanSpec, SpecError,
+    SWEEP_FLAGS,
 };
 pub use topo::{TopologyCache, WorkerScope};

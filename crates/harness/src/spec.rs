@@ -27,6 +27,7 @@
 
 use crate::args::Args;
 use kya_graph::{generators, Digraph};
+use kya_runtime::churn::{ChurnPlan, ChurnWindow, ReinjectPolicy};
 use kya_runtime::faults::{CrashWindow, FaultPlan};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -307,6 +308,177 @@ impl PlanSpec {
             plan = match w.until {
                 Some(until) => plan.crash(w.agent, w.from..until),
                 None => plan.crash_stop(w.agent, w.from),
+            };
+        }
+        plan
+    }
+}
+
+// ---------------------------------------------------------------------
+// Churn-plan templates
+// ---------------------------------------------------------------------
+
+/// A serializable [`ChurnPlan`] template, mirroring [`PlanSpec`]:
+/// everything but the seed, which is supplied per cell (or pinned with
+/// [`ChurnSpec::with_seed`]).
+///
+/// Unlike the fault templates, churn templates ride the **variant axis**
+/// of an [`ExperimentSpec`] as labels (the NDJSON schema is unchanged),
+/// so the label grammar is round-trippable: [`ChurnSpec::label`] and
+/// [`ChurnSpec::parse`] are inverses, and a cell function reconstructs
+/// the template from its `variant` string.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    windows: Vec<ChurnWindow>,
+    policy: ReinjectPolicy,
+    seed: Option<u64>,
+}
+
+impl Default for ChurnSpec {
+    fn default() -> ChurnSpec {
+        ChurnSpec::stable()
+    }
+}
+
+impl ChurnSpec {
+    /// A template scripting no churn.
+    pub fn stable() -> ChurnSpec {
+        ChurnSpec {
+            windows: Vec::new(),
+            policy: ReinjectPolicy::Carry,
+            seed: None,
+        }
+    }
+
+    /// `agent` is absent for the rounds in `window` (leave + rejoin).
+    pub fn leave(mut self, agent: usize, window: Range<u64>) -> ChurnSpec {
+        self.windows.push(ChurnWindow {
+            agent,
+            leave: window.start,
+            rejoin: Some(window.end),
+        });
+        self
+    }
+
+    /// `agent` leaves at round `from` and never comes back.
+    pub fn depart(mut self, agent: usize, from: u64) -> ChurnSpec {
+        self.windows.push(ChurnWindow {
+            agent,
+            leave: from,
+            rejoin: None,
+        });
+        self
+    }
+
+    /// Rejoining agents get a fresh state ([`ReinjectPolicy::Reset`]).
+    pub fn reset(mut self) -> ChurnSpec {
+        self.policy = ReinjectPolicy::Reset;
+        self
+    }
+
+    /// Rejoining agents resume from their parked state
+    /// ([`ReinjectPolicy::Carry`], the default).
+    pub fn carry(mut self) -> ChurnSpec {
+        self.policy = ReinjectPolicy::Carry;
+        self
+    }
+
+    /// Pin the plan seed instead of deriving it per cell.
+    pub fn with_seed(mut self, seed: u64) -> ChurnSpec {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Whether the template scripts no churn.
+    pub fn is_stable(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The scripted absence windows.
+    pub fn windows(&self) -> &[ChurnWindow] {
+        &self.windows
+    }
+
+    /// The mass re-injection policy.
+    pub fn policy(&self) -> ReinjectPolicy {
+        self.policy
+    }
+
+    /// A deterministic, parseable label: `stable`, or `c` followed by
+    /// comma-joined `AGENT:LEAVE:REJOIN` windows (`-` for a permanent
+    /// departure), with `+reset` appended under the reset policy — e.g.
+    /// `c2:10:40,5:20:-+reset`. Inverse of [`ChurnSpec::parse`]; a
+    /// pinned seed is not part of the label.
+    pub fn label(&self) -> String {
+        if self.is_stable() {
+            return "stable".to_string();
+        }
+        let windows: Vec<String> = self
+            .windows
+            .iter()
+            .map(|w| {
+                let rejoin = w.rejoin.map_or_else(|| "-".to_string(), |r| r.to_string());
+                format!("{}:{}:{}", w.agent, w.leave, rejoin)
+            })
+            .collect();
+        let suffix = match self.policy {
+            ReinjectPolicy::Carry => "",
+            ReinjectPolicy::Reset => "+reset",
+        };
+        format!("c{}{suffix}", windows.join(","))
+    }
+
+    /// Parse a [`ChurnSpec::label`] back into a template.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] describing the malformed part.
+    pub fn parse(label: &str) -> Result<ChurnSpec, SpecError> {
+        if label == "stable" {
+            return Ok(ChurnSpec::stable());
+        }
+        let body = label.strip_prefix('c').ok_or_else(|| {
+            err(format!(
+                "churn label must be `stable` or start with `c`: `{label}`"
+            ))
+        })?;
+        let (body, policy) = match body.strip_suffix("+reset") {
+            Some(b) => (b, ReinjectPolicy::Reset),
+            None => (body, ReinjectPolicy::Carry),
+        };
+        let mut spec = ChurnSpec::stable();
+        spec.policy = policy;
+        for part in body.split(',') {
+            let fields: Vec<&str> = part.split(':').collect();
+            let [agent, leave, rejoin] = fields.as_slice() else {
+                return Err(err(format!(
+                    "churn window must be AGENT:LEAVE:REJOIN, got `{part}`"
+                )));
+            };
+            let agent = parse_num(agent, "churn agent")?;
+            let leave = parse_num(leave, "churn leave round")? as u64;
+            let rejoin = if *rejoin == "-" {
+                None
+            } else {
+                Some(parse_num(rejoin, "churn rejoin round")? as u64)
+            };
+            spec.windows.push(ChurnWindow {
+                agent,
+                leave,
+                rejoin,
+            });
+        }
+        Ok(spec)
+    }
+
+    /// Instantiate the template as a concrete [`ChurnPlan`], using the
+    /// pinned seed if any, else `cell_seed`.
+    pub fn build(&self, cell_seed: u64) -> ChurnPlan {
+        let mut plan = ChurnPlan::new(self.seed.unwrap_or(cell_seed)).policy(self.policy);
+        for w in &self.windows {
+            plan = match w.rejoin {
+                Some(rejoin) => plan.leave(w.agent, w.leave..rejoin),
+                None => plan.depart(w.agent, w.leave),
             };
         }
         plan
@@ -752,5 +924,42 @@ mod tests {
         let json = serde::to_json_string(&p);
         let back: PlanSpec = serde::from_json_str(&json).expect("parses");
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn churn_spec_builds_labels_and_parses_back() {
+        let s = ChurnSpec::stable();
+        assert_eq!(s.label(), "stable");
+        assert!(s.build(5).is_quiescent());
+        assert_eq!(ChurnSpec::parse("stable").unwrap(), s);
+
+        let s = ChurnSpec::stable().leave(2, 10..40).depart(5, 20).reset();
+        assert_eq!(s.label(), "c2:10:40,5:20:-+reset");
+        assert_eq!(
+            ChurnSpec::parse(&s.label()).unwrap(),
+            s,
+            "label round-trips"
+        );
+        let plan = s.build(9);
+        assert_eq!(plan.seed(), 9);
+        assert_eq!(plan.windows().len(), 2);
+        assert_eq!(plan.reinject_policy(), ReinjectPolicy::Reset);
+        assert_eq!(s.with_seed(77).build(9).seed(), 77, "pinned seed wins");
+
+        let carry = ChurnSpec::stable().leave(0, 1..3);
+        assert_eq!(carry.label(), "c0:1:3");
+        assert_eq!(ChurnSpec::parse("c0:1:3").unwrap(), carry);
+
+        assert!(ChurnSpec::parse("nonsense").is_err());
+        assert!(ChurnSpec::parse("c1:2").is_err());
+        assert!(ChurnSpec::parse("c1:x:3").is_err());
+    }
+
+    #[test]
+    fn churn_spec_roundtrips_through_json() {
+        let s = ChurnSpec::stable().leave(1, 5..9).depart(3, 30).reset();
+        let json = serde::to_json_string(&s);
+        let back: ChurnSpec = serde::from_json_str(&json).expect("parses");
+        assert_eq!(back, s);
     }
 }

@@ -1,6 +1,7 @@
 //! The round-by-round executor.
 
 use crate::algorithm::Algorithm;
+use crate::churn::{Membership, ReinjectPolicy};
 use crate::faults::FaultEvents;
 use crate::metric::Metric;
 use crate::report::CellReport;
@@ -144,6 +145,51 @@ impl<A: Algorithm> Execution<A> {
         for _ in 0..rounds {
             let g = net.graph_ref(self.round + 1);
             self.step_observed(&g, obs);
+        }
+    }
+
+    /// Apply the membership's rejoin transitions for the **upcoming**
+    /// round (`round() + 1`): under [`ReinjectPolicy::Reset`], every
+    /// agent rejoining at that round has its parked state replaced by
+    /// `reinit(agent, &parked)`; under [`ReinjectPolicy::Carry`] states
+    /// are untouched. Returns the rejoining agents either way.
+    ///
+    /// `reinit` receives the parked state so callers can account the
+    /// mass delta `fresh − parked` explicitly (the F8 ledger) — e.g. by
+    /// accumulating into a `std::cell::Cell` captured by the closure.
+    ///
+    /// Call this immediately before stepping on the round's graph;
+    /// [`Execution::run_churned`] does so for every round it runs.
+    pub fn apply_rejoins(
+        &mut self,
+        membership: &Membership,
+        reinit: &dyn Fn(usize, &A::State) -> A::State,
+    ) -> Vec<usize> {
+        let rejoining = membership.rejoining_at(self.round + 1);
+        if membership.policy() == ReinjectPolicy::Reset {
+            for &v in &rejoining {
+                self.states[v] = reinit(v, &self.states[v]);
+            }
+        }
+        rejoining
+    }
+
+    /// Execute `rounds` rounds under churn: each round, first apply the
+    /// membership's rejoin policy ([`Execution::apply_rejoins`]), then
+    /// step on the network's graph. The network is expected to mask
+    /// absent agents (wrap it in [`crate::churn::ChurnMasked`]) — this
+    /// method only owns the *state* side of churn, the re-injection.
+    pub fn run_churned(
+        &mut self,
+        net: &dyn DynamicGraph,
+        membership: &Membership,
+        reinit: &dyn Fn(usize, &A::State) -> A::State,
+        rounds: u64,
+    ) {
+        for _ in 0..rounds {
+            self.apply_rejoins(membership, reinit);
+            let g = net.graph_ref(self.round + 1);
+            self.step(&g);
         }
     }
 

@@ -795,6 +795,90 @@ impl<A: FaultAware> FaultyExecution<A> {
         }
         report
     }
+
+    /// Apply the membership's rejoin transitions for the upcoming round;
+    /// see [`Execution::apply_rejoins`](crate::Execution::apply_rejoins)
+    /// — identical semantics on the faulted executor.
+    pub fn apply_rejoins(
+        &mut self,
+        membership: &crate::churn::Membership,
+        reinit: &dyn Fn(usize, &A::State) -> A::State,
+    ) -> Vec<usize> {
+        let rejoining = membership.rejoining_at(self.round + 1);
+        if membership.policy() == crate::churn::ReinjectPolicy::Reset {
+            for &v in &rejoining {
+                self.states[v] = reinit(v, &self.states[v]);
+            }
+        }
+        rejoining
+    }
+
+    /// Like [`FaultyExecution::run_with_recovery`], under churn: each
+    /// round first applies the membership's rejoin policy
+    /// ([`FaultyExecution::apply_rejoins`]), then steps with the plan's
+    /// message-level faults. The network is expected to mask absent
+    /// agents (wrap it in [`crate::churn::ChurnMasked`]).
+    ///
+    /// Membership transitions count as faults for the recovery
+    /// measurement: `last_fault_round` is extended to the last leave or
+    /// rejoin inside the run, so `converged_at` only reports rounds
+    /// after *both* the fault script and the churn script went quiet. A
+    /// membership still churning when the budget ends never converges.
+    #[allow(clippy::too_many_arguments)] // mirrors run_with_recovery + membership
+    pub fn run_with_recovery_churned<M: Metric<A::Output>>(
+        &mut self,
+        net: &dyn DynamicGraph,
+        membership: &crate::churn::Membership,
+        reinit: &dyn Fn(usize, &A::State) -> A::State,
+        rounds: u64,
+        metric: &M,
+        target: &A::Output,
+        eps: f64,
+        invariant: Option<Invariant<'_, A::State>>,
+    ) -> CellReport {
+        let start = self.round;
+        let events_before = self.events;
+        let mut distances = Vec::with_capacity(rounds as usize);
+        for _ in 0..rounds {
+            self.apply_rejoins(membership, reinit);
+            let g = net.graph_ref(self.round + 1);
+            self.step(&g);
+            let d = crate::metric::max_distance(metric, &self.outputs(), target);
+            distances.push(d);
+            if !d.is_finite() {
+                break;
+            }
+        }
+        let last_fault_round = {
+            let faults = if self.events.last_fault_round > start {
+                self.events.last_fault_round
+            } else {
+                0
+            };
+            let churn = membership.last_transition();
+            // Clamp to the final round: transitions beyond the budget
+            // leave the trace unconverged, which is the honest verdict.
+            let churn = if churn > start {
+                churn.min(self.round)
+            } else {
+                0
+            };
+            faults.max(churn)
+        };
+        let mut events = self.events;
+        events.dropped -= events_before.dropped;
+        events.duplicated -= events_before.duplicated;
+        events.bounced_to_crashed -= events_before.bounced_to_crashed;
+        events.crashed_rounds -= events_before.crashed_rounds;
+        CellReport::from_trace(
+            start,
+            distances,
+            eps,
+            last_fault_round,
+            events,
+            invariant.map(|f| f(&self.states)),
+        )
+    }
 }
 
 #[cfg(test)]

@@ -51,6 +51,7 @@
 
 pub mod adversary;
 mod algorithm;
+pub mod churn;
 mod execution;
 pub mod faults;
 pub mod metric;

@@ -135,4 +135,89 @@ proptest! {
             prop_assert!(net.graph(redelivery).multiplicity(0, 1) >= 1);
         }
     }
+
+    /// Composition gap closed: the async-starts mask and the fault mask
+    /// are both per-edge predicates pure in `(round, src, dst)`, so the
+    /// wrapping order must not change the delivered edge multiset in any
+    /// round. The churn stack relies on this freedom.
+    #[test]
+    fn async_starts_and_faulty_network_commute(
+        n in 2usize..8,
+        extra in 0usize..6,
+        seed in 0u64..500,
+        drop_pct in 0u32..80,
+        dup_pct in 0u32..80,
+        max_delay in 1u64..6,
+        agent_pick in any::<u64>(),
+    ) {
+        let agent = (agent_pick % n as u64) as usize;
+        let plan = FaultPlan::new(seed ^ 0xc0_11)
+            .drop_links(f64::from(drop_pct) / 100.0)
+            .duplicate(f64::from(dup_pct) / 100.0)
+            .retry_within(3)
+            .crash(agent, 4..9);
+        // One shared start vector for both wrap orders.
+        let starts: Vec<u64> = (0..n)
+            .map(|v| 1 + (seed.wrapping_mul(v as u64 + 1) % max_delay))
+            .collect();
+        let faults_outside = FaultyNetwork::new(
+            AsyncStarts::new(random_net(n, extra, seed), starts.clone()),
+            plan.clone(),
+        );
+        let starts_outside =
+            AsyncStarts::new(FaultyNetwork::new(random_net(n, extra, seed), plan), starts);
+        for t in 1..=20u64 {
+            prop_assert_eq!(
+                faults_outside.graph(t).multiplicity_matrix(),
+                starts_outside.graph(t).multiplicity_matrix(),
+                "round {}: wrap order changed the delivered edges",
+                t
+            );
+        }
+    }
+}
+
+/// Satellite audit of `retry_within` × crash windows: a dropped message
+/// whose deterministic redelivery lands inside a later crash window of
+/// its destination must be swallowed, not delivered. The plan-level
+/// retry *is* scheduled (`link_blocked` would clear the edge), but
+/// `FaultyNetwork::graph` checks crashes before retries — reverting
+/// that order delivers into the crash and fails this test.
+#[test]
+fn retried_delivery_into_a_crash_window_is_dropped() {
+    let (src, dst) = (0usize, 1usize);
+    let window = 20u64..40;
+    let plan = FaultPlan::new(0xbeef)
+        .drop_links(0.5)
+        .retry_within(4)
+        .crash(dst, window.clone());
+    let net = FaultyNetwork::new(StaticGraph::new(generators::complete(4)), plan.clone());
+    let mut audited = 0;
+    for t_prev in 1..200u64 {
+        if !plan.drops(t_prev, src, dst) {
+            continue;
+        }
+        let redelivery = t_prev + plan.retry_delay(t_prev, src, dst);
+        if !window.contains(&redelivery) {
+            continue;
+        }
+        // The retry path is live at the plan level: the redelivery
+        // clears the drop coin for that round (if it fired).
+        assert!(
+            !plan.link_blocked(redelivery, src, dst),
+            "retry scheduled at {redelivery} must unblock the link"
+        );
+        // ...but the destination is crashed, and crash dominates: no
+        // delivery reaches a crashed agent, retried or not.
+        assert_eq!(
+            net.graph(redelivery).multiplicity(src, dst),
+            0,
+            "drop at {t_prev}: retried delivery at {redelivery} pierced the crash window"
+        );
+        audited += 1;
+    }
+    assert!(
+        audited >= 3,
+        "seed must exercise the interaction, found {audited} cases"
+    );
 }

@@ -8,8 +8,10 @@ use know_your_audience::algos::min_base::{DepthCapped, MinBaseBroadcast, ViewSta
 use know_your_audience::algos::push_sum::{total_mass, PushSum, PushSumState, SelfHealingPushSum};
 use know_your_audience::algos::views::View;
 use know_your_audience::graph::{
-    generators, DynamicGraph, PairwiseMatching, RandomDynamicGraph, SparselyConnected, StaticGraph,
+    generators, DynamicGraph, PairingScheduler, PairwiseMatching, RandomDynamicGraph,
+    RoundRobinCover, SparselyConnected, StaticGraph, UniformRandom,
 };
+use know_your_audience::runtime::churn::{ChurnMasked, ChurnPlan};
 use know_your_audience::runtime::faults::{FaultPlan, FaultyExecution, FaultyNetwork, Lossy};
 use know_your_audience::runtime::metric::EuclideanMetric;
 use know_your_audience::runtime::testing::{check_self_stabilization, SelfStabOutcome};
@@ -204,6 +206,83 @@ fn plain_push_sum_does_not_recover_from_message_loss() {
         report.converged_at, None,
         "the lost mass shifts the limit permanently"
     );
+}
+
+#[test]
+fn self_healing_push_sum_recovers_under_pairing_churn_and_faults() {
+    // The F8 combined-adversary scenario: an Angluin-style pairing
+    // scheduler (round-robin cover fairness), a churn script parking an
+    // agent mid-run (Carry: its mass freezes and returns intact), and
+    // message drops until a horizon — all stacked. The churn-aware
+    // report counts convergence only strictly after the last fault OR
+    // churn transition.
+    let values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+    let n = values.len();
+    let target = values.iter().sum::<f64>() / n as f64;
+    let net = PairingScheduler::new(n, RoundRobinCover, 0);
+    let membership = ChurnPlan::new(6).leave(2, 10..30).membership(n);
+    let stack = ChurnMasked::new(net, membership.clone());
+    let plan = FaultPlan::new(6).drop_links(0.3).until(40);
+    let fresh = PushSumState::averaging(&values);
+    let reinit = |v: usize, _parked: &PushSumState| fresh[v];
+    let mut exec = FaultyExecution::new(Isotropic(SelfHealingPushSum), fresh.clone(), plan);
+    let z_deficit = move |states: &[PushSumState]| n as f64 - total_mass(states).1;
+    let report = exec.run_with_recovery_churned(
+        &stack,
+        &membership,
+        &reinit,
+        400,
+        &EuclideanMetric,
+        &target,
+        1e-9,
+        Some(&z_deficit),
+    );
+    assert!(report.events.dropped > 0, "faults actually fired");
+    assert!(
+        report.mass_deficit.unwrap().abs() < 1e-9,
+        "Carry churn conserves mass: deficit {:?}",
+        report.mass_deficit
+    );
+    // The quiet period starts only after both adversaries go quiescent.
+    assert!(report.last_fault_round >= membership.last_transition());
+    let recovered = report.converged_at.expect("re-enters the eps-ball");
+    assert!(recovered > report.last_fault_round);
+    assert!(report.final_distance < 1e-9);
+}
+
+#[test]
+fn exact_mass_is_conserved_through_the_full_adversary_stack() {
+    // Exact-backend oracle over the full composition FaultyNetwork ∘
+    // ChurnMasked ∘ PairingScheduler: every masking layer is a per-edge
+    // predicate that preserves self-loops, so a parked agent's whole
+    // (y, z) recirculates through its self-loop and Σy, Σz over ALL
+    // agent slots are conserved as exact rationals — no tolerance.
+    use know_your_audience::algos::push_sum::{PushSumExact, PushSumExactState};
+    use know_your_audience::arith::BigRational;
+    let ints: Vec<i64> = vec![3, 1, 4, 1, 5, 9];
+    let n = ints.len();
+    let inits = PushSumExactState::averaging(&ints);
+    let y0: BigRational = inits.iter().map(|s| &s.y).sum();
+    let z0: BigRational = inits.iter().map(|s| &s.z).sum();
+    let membership = ChurnPlan::new(1)
+        .leave(1, 5..20)
+        .depart(4, 25)
+        .membership(n);
+    let stack = FaultyNetwork::new(
+        ChurnMasked::new(
+            PairingScheduler::new(n, UniformRandom::new(n / 2), 3),
+            membership.clone(),
+        ),
+        FaultPlan::new(9).drop_links(0.25).until(30),
+    );
+    let mut exec = Execution::new(Isotropic(PushSumExact), inits);
+    // Carry policy: rejoins restore the parked state, reinit never runs.
+    let reinit = |_: usize, parked: &PushSumExactState| parked.clone();
+    exec.run_churned(&stack, &membership, &reinit, 60);
+    let y: BigRational = exec.states().iter().map(|s| &s.y).sum();
+    let z: BigRational = exec.states().iter().map(|s| &s.z).sum();
+    assert_eq!(y, y0, "Σy is exactly conserved");
+    assert_eq!(z, z0, "Σz is exactly conserved");
 }
 
 #[test]
