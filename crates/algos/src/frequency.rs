@@ -373,6 +373,7 @@ impl Algorithm for CensusPorts {
 mod tests {
     use super::*;
     use kya_graph::{generators, Digraph, StaticGraph};
+    use kya_runtime::RunConfig;
     use kya_runtime::{Broadcast, Execution, Isotropic};
 
     fn big(v: i64) -> BigInt {
@@ -425,7 +426,7 @@ mod tests {
             Isotropic(CensusOutdegree),
             ViewState::initial(&[7, 3, 3, 3]),
         );
-        exec.run(&net, 10);
+        exec.drive(&net, RunConfig::rounds(10));
         for out in exec.outputs() {
             let census = out.expect("stabilized");
             let freqs = census.frequencies();
@@ -458,7 +459,7 @@ mod tests {
         let values: Vec<u64> = fibre_of.iter().map(|&f| f as u64 * 100).collect();
         let net = StaticGraph::new(g.clone());
         let mut exec = Execution::new(Isotropic(CensusOutdegree), ViewState::initial(&values));
-        exec.run(&net, (g.n() * 2 + 10) as u64);
+        exec.drive(&net, RunConfig::rounds((g.n() * 2 + 10) as u64));
         let census = exec.outputs()[0].clone().expect("stabilized");
         let freqs = census.frequencies();
         assert_eq!(
@@ -480,7 +481,7 @@ mod tests {
             Broadcast(CensusSymmetric),
             ViewState::initial(&[7, 3, 3, 3]),
         );
-        exec.run(&net, 12);
+        exec.drive(&net, RunConfig::rounds(12));
         for out in exec.outputs() {
             let census = out.expect("stabilized");
             assert_eq!(
@@ -524,7 +525,7 @@ mod tests {
         let values: Vec<u64> = (0..n as u64).map(|v| v % 2).collect();
         let net = StaticGraph::new(g);
         let mut exec = Execution::new(CensusPorts, ViewState::initial(&values));
-        exec.run(&net, 14);
+        exec.drive(&net, RunConfig::rounds(14));
         for out in exec.outputs() {
             let census = out.expect("stabilized");
             assert_eq!(

@@ -89,7 +89,7 @@ pub mod set_functions {
 mod tests {
     use super::*;
     use kya_graph::{generators, RandomDynamicGraph, StaticGraph};
-    use kya_runtime::{Broadcast, Execution};
+    use kya_runtime::{Broadcast, Execution, RunConfig};
 
     #[test]
     fn floods_static_network_in_diameter_rounds() {
@@ -97,7 +97,7 @@ mod tests {
         let net = StaticGraph::new(g);
         let values = [4u64, 4, 2, 9, 2, 2, 1];
         let mut exec = Execution::new(Broadcast(SetGossip), SetGossip::initial(&values));
-        exec.run(&net, 6);
+        exec.drive(&net, RunConfig::rounds(6));
         for out in exec.outputs() {
             assert_eq!(out, vec![1, 2, 4, 9]);
         }
@@ -108,7 +108,7 @@ mod tests {
         let net = RandomDynamicGraph::directed(9, 4, 21);
         let values: Vec<u64> = (0..9).map(|i| i % 3).collect();
         let mut exec = Execution::new(Broadcast(SetGossip), SetGossip::initial(&values));
-        exec.run(&net, 16);
+        exec.drive(&net, RunConfig::rounds(16));
         for out in exec.outputs() {
             assert_eq!(out, vec![0, 1, 2]);
         }
@@ -133,8 +133,8 @@ mod tests {
         let net5 = StaticGraph::new(generators::complete(5));
         let mut a = Execution::new(Broadcast(SetGossip), SetGossip::initial(&[1, 2, 2]));
         let mut b = Execution::new(Broadcast(SetGossip), SetGossip::initial(&[1, 1, 1, 2, 2]));
-        a.run(&net3, 4);
-        b.run(&net5, 4);
+        a.drive(&net3, RunConfig::rounds(4));
+        b.drive(&net5, RunConfig::rounds(4));
         assert_eq!(a.outputs()[0], b.outputs()[0]);
     }
 }

@@ -162,6 +162,7 @@ mod tests {
     use crate::push_sum::{PushSumExact, PushSumExactState};
     use kya_arith::BigRational;
     use kya_fibration::verify_fibration;
+    use kya_runtime::RunConfig;
     use kya_runtime::{Broadcast, Isotropic};
 
     #[test]
@@ -207,8 +208,8 @@ mod tests {
         let mut large = kya_runtime::Execution::new(Isotropic(PushSumExact), lifted);
         let small_net = StaticGraph::new(bc);
         let large_net = StaticGraph::new(gc);
-        small.run(&small_net, 40);
-        large.run(&large_net, 40);
+        small.drive(&small_net, RunConfig::rounds(40));
+        large.drive(&large_net, RunConfig::rounds(40));
         // Outputs agree fibrewise — so no algorithm output can reflect
         // the differing sums.
         for v in 0..4 {

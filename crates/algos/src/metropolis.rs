@@ -20,7 +20,7 @@
 //! with finite dynamic diameter follows from Moreau's theorem, quadratic
 //! rates from \[10\].
 
-use kya_runtime::{BroadcastAlgorithm, IsotropicAlgorithm};
+use kya_runtime::{BroadcastAlgorithm, FlatAlgorithm, IsotropicAlgorithm};
 
 /// Metropolis averaging: `x_i += Σ_j (x_j - x_i) / (1 + max(d_i, d_j))`
 /// over distinct neighbors `j` (the self term vanishes, so the inbox can
@@ -74,6 +74,36 @@ impl IsotropicAlgorithm for Metropolis {
 
     fn output(&self, state: &f64) -> f64 {
         *state
+    }
+}
+
+/// The flat (struct-of-arrays) twin of the boxed [`IsotropicAlgorithm`]
+/// impl: one state lane `[x]`, message lanes `[x, degree]` with the
+/// degree carried as an exactly-representable f64 (degrees < 2^53, so
+/// the f64 `max` agrees bitwise with the boxed usize `max`-then-cast).
+impl FlatAlgorithm for Metropolis {
+    const STATE_LANES: usize = 1;
+    const MSG_LANES: usize = 2;
+
+    fn message(&self, state: &[f64], outdegree: usize, msg: &mut [f64]) {
+        msg[0] = state[0];
+        msg[1] = outdegree.saturating_sub(1) as f64;
+    }
+
+    fn transition(&self, state: &[f64], inbox: &[f64], next: &mut [f64]) {
+        let x = state[0];
+        let own = (inbox.len() / 2).saturating_sub(1) as f64;
+        let mut acc = x;
+        for m in inbox.chunks_exact(2) {
+            let dmax = m[1].max(own);
+            let w = 1.0 / (1.0 + dmax);
+            acc += w * (m[0] - x);
+        }
+        next[0] = acc;
+    }
+
+    fn output(&self, state: &[f64]) -> f64 {
+        state[0]
     }
 }
 
@@ -237,7 +267,7 @@ mod tests {
     use super::*;
     use kya_graph::{generators, DynamicGraph, RandomDynamicGraph, StaticGraph};
     use kya_runtime::adversary::AsyncStarts;
-    use kya_runtime::{Broadcast, Execution, Isotropic};
+    use kya_runtime::{Broadcast, Execution, Isotropic, RunConfig};
 
     fn assert_converges_to_average<A>(
         algo: A,
@@ -246,11 +276,12 @@ mod tests {
         rounds: u64,
         tol: f64,
     ) where
-        A: kya_runtime::Algorithm<State = f64, Output = f64>,
+        A: kya_runtime::Algorithm<State = f64, Output = f64> + Sync,
+        A::Msg: Send + Sync,
     {
         let avg = values.iter().sum::<f64>() / values.len() as f64;
         let mut exec = Execution::new(algo, values.to_vec());
-        exec.run(net, rounds);
+        exec.drive(net, RunConfig::rounds(rounds));
         for x in exec.outputs() {
             assert!((x - avg).abs() < tol, "{x} != {avg}");
         }
@@ -331,7 +362,7 @@ mod tests {
                 Broadcast(StaticSymmetricMetropolis),
                 LearnedState::initial(&values),
             );
-            exec.run(&net, 800);
+            exec.drive(&net, RunConfig::rounds(800));
             for x in exec.outputs() {
                 assert!((x - avg).abs() < 1e-8, "{x}");
             }
@@ -349,9 +380,9 @@ mod tests {
             Broadcast(StaticSymmetricMetropolis),
             LearnedState::initial(&values),
         );
-        learned.run(&net, 21); // 1 learning round + 20 metropolis rounds
+        learned.drive(&net, RunConfig::rounds(21)); // 1 learning round + 20 metropolis rounds
         let mut aware = Execution::new(Isotropic(Metropolis), values.to_vec());
-        aware.run(&net, 20);
+        aware.drive(&net, RunConfig::rounds(20));
         for (a, b) in learned.outputs().iter().zip(aware.outputs()) {
             assert!((a - b).abs() < 1e-12);
         }
@@ -366,7 +397,7 @@ mod tests {
         let avg = 3.5;
         let net = kya_graph::PairwiseMatching::new(n, 4, 21);
         let mut exec = Execution::new(Broadcast(FixedWeight::new(n)), values);
-        exec.run(&net, 4000);
+        exec.drive(&net, RunConfig::rounds(4000));
         for x in exec.outputs() {
             assert!((x - avg).abs() < 1e-7, "{x}");
         }

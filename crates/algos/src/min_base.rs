@@ -229,6 +229,7 @@ mod tests {
     use kya_fibration::iso::are_isomorphic;
     use kya_fibration::MinimumBase;
     use kya_graph::{generators, StaticGraph};
+    use kya_runtime::RunConfig;
     use kya_runtime::{Broadcast, Execution, Isotropic};
 
     fn broadcast_candidates(
@@ -238,7 +239,7 @@ mod tests {
     ) -> Vec<Option<CandidateBase>> {
         let net = StaticGraph::new(g.clone());
         let mut exec = Execution::new(Broadcast(MinBaseBroadcast), ViewState::initial(values));
-        exec.run(&net, rounds);
+        exec.drive(&net, RunConfig::rounds(rounds));
         exec.outputs()
     }
 
@@ -283,7 +284,7 @@ mod tests {
             Isotropic(MinBaseOutdegree),
             ViewState::initial(&[0, 0, 0, 0]),
         );
-        exec.run(&net, 10);
+        exec.drive(&net, RunConfig::rounds(10));
         for out in exec.outputs() {
             let cb = out.expect("stabilized");
             assert_eq!(cb.graph.n(), 2);
@@ -312,7 +313,7 @@ mod tests {
         }
         let net = StaticGraph::new(g);
         let mut exec = Execution::new(MinBasePorts, ViewState::initial(&vec![7; n]));
-        exec.run(&net, (2 * n) as u64);
+        exec.drive(&net, RunConfig::rounds((2 * n) as u64));
         for out in exec.outputs() {
             let cb = out.expect("stabilized");
             assert_eq!(cb.graph.n(), 1, "port-symmetric ring collapses");
@@ -330,7 +331,7 @@ mod tests {
         let net = StaticGraph::new(g.clone());
         let capped = DepthCapped::new(Broadcast(MinBaseBroadcast), 16);
         let mut exec = Execution::new(capped, ViewState::initial(&values));
-        exec.run(&net, 20);
+        exec.drive(&net, RunConfig::rounds(20));
         let reference = MinimumBase::compute(&g.with_self_loops(), &values);
         for out in exec.outputs() {
             let cb = out.expect("stabilized");
@@ -354,7 +355,7 @@ mod tests {
         let net = StaticGraph::new(g);
         let capped = DepthCapped::new(Broadcast(MinBaseBroadcast), 1);
         let mut exec = Execution::new(capped, ViewState::initial(&[0, 1, 2, 3]));
-        exec.run(&net, 10);
+        exec.drive(&net, RunConfig::rounds(10));
         assert!(exec.outputs().iter().all(Option::is_none));
     }
 
@@ -381,7 +382,7 @@ mod tests {
         // Reference: the clean run's stabilized candidate.
         let clean = DepthCapped::new(Broadcast(MinBaseBroadcast), cap);
         let mut reference = Execution::new(clean, ViewState::initial(&values));
-        reference.run(&net, 40);
+        reference.drive(&net, RunConfig::rounds(40));
         let truth = reference.outputs()[0].clone().expect("stabilized");
 
         // Corrupted start: every agent begins with a *bogus* deep view
@@ -431,7 +432,7 @@ mod tests {
 
         let clean = DepthCapped::new(Broadcast(MinBaseBroadcast), cap);
         let mut reference = Execution::new(clean, ViewState::initial(&values));
-        reference.run(&net, 40);
+        reference.drive(&net, RunConfig::rounds(40));
         let truth = reference.outputs()[0].clone().expect("stabilized");
 
         // Deep garbage with a mismatched root (999 != input value).
@@ -473,7 +474,7 @@ mod tests {
         let net = StaticGraph::new(g.clone());
         let mut reference =
             Execution::new(Broadcast(MinBaseBroadcast), ViewState::initial(&values));
-        reference.run(&net, 40);
+        reference.drive(&net, RunConfig::rounds(40));
         let truth = reference.outputs()[0].clone().expect("stabilized");
 
         // Corrupt with a view that mimics a *different* network: an
@@ -486,7 +487,7 @@ mod tests {
             })
             .collect();
         let mut exec = Execution::new(Broadcast(MinBaseBroadcast), corrupted);
-        exec.run(&net, 40);
+        exec.drive(&net, RunConfig::rounds(40));
         let polluted = exec.outputs()[0].clone();
         // The phantom value survives at the deepest levels and keeps the
         // candidate different from the clean one.

@@ -22,7 +22,7 @@
 
 use kya_arith::{BigInt, BigRational};
 use kya_runtime::faults::FaultAwareIsotropic;
-use kya_runtime::IsotropicAlgorithm;
+use kya_runtime::{FlatAlgorithm, IsotropicAlgorithm};
 use std::collections::BTreeMap;
 
 // ---------------------------------------------------------------------
@@ -57,6 +57,15 @@ impl PushSumState {
     /// Unit-weight initial states (computes the average of `values`).
     pub fn averaging(values: &[f64]) -> Vec<PushSumState> {
         values.iter().map(|&v| PushSumState::new(v, 1.0)).collect()
+    }
+
+    /// Struct-of-arrays columns (`[y-lane, z-lane]`) for the flat
+    /// executor ([`kya_runtime::FlatExecution`]) from boxed states.
+    pub fn columns(states: &[PushSumState]) -> Vec<Vec<f64>> {
+        vec![
+            states.iter().map(|s| s.y).collect(),
+            states.iter().map(|s| s.z).collect(),
+        ]
     }
 }
 
@@ -93,6 +102,37 @@ impl IsotropicAlgorithm for PushSum {
     }
 }
 
+/// The flat (struct-of-arrays) twin of the boxed [`IsotropicAlgorithm`]
+/// impl: lanes `[y, z]` for both state and message, with every
+/// floating-point operation performed in the same order — the `flat`
+/// conformance oracle and `tests/flat_equivalence.rs` hold the two
+/// bitwise identical.
+impl FlatAlgorithm for PushSum {
+    const STATE_LANES: usize = 2;
+    const MSG_LANES: usize = 2;
+
+    fn message(&self, state: &[f64], outdegree: usize, msg: &mut [f64]) {
+        let d = outdegree as f64;
+        msg[0] = state[0] / d;
+        msg[1] = state[1] / d;
+    }
+
+    fn transition(&self, _state: &[f64], inbox: &[f64], next: &mut [f64]) {
+        let mut y = 0.0;
+        let mut z = 0.0;
+        for m in inbox.chunks_exact(2) {
+            y += m[0];
+            z += m[1];
+        }
+        next[0] = y;
+        next[1] = z;
+    }
+
+    fn output(&self, state: &[f64]) -> f64 {
+        state[0] / state[1]
+    }
+}
+
 // ---------------------------------------------------------------------
 // Self-healing Push-Sum (F6)
 // ---------------------------------------------------------------------
@@ -119,7 +159,7 @@ impl IsotropicAlgorithm for PushSum {
 /// use kya_algos::push_sum::{total_mass, PushSumState, SelfHealingPushSum};
 /// use kya_graph::{generators, StaticGraph};
 /// use kya_runtime::faults::{FaultPlan, FaultyExecution};
-/// use kya_runtime::Isotropic;
+/// use kya_runtime::{Isotropic, RunConfig};
 ///
 /// let net = StaticGraph::new(generators::directed_ring(4));
 /// let plan = FaultPlan::new(9).drop_links(0.3).until(30);
@@ -128,7 +168,7 @@ impl IsotropicAlgorithm for PushSum {
 ///     PushSumState::averaging(&[0.0, 4.0, 0.0, 0.0]),
 ///     plan,
 /// );
-/// exec.run(&net, 300);
+/// exec.drive(&net, RunConfig::rounds(300));
 /// let (y, z) = total_mass(exec.states());
 /// assert!((y - 4.0).abs() < 1e-9 && (z - 4.0).abs() < 1e-9);
 /// assert!(exec.outputs().iter().all(|x| (x - 1.0).abs() < 1e-9));
@@ -142,15 +182,15 @@ impl IsotropicAlgorithm for SelfHealingPushSum {
     type Output = f64;
 
     fn message(&self, state: &PushSumState, outdegree: usize) -> (f64, f64) {
-        PushSum.message(state, outdegree)
+        IsotropicAlgorithm::message(&PushSum, state, outdegree)
     }
 
     fn transition(&self, state: &PushSumState, inbox: &[(f64, f64)]) -> PushSumState {
-        PushSum.transition(state, inbox)
+        IsotropicAlgorithm::transition(&PushSum, state, inbox)
     }
 
     fn output(&self, state: &PushSumState) -> f64 {
-        PushSum.output(state)
+        IsotropicAlgorithm::output(&PushSum, state)
     }
 }
 
@@ -525,6 +565,7 @@ mod tests {
     use kya_graph::{generators, DynamicGraph, RandomDynamicGraph, StaticGraph};
     use kya_runtime::adversary::AsyncStarts;
     use kya_runtime::faults::{FaultPlan, FaultyExecution, Lossy};
+    use kya_runtime::RunConfig;
     use kya_runtime::{Execution, Isotropic};
 
     #[test]
@@ -532,7 +573,7 @@ mod tests {
         let values = [1.0, 2.0, 3.0, 4.0, 10.0];
         let net = StaticGraph::new(generators::directed_ring(5));
         let mut exec = Execution::new(Isotropic(PushSum), PushSumState::averaging(&values));
-        exec.run(&net, 400);
+        exec.drive(&net, RunConfig::rounds(400));
         let avg = values.iter().sum::<f64>() / 5.0;
         for x in exec.outputs() {
             assert!((x - avg).abs() < 1e-9, "{x} != {avg}");
@@ -559,7 +600,10 @@ mod tests {
         let values: Vec<f64> = (0..n).map(|v| v as f64).collect();
         let target = values.iter().sum::<f64>() / n as f64;
         let mut exec = Execution::new(Isotropic(PushSum), PushSumState::averaging(&values));
-        let report = exec.run_until(&net, &EuclideanMetric, &target, 1e-9, 1400);
+        let report = exec.drive(
+            &net,
+            RunConfig::rounds(1400).measure(&EuclideanMetric, &target, 1e-9),
+        );
         assert!(
             report.diverged_at.is_some(),
             "leaf z underflow must surface as divergence: {report}"
@@ -584,7 +628,7 @@ mod tests {
             PushSumState::new(0.0, 1.0),
         ];
         let mut exec = Execution::new(Isotropic(PushSum), inits);
-        exec.run(&net, 200);
+        exec.drive(&net, RunConfig::rounds(200));
         let target = 4.0 / 8.0;
         for x in exec.outputs() {
             assert!((x - target).abs() < 1e-10);
@@ -598,7 +642,7 @@ mod tests {
         let total_y: BigRational = inits.iter().map(|s| &s.y).sum();
         let total_z: BigRational = inits.iter().map(|s| &s.z).sum();
         let mut exec = Execution::new(Isotropic(PushSumExact), inits);
-        exec.run(&net, 25);
+        exec.drive(&net, RunConfig::rounds(25));
         let y_now: BigRational = exec.states().iter().map(|s| &s.y).sum();
         let z_now: BigRational = exec.states().iter().map(|s| &s.z).sum();
         assert_eq!(y_now, total_y, "y mass is conserved exactly");
@@ -610,7 +654,7 @@ mod tests {
         let net = RandomDynamicGraph::directed(8, 6, 77);
         let values: Vec<f64> = (0..8).map(|i| i as f64).collect();
         let mut exec = Execution::new(Isotropic(PushSum), PushSumState::averaging(&values));
-        exec.run(&net, 600);
+        exec.drive(&net, RunConfig::rounds(600));
         let avg = 3.5;
         for x in exec.outputs() {
             assert!((x - avg).abs() < 1e-8, "{x}");
@@ -623,7 +667,7 @@ mod tests {
         let net = AsyncStarts::new(inner, vec![1, 4, 2, 7, 3, 1]);
         let values = [6.0, 0.0, 0.0, 0.0, 0.0, 0.0];
         let mut exec = Execution::new(Isotropic(PushSum), PushSumState::averaging(&values));
-        exec.run(&net, 800);
+        exec.drive(&net, RunConfig::rounds(800));
         for x in exec.outputs() {
             assert!((x - 1.0).abs() < 1e-8, "{x}");
         }
@@ -702,7 +746,7 @@ mod tests {
             PushSumState::averaging(&values),
             plan,
         );
-        exec.run(&net, 500);
+        exec.drive(&net, RunConfig::rounds(500));
         let (_, z) = total_mass(exec.states());
         let deficit = n as f64 - z;
         assert!(
@@ -721,7 +765,7 @@ mod tests {
             Isotropic(PushSumFrequency::frequency()),
             FrequencyState::initial(&values),
         );
-        exec.run(&net, 300);
+        exec.drive(&net, RunConfig::rounds(300));
         for est in exec.outputs() {
             assert!((est[&1] - 0.75).abs() < 1e-9);
             assert!((est[&9] - 0.25).abs() < 1e-9);
@@ -736,7 +780,7 @@ mod tests {
             Isotropic(PushSumFrequency::frequency()),
             FrequencyState::initial(&values),
         );
-        exec.run(&net, 150);
+        exec.drive(&net, RunConfig::rounds(150));
         // Bound N = 4 >= n = 3.
         for est in exec.outputs() {
             let grid = round_to_grid(&est, 4);
@@ -755,7 +799,7 @@ mod tests {
             Isotropic(PushSumFrequency::with_leaders(1)),
             FrequencyState::initial_with_leaders(&values, &leaders),
         );
-        exec.run(&net, 400);
+        exec.drive(&net, RunConfig::rounds(400));
         for est in exec.outputs() {
             assert!((est[&3] - 2.0).abs() < 1e-8, "mult of 3: {}", est[&3]);
             assert!((est[&8] - 3.0).abs() < 1e-8, "mult of 8: {}", est[&8]);
@@ -770,7 +814,7 @@ mod tests {
             Isotropic(PushSumFrequency::frequency()),
             FrequencyState::initial(&values),
         );
-        exec.run(&net, 120);
+        exec.drive(&net, RunConfig::rounds(120));
         for est in exec.outputs() {
             let norm = normalize_estimate(&est);
             let total: f64 = norm.values().sum();
@@ -838,8 +882,8 @@ mod tests {
             Isotropic(PushSumFrequency::frequency()),
             FrequencyState::initial(&values),
         );
-        exact.run(&net, 20);
-        float.run(&net, 20);
+        exact.drive(&net, RunConfig::rounds(20));
+        float.drive(&net, RunConfig::rounds(20));
         let e = exact.outputs()[0].clone();
         let f = float.outputs()[0].clone();
         for (v, x) in &f {

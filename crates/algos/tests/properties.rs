@@ -11,7 +11,7 @@ use kya_fibration::iso::are_isomorphic;
 use kya_fibration::MinimumBase;
 use kya_graph::{generators, DynamicGraph, RandomDynamicGraph, StaticGraph};
 use kya_runtime::testing::check_multiset_invariance;
-use kya_runtime::{Broadcast, Execution, Isotropic};
+use kya_runtime::{Broadcast, Execution, Isotropic, RunConfig};
 use proptest::prelude::*;
 
 proptest! {
@@ -65,7 +65,7 @@ proptest! {
         let rounds = (n + d + 3) as u64;
         let net = StaticGraph::new(g.clone());
         let mut exec = Execution::new(Broadcast(MinBaseBroadcast), ViewState::initial(&values));
-        exec.run(&net, rounds);
+        exec.drive(&net, RunConfig::rounds(rounds));
         let reference = MinimumBase::compute(&g.with_self_loops(), &values);
         for out in exec.outputs() {
             let cb = out.expect("stabilized by n + D");
@@ -93,7 +93,7 @@ proptest! {
         let d = kya_graph::connectivity::diameter(&g.with_self_loops()).unwrap();
         let net = StaticGraph::new(g.clone());
         let mut exec = Execution::new(Isotropic(CensusOutdegree), ViewState::initial(&values));
-        exec.run(&net, (n + d + 3) as u64);
+        exec.drive(&net, RunConfig::rounds((n + d + 3) as u64));
         let census = exec.outputs()[0].clone().expect("stabilized");
         for (v, f) in census.frequencies() {
             let count = values.iter().filter(|&&w| w == v).count() as i64;
@@ -115,7 +115,7 @@ proptest! {
         let y0: BigRational = inits.iter().map(|s| &s.y).sum();
         let z0: BigRational = inits.iter().map(|s| &s.z).sum();
         let mut exec = Execution::new(Isotropic(PushSumExact), inits);
-        exec.run(&net, rounds);
+        exec.drive(&net, RunConfig::rounds(rounds));
         let y1: BigRational = exec.states().iter().map(|s| &s.y).sum();
         let z1: BigRational = exec.states().iter().map(|s| &s.z).sum();
         prop_assert_eq!(y0, y1);
@@ -198,7 +198,7 @@ fn candidate_base_is_canonical_across_runs() {
     let run = || {
         let net = StaticGraph::new(g.clone());
         let mut exec = Execution::new(Broadcast(MinBaseBroadcast), ViewState::initial(&values));
-        exec.run(&net, 20);
+        exec.drive(&net, RunConfig::rounds(20));
         exec.outputs()[0].clone().expect("stabilized")
         // Execution dropped here: all views die, the interner forgets.
     };

@@ -13,7 +13,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kya_algos::push_sum::{PushSumExact, PushSumExactState};
 use kya_arith::{gcd, BigInt};
 use kya_graph::{generators, StaticGraph};
-use kya_runtime::{Execution, Isotropic};
+use kya_runtime::{Execution, Isotropic, RunConfig};
 use std::time::Duration;
 
 const ROUNDS: u64 = 200;
@@ -24,7 +24,7 @@ fn exact_run(net: &StaticGraph, n: usize) -> Vec<kya_arith::BigRational> {
         Isotropic(PushSumExact),
         PushSumExactState::averaging(&values),
     );
-    exec.run(net, ROUNDS);
+    exec.drive(net, RunConfig::rounds(ROUNDS));
     exec.outputs()
 }
 

@@ -1,0 +1,57 @@
+//! Criterion bench: the flat SoA/CSR engine against the boxed executor
+//! on the same graphs and rounds. Both paths compute bit-identical
+//! Push-Sum states (the conformance flat oracle pins that), so the gap
+//! is pure engine overhead: per-round message boxing and inbox
+//! allocation on the boxed side vs a precomputed gather over reused
+//! flat buffers on the flat side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kya_algos::push_sum::{PushSum, PushSumState};
+use kya_graph::generators;
+use kya_runtime::{Execution, FlatExecution, Isotropic, RunConfig};
+use std::time::Duration;
+
+const ROUNDS: u64 = 20;
+
+fn values_for(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 37) % 101) as f64).collect()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flat_engine_20_rounds");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    for n in [1_000usize, 10_000] {
+        let g = generators::random_strongly_connected(n, 2 * n, 5).with_self_loops();
+        let states = PushSumState::averaging(&values_for(n));
+        group.bench_with_input(BenchmarkId::new("boxed_t1", n), &n, |b, _| {
+            b.iter(|| {
+                let mut exec = Execution::new(Isotropic(PushSum), states.clone());
+                exec.drive(
+                    &kya_graph::StaticGraph::new(g.clone()),
+                    RunConfig::rounds(ROUNDS),
+                );
+                exec.outputs()[0]
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("flat_t1", n), &n, |b, _| {
+            b.iter(|| {
+                let mut exec = FlatExecution::new(PushSum, &g, PushSumState::columns(&states));
+                exec.run(ROUNDS, 1);
+                exec.outputs()[0]
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("flat_t4", n), &n, |b, _| {
+            b.iter(|| {
+                let mut exec = FlatExecution::new(PushSum, &g, PushSumState::columns(&states));
+                exec.run(ROUNDS, 4);
+                exec.outputs()[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -9,7 +9,7 @@ use kya_algos::frequency::CensusOutdegree;
 use kya_algos::min_base::ViewState;
 use kya_algos::views::{candidate_base, ClassMode, View};
 use kya_graph::{generators, StaticGraph};
-use kya_runtime::{Execution, Isotropic};
+use kya_runtime::{Execution, Isotropic, RunConfig};
 use std::time::Duration;
 
 fn bench_census_pipeline(c: &mut Criterion) {
@@ -26,7 +26,7 @@ fn bench_census_pipeline(c: &mut Criterion) {
             b.iter(|| {
                 let mut exec =
                     Execution::new(Isotropic(CensusOutdegree), ViewState::initial(&values));
-                exec.run(&net, rounds);
+                exec.drive(&net, RunConfig::rounds(rounds));
                 exec.outputs()[0].clone()
             })
         });

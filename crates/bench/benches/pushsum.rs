@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kya_algos::push_sum::{PushSum, PushSumState};
 use kya_bench::pushsum_rounds_to;
 use kya_graph::{generators, StaticGraph};
-use kya_runtime::{Execution, Isotropic};
+use kya_runtime::{Execution, Isotropic, RunConfig};
 use std::time::Duration;
 
 fn bench_pushsum_rounds(c: &mut Criterion) {
@@ -19,7 +19,7 @@ fn bench_pushsum_rounds(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let mut exec = Execution::new(Isotropic(PushSum), PushSumState::averaging(&values));
-                exec.run(&net, 100);
+                exec.drive(&net, RunConfig::rounds(100));
                 exec.outputs()
             })
         });

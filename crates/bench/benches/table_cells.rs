@@ -7,7 +7,7 @@ use kya_algos::gossip::SetGossip;
 use kya_algos::min_base::ViewState;
 use kya_algos::push_sum::{FrequencyState, PushSumFrequency};
 use kya_graph::{generators, RandomDynamicGraph, StaticGraph};
-use kya_runtime::{Broadcast, Execution, Isotropic};
+use kya_runtime::{Broadcast, Execution, Isotropic, RunConfig};
 use std::time::Duration;
 
 fn bench_table1_cells(c: &mut Criterion) {
@@ -24,14 +24,14 @@ fn bench_table1_cells(c: &mut Criterion) {
     group.bench_function("broadcast_set_based_gossip", |b| {
         b.iter(|| {
             let mut exec = Execution::new(Broadcast(SetGossip), SetGossip::initial(&values));
-            exec.run(&net, rounds);
+            exec.drive(&net, RunConfig::rounds(rounds));
             exec.outputs()
         })
     });
     group.bench_function("outdegree_frequency_census", |b| {
         b.iter(|| {
             let mut exec = Execution::new(Isotropic(CensusOutdegree), ViewState::initial(&values));
-            exec.run(&net, rounds);
+            exec.drive(&net, RunConfig::rounds(rounds));
             exec.outputs()[0].clone()
         })
     });
@@ -52,7 +52,7 @@ fn bench_table2_cells(c: &mut Criterion) {
                 Isotropic(PushSumFrequency::frequency()),
                 FrequencyState::initial(&values),
             );
-            exec.run(&net, 300);
+            exec.drive(&net, RunConfig::rounds(300));
             exec.outputs()[0].clone()
         })
     });

@@ -17,7 +17,7 @@ use kya_algos::min_base::{DepthCapped, MinBaseBroadcast, MinBaseOutdegree, ViewS
 use kya_fibration::iso::are_isomorphic;
 use kya_graph::StaticGraph;
 use kya_harness::{Args, CellCtx, CellOutcome, ExperimentSpec, ResultSink, SpecError};
-use kya_runtime::{Broadcast, Execution, Isotropic};
+use kya_runtime::{Broadcast, Execution, Isotropic, RunConfig};
 
 /// The F2/F3 registry entry.
 pub const EXPERIMENT: Experiment = Experiment {
@@ -97,7 +97,7 @@ fn cell(ctx: &CellCtx) -> CellOutcome {
                 let algo = DepthCapped::new(Isotropic(MinBaseOutdegree), cap);
                 let net = StaticGraph::new((*g).clone());
                 let mut exec = Execution::new(algo, ViewState::initial(&values));
-                exec.run(&net, rounds);
+                exec.drive(&net, RunConfig::rounds(rounds));
                 let good = exec.outputs().into_iter().all(|out| {
                     out.map(|cb| {
                         let cb_od_values: Vec<u64> = cb

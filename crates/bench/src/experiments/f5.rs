@@ -9,7 +9,7 @@ use kya_algos::metropolis::{FixedWeight, Metropolis};
 use kya_algos::push_sum::{PushSum, PushSumState};
 use kya_harness::{Args, CellCtx, CellOutcome, ExperimentSpec, ResultSink, SpecError};
 use kya_runtime::metric::EuclideanMetric;
-use kya_runtime::{Broadcast, CellReport, Execution, Isotropic};
+use kya_runtime::{Broadcast, CellReport, Execution, Isotropic, RunConfig};
 
 /// The F5 registry entry.
 pub const EXPERIMENT: Experiment = Experiment {
@@ -47,21 +47,17 @@ fn cell(ctx: &CellCtx) -> CellOutcome {
     let net = &*net;
     let m = &EuclideanMetric;
     let report: CellReport = match ctx.cell.algorithm.as_str() {
-        "pushsum" => Execution::new(Isotropic(PushSum), PushSumState::averaging(&values))
-            .run_until(net, m, &target, ctx.eps(), ctx.rounds()),
-        "metropolis" => Execution::new(Isotropic(Metropolis), values.clone()).run_until(
+        "pushsum" => Execution::new(Isotropic(PushSum), PushSumState::averaging(&values)).drive(
             net,
-            m,
-            &target,
-            ctx.eps(),
-            ctx.rounds(),
+            RunConfig::rounds(ctx.rounds()).measure(m, &target, ctx.eps()),
         ),
-        "fixed-1n" => Execution::new(Broadcast(FixedWeight::new(n)), values.clone()).run_until(
+        "metropolis" => Execution::new(Isotropic(Metropolis), values.clone()).drive(
             net,
-            m,
-            &target,
-            ctx.eps(),
-            ctx.rounds(),
+            RunConfig::rounds(ctx.rounds()).measure(m, &target, ctx.eps()),
+        ),
+        "fixed-1n" => Execution::new(Broadcast(FixedWeight::new(n)), values.clone()).drive(
+            net,
+            RunConfig::rounds(ctx.rounds()).measure(m, &target, ctx.eps()),
         ),
         other => panic!("unknown f5 algorithm `{other}`"),
     };

@@ -15,6 +15,7 @@ use kya_harness::{Args, CellCtx, CellOutcome, ExperimentSpec, PlanSpec, ResultSi
 use kya_runtime::faults::{FaultyExecution, Lossy};
 use kya_runtime::metric::EuclideanMetric;
 use kya_runtime::Isotropic;
+use kya_runtime::RunConfig;
 
 /// The F6 registry entry.
 pub const EXPERIMENT: Experiment = Experiment {
@@ -70,26 +71,22 @@ fn cell(ctx: &CellCtx) -> CellOutcome {
             PushSumState::averaging(&values),
             plan,
         )
-        .run_with_recovery(
+        .drive(
             &net,
-            ctx.rounds(),
-            &EuclideanMetric,
-            &target,
-            ctx.eps(),
-            Some(&z_deficit),
+            RunConfig::rounds(ctx.rounds())
+                .measure(&EuclideanMetric, &target, ctx.eps())
+                .invariant(&z_deficit),
         ),
         "plain" => FaultyExecution::new(
             Lossy(Isotropic(PushSum)),
             PushSumState::averaging(&values),
             plan,
         )
-        .run_with_recovery(
+        .drive(
             &net,
-            ctx.rounds(),
-            &EuclideanMetric,
-            &target,
-            ctx.eps(),
-            Some(&z_deficit),
+            RunConfig::rounds(ctx.rounds())
+                .measure(&EuclideanMetric, &target, ctx.eps())
+                .invariant(&z_deficit),
         ),
         other => panic!("unknown f6 algorithm `{other}`"),
     };

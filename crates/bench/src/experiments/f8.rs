@@ -22,6 +22,7 @@ use kya_runtime::churn::ChurnMasked;
 use kya_runtime::faults::{FaultyExecution, Lossy};
 use kya_runtime::metric::EuclideanMetric;
 use kya_runtime::Isotropic;
+use kya_runtime::RunConfig;
 
 /// The F8 registry entry.
 pub const EXPERIMENT: Experiment = Experiment {
@@ -85,33 +86,25 @@ fn cell(ctx: &CellCtx) -> CellOutcome {
             // initial state; the z ledger shift shows up in the deficit.
             let reinit = |v: usize, _parked: &PushSumState| fresh[v];
             let z_deficit = move |states: &[PushSumState]| n as f64 - total_mass(states).1;
-            FaultyExecution::new(Isotropic(SelfHealingPushSum), fresh.clone(), plan)
-                .run_with_recovery_churned(
-                    &stack,
-                    &membership,
-                    &reinit,
-                    ctx.rounds(),
-                    &EuclideanMetric,
-                    &target,
-                    ctx.eps(),
-                    Some(&z_deficit),
-                )
+            FaultyExecution::new(Isotropic(SelfHealingPushSum), fresh.clone(), plan).drive(
+                &stack,
+                RunConfig::rounds(ctx.rounds())
+                    .membership(&membership, &reinit)
+                    .measure(&EuclideanMetric, &target, ctx.eps())
+                    .invariant(&z_deficit),
+            )
         }
         "metropolis" => {
             let reinit = |v: usize, _parked: &f64| values[v];
             let x0: f64 = values.iter().sum();
             let x_deficit = move |states: &[f64]| x0 - states.iter().sum::<f64>();
-            FaultyExecution::new(Lossy(Isotropic(Metropolis)), values.clone(), plan)
-                .run_with_recovery_churned(
-                    &stack,
-                    &membership,
-                    &reinit,
-                    ctx.rounds(),
-                    &EuclideanMetric,
-                    &target,
-                    ctx.eps(),
-                    Some(&x_deficit),
-                )
+            FaultyExecution::new(Lossy(Isotropic(Metropolis)), values.clone(), plan).drive(
+                &stack,
+                RunConfig::rounds(ctx.rounds())
+                    .membership(&membership, &reinit)
+                    .measure(&EuclideanMetric, &target, ctx.eps())
+                    .invariant(&x_deficit),
+            )
         }
         other => panic!("unknown f8 algorithm `{other}`"),
     };

@@ -14,6 +14,7 @@ pub mod f4;
 pub mod f5;
 pub mod f6;
 pub mod f8;
+pub mod flat;
 pub mod table1;
 pub mod table2;
 
@@ -26,7 +27,7 @@ use kya_harness::{TelemetryMode, TopologyCache, SWEEP_FLAGS};
 use kya_runtime::adversary::AsyncStarts;
 use kya_runtime::metric::EuclideanMetric;
 use kya_runtime::telemetry::TraceSink;
-use kya_runtime::{Algorithm, Execution};
+use kya_runtime::{Algorithm, Execution, RunConfig};
 use std::process::ExitCode;
 
 /// Flags `kya trace` accepts on top of the sweep and experiment flags.
@@ -59,6 +60,7 @@ pub const EXPERIMENTS: &[&Experiment] = &[
     &f5::EXPERIMENT,
     &f6::EXPERIMENT,
     &f8::EXPERIMENT,
+    &flat::EXPERIMENT,
 ];
 
 /// Look up an experiment by registry name.
@@ -159,26 +161,30 @@ pub(crate) fn observed_convergence<A>(
     confirm: u64,
 ) -> (bool, CellOutcome)
 where
-    A: Algorithm<Output = f64>,
+    A: Algorithm<Output = f64> + Sync,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
 {
     let mode = ctx.telemetry;
     if !mode.enabled() {
-        let report =
-            exec.run_until_converged(net, &EuclideanMetric, &target, eps, ctx.rounds(), confirm);
+        let report = exec.drive(
+            net,
+            RunConfig::rounds(ctx.rounds())
+                .measure(&EuclideanMetric, &target, eps)
+                .confirm(confirm),
+        );
         return (
             report.converged(),
             CellOutcome::new().report(report.without_trace()),
         );
     }
     let mut sink = TraceSink::with_residual(EuclideanMetric, target);
-    let report = exec.run_until_converged_observed(
+    let report = exec.drive(
         net,
-        &EuclideanMetric,
-        &target,
-        eps,
-        ctx.rounds(),
-        confirm,
-        &mut sink,
+        RunConfig::rounds(ctx.rounds())
+            .measure(&EuclideanMetric, &target, eps)
+            .confirm(confirm)
+            .observer(&mut sink),
     );
     let (events, summary) = sink.finish();
     let converged = report.converged();
@@ -305,7 +311,9 @@ mod tests {
 
     #[test]
     fn registry_finds_all_experiments() {
-        for name in ["table1", "table2", "f1", "f2", "f4", "f5", "f6", "f8"] {
+        for name in [
+            "table1", "table2", "f1", "f2", "f4", "f5", "f6", "f8", "flat",
+        ] {
             assert!(find(name).is_some(), "{name} registered");
         }
         assert!(find("f3").is_none(), "F3 rides inside f2");

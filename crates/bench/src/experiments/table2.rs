@@ -17,7 +17,7 @@ use kya_core::functions::{maximum, FrequencyFunction};
 use kya_core::table::{computable_class, CentralizedHelp, NetworkKind};
 use kya_graph::{DynamicGraph, RandomDynamicGraph};
 use kya_harness::{Args, CellCtx, CellOutcome, ExperimentSpec, ResultSink, SpecError};
-use kya_runtime::{Broadcast, CommunicationModel, Execution, Isotropic};
+use kya_runtime::{Broadcast, CommunicationModel, Execution, Isotropic, RunConfig};
 
 /// The Table 2 registry entry.
 pub const EXPERIMENT: Experiment = Experiment {
@@ -50,7 +50,7 @@ fn values_for(n: usize) -> Vec<u64> {
 
 fn gossip_max_ok(net: &dyn DynamicGraph, values: &[u64], rounds: u64) -> bool {
     let mut exec = Execution::new(Broadcast(SetGossip), SetGossip::initial(values));
-    exec.run(net, rounds);
+    exec.drive(net, RunConfig::rounds(rounds));
     exec.outputs()
         .iter()
         .all(|s| set_functions::max(s) == Some(maximum(values)))
@@ -65,7 +65,7 @@ fn pushsum_frequencies(
         Isotropic(PushSumFrequency::frequency()),
         FrequencyState::initial(values),
     );
-    exec.run(net, rounds);
+    exec.drive(net, RunConfig::rounds(rounds));
     exec.outputs()
 }
 
@@ -132,7 +132,7 @@ fn outdegree_checks(
                 Isotropic(PushSumFrequency::with_leaders(1)),
                 FrequencyState::initial_with_leaders(values, &leaders),
             );
-            exec.run(&net, rounds);
+            exec.drive(&net, RunConfig::rounds(rounds));
             let ok = exec.outputs().iter().all(|est| {
                 est.iter().all(|(v, x)| {
                     let true_mult = values.iter().filter(|&&w| w == *v).count() as f64;
@@ -169,7 +169,7 @@ fn symmetric_checks(
                 true,
             ));
             let mut exec = Execution::new(Isotropic(Metropolis), fvals.clone());
-            exec.run(&net, rounds);
+            exec.drive(&net, RunConfig::rounds(rounds));
             let ok = exec.outputs().iter().all(|x| (x - true_avg).abs() < 1e-6);
             checks.push(("average via Metropolis (asymptotic)".to_string(), ok));
         }
@@ -180,7 +180,7 @@ fn symmetric_checks(
                 12
             };
             let mut exec = Execution::new(Broadcast(FixedWeight::new(bound)), fvals.clone());
-            exec.run(&net, 3 * rounds);
+            exec.drive(&net, RunConfig::rounds(3 * rounds));
             let ok = exec.outputs().iter().all(|x| (x - true_avg).abs() < 1e-6);
             checks.push((
                 format!("average via fixed-weight 1/N broadcast consensus, N={bound}"),

@@ -21,7 +21,7 @@ use kya_algos::min_base::ViewState;
 use kya_algos::push_sum::{PushSum, PushSumState};
 use kya_graph::{generators, Digraph, DynamicGraph, StaticGraph};
 use kya_runtime::metric::EuclideanMetric;
-use kya_runtime::{Algorithm, Execution, Isotropic};
+use kya_runtime::{Algorithm, Execution, Isotropic, RunConfig};
 
 /// A named static test network with inputs.
 pub struct StaticCase {
@@ -93,15 +93,19 @@ pub fn stabilization_budget(g: &Digraph) -> u64 {
 }
 
 /// Run `algo` on a static graph and return the final outputs.
-pub fn run_static<A: Algorithm>(
+pub fn run_static<A: Algorithm + Sync>(
     algo: A,
     g: &Digraph,
     inits: Vec<A::State>,
     rounds: u64,
-) -> Vec<A::Output> {
+) -> Vec<A::Output>
+where
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
+{
     let net = StaticGraph::new(g.clone());
     let mut exec = Execution::new(algo, inits);
-    exec.run(&net, rounds);
+    exec.drive(&net, RunConfig::rounds(rounds));
     exec.outputs()
 }
 
@@ -115,8 +119,11 @@ pub fn pushsum_rounds_to(
 ) -> Option<u64> {
     let avg = values.iter().sum::<f64>() / values.len() as f64;
     let mut exec = Execution::new(Isotropic(PushSum), PushSumState::averaging(values));
-    exec.run_until(net, &EuclideanMetric, &avg, eps, max_rounds)
-        .converged_at
+    exec.drive(
+        net,
+        RunConfig::rounds(max_rounds).measure(&EuclideanMetric, &avg, eps),
+    )
+    .converged_at
 }
 
 /// First round at which every agent's distributed min-base candidate has

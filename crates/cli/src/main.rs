@@ -56,7 +56,7 @@ use kya_harness::{Args, CellOutcome, ChurnSpec, ExperimentSpec, PlanSpec, Runner
 use kya_runtime::churn::ChurnMasked;
 use kya_runtime::faults::{FaultyExecution, Lossy};
 use kya_runtime::metric::EuclideanMetric;
-use kya_runtime::{Broadcast, Execution, Isotropic};
+use kya_runtime::{Broadcast, Execution, Isotropic, RunConfig};
 use spec::{parse_graph, parse_values, SpecError};
 use std::process::ExitCode;
 
@@ -71,7 +71,8 @@ const USAGE: &str = "usage:
   kya churn   --n N --values VALS [--fairness uniform|cover] [--churn SPEC]
               [--algo healing|metropolis] [--drop P] [--until H] [--rounds R]
               [--seed S] [--eps E] [--json]
-  kya sweep   [EXPERIMENT] [--workers N] [--ndjson | --json] [sweep flags...]
+  kya sweep   [EXPERIMENT] [--workers N] [--ndjson | --json] [--engine boxed|flat|both]
+              [sweep flags...]
   kya trace   [EXPERIMENT] [--trace-out FILE] [--residuals] [sweep flags...]
   kya check   [--matrix small|full] [--workers N] [--ndjson]
 
@@ -82,7 +83,7 @@ value lists: 1,2,3 or 5x3,7 (repeat shorthand)
 crash specs: AGENT:FROM:UNTIL (crash-recover) or AGENT:FROM:- (crash-stop)
 churn specs: stable, or cAGENT:LEAVE:REJOIN[,...][+reset] (- = never rejoin),
              e.g. c1:10:30 or c1:10:30,2:20:45+reset
-sweeps:      table1 table2 f1 f2 f4 f5 f6 f8 (run `kya sweep` to list)";
+sweeps:      table1 table2 f1 f2 f4 f5 f6 f8 flat (run `kya sweep` to list)";
 
 fn graph_and_values(args: &Args) -> Result<(Digraph, Vec<u64>), SpecError> {
     let g = parse_graph(args.required("graph")?)?;
@@ -177,7 +178,7 @@ fn cmd_census(args: &Args) -> Result<(), SpecError> {
     let census = match model {
         "outdegree" => {
             let mut exec = Execution::new(Isotropic(CensusOutdegree), ViewState::initial(&values));
-            exec.run(&net, rounds);
+            exec.drive(&net, RunConfig::rounds(rounds));
             exec.outputs()[0].clone()
         }
         "symmetric" => {
@@ -187,12 +188,12 @@ fn cmd_census(args: &Args) -> Result<(), SpecError> {
                 ));
             }
             let mut exec = Execution::new(Broadcast(CensusSymmetric), ViewState::initial(&values));
-            exec.run(&net, rounds);
+            exec.drive(&net, RunConfig::rounds(rounds));
             exec.outputs()[0].clone()
         }
         "ports" => {
             let mut exec = Execution::new(CensusPorts, ViewState::initial(&values));
-            exec.run(&net, rounds);
+            exec.drive(&net, RunConfig::rounds(rounds));
             exec.outputs()[0].clone()
         }
         other => {
@@ -232,7 +233,7 @@ fn cmd_pushsum(args: &Args) -> Result<(), SpecError> {
         Isotropic(PushSumFrequency::frequency()),
         FrequencyState::initial(&values),
     );
-    exec.run(&net, rounds);
+    exec.drive(&net, RunConfig::rounds(rounds));
     let est = exec.outputs()[0].clone();
     println!("push-sum frequency estimates after {rounds} rounds (agent 0):");
     for (v, x) in &est {
@@ -256,7 +257,7 @@ fn cmd_gossip(args: &Args) -> Result<(), SpecError> {
         .ok_or_else(|| SpecError("graph is not strongly connected".into()))?;
     let net = StaticGraph::new(g);
     let mut exec = Execution::new(Broadcast(SetGossip), SetGossip::initial(&values));
-    exec.run(&net, d as u64 + 1);
+    exec.drive(&net, RunConfig::rounds(d as u64 + 1));
     println!(
         "value set after D + 1 = {} rounds: {:?}",
         d + 1,
@@ -355,25 +356,19 @@ fn cmd_faults(args: &Args) -> Result<(), SpecError> {
         // z mass starts (and must stay) at n: the signed deficit is n - Σz.
         let z_deficit = move |states: &[PushSumState]| n as f64 - total_mass(states).1;
         let report = if plain {
-            FaultyExecution::new(Lossy(Isotropic(PushSum)), states, ctx.fault_plan())
-                .run_with_recovery(
-                    &net,
-                    ctx.rounds(),
-                    &EuclideanMetric,
-                    &target,
-                    ctx.eps(),
-                    Some(&z_deficit),
-                )
+            FaultyExecution::new(Lossy(Isotropic(PushSum)), states, ctx.fault_plan()).drive(
+                &net,
+                RunConfig::rounds(ctx.rounds())
+                    .measure(&EuclideanMetric, &target, ctx.eps())
+                    .invariant(&z_deficit),
+            )
         } else {
-            FaultyExecution::new(Isotropic(SelfHealingPushSum), states, ctx.fault_plan())
-                .run_with_recovery(
-                    &net,
-                    ctx.rounds(),
-                    &EuclideanMetric,
-                    &target,
-                    ctx.eps(),
-                    Some(&z_deficit),
-                )
+            FaultyExecution::new(Isotropic(SelfHealingPushSum), states, ctx.fault_plan()).drive(
+                &net,
+                RunConfig::rounds(ctx.rounds())
+                    .measure(&EuclideanMetric, &target, ctx.eps())
+                    .invariant(&z_deficit),
+            )
         };
         CellOutcome::new().report(report)
     });
@@ -495,15 +490,12 @@ fn cmd_churn(args: &Args) -> Result<(), SpecError> {
                     fresh.clone(),
                     ctx.fault_plan(),
                 )
-                .run_with_recovery_churned(
+                .drive(
                     &stack,
-                    &membership,
-                    &reinit,
-                    ctx.rounds(),
-                    &EuclideanMetric,
-                    &target,
-                    ctx.eps(),
-                    Some(&z_deficit),
+                    RunConfig::rounds(ctx.rounds())
+                        .membership(&membership, &reinit)
+                        .measure(&EuclideanMetric, &target, ctx.eps())
+                        .invariant(&z_deficit),
                 )
             }
             _ => {
@@ -515,15 +507,12 @@ fn cmd_churn(args: &Args) -> Result<(), SpecError> {
                     inputs.clone(),
                     ctx.fault_plan(),
                 )
-                .run_with_recovery_churned(
+                .drive(
                     &stack,
-                    &membership,
-                    &reinit,
-                    ctx.rounds(),
-                    &EuclideanMetric,
-                    &target,
-                    ctx.eps(),
-                    Some(&x_deficit),
+                    RunConfig::rounds(ctx.rounds())
+                        .membership(&membership, &reinit)
+                        .measure(&EuclideanMetric, &target, ctx.eps())
+                        .invariant(&x_deficit),
                 )
             }
         };

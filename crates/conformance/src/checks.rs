@@ -23,7 +23,9 @@ use kya_runtime::churn::ChurnMasked;
 use kya_runtime::faults::{FaultPlan, FaultyExecution, FaultyNetwork, Lossy};
 use kya_runtime::metric::EuclideanMetric;
 use kya_runtime::telemetry::{CountingObserver, NullObserver};
-use kya_runtime::{Algorithm, Broadcast, Execution, Isotropic};
+use kya_runtime::{
+    Algorithm, Broadcast, Execution, FlatAlgorithm, FlatExecution, Isotropic, RunConfig,
+};
 use std::cell::{Cell, RefCell};
 
 /// The six oracle kinds, in the fixed order `kya check` runs them.
@@ -42,6 +44,9 @@ pub enum CheckKind {
     /// (c) Mass conservation, frozen absence, and stabilization under
     /// the combined pairing + churn + faults stack.
     Churn,
+    /// (b) Flat (SoA/CSR) executor bitwise identical to the boxed
+    /// executor at 1, 2 and 4 threads.
+    Flat,
 }
 
 impl CheckKind {
@@ -54,6 +59,7 @@ impl CheckKind {
             CheckKind::Mass => check_mass(ctx),
             CheckKind::Lift => check_lift(ctx),
             CheckKind::Churn => check_churn(ctx),
+            CheckKind::Flat => check_flat(ctx),
         }
     }
 }
@@ -210,6 +216,104 @@ fn check_paths(ctx: &CellCtx) -> CellOutcome {
 }
 
 // ---------------------------------------------------------------------
+// (b') Flat engine vs boxed executor
+// ---------------------------------------------------------------------
+
+/// Run the boxed sequential executor (the canon) against the flat
+/// SoA/CSR executor at 1, 2 and 4 threads and demand bit-identical
+/// states after every round. `lanes` projects a boxed state onto its
+/// flat state lanes; f64 `to_bits` equality is the comparison, so this
+/// is exactly the "flat-vs-boxed" differential oracle of the flat
+/// engine's determinism contract.
+fn flat_agree<A, F, L>(
+    algo: A,
+    flat: F,
+    inits: Vec<A::State>,
+    lanes: L,
+    g: &Digraph,
+    rounds: u64,
+) -> Result<u64, String>
+where
+    A: Algorithm,
+    F: FlatAlgorithm + Clone,
+    L: Fn(&A::State) -> Vec<f64>,
+{
+    let columns: Vec<Vec<f64>> = (0..F::STATE_LANES)
+        .map(|l| inits.iter().map(|s| lanes(s)[l]).collect())
+        .collect();
+    let mut boxed = Execution::new(algo, inits);
+    let mut flats: Vec<(usize, FlatExecution<F>)> = [1usize, 2, 4]
+        .iter()
+        .map(|&t| (t, FlatExecution::new(flat.clone(), g, columns.clone())))
+        .collect();
+    let mut fp = Fingerprint::new();
+    for t in 1..=rounds {
+        boxed.step(g);
+        for (threads, exec) in &mut flats {
+            exec.step_threads(*threads);
+            for (v, state) in boxed.states().iter().enumerate() {
+                let canon = lanes(state);
+                for (l, c) in canon.iter().enumerate().take(F::STATE_LANES) {
+                    if c.to_bits() != exec.lane(l)[v].to_bits() {
+                        return Err(format!(
+                            "round {t}: flat engine at {threads} thread(s) diverged \
+                             bitwise from boxed `step` at agent {v} lane {l}"
+                        ));
+                    }
+                }
+            }
+        }
+        fp.absorb(boxed.states());
+    }
+    Ok(fp.digest())
+}
+
+fn check_flat(ctx: &CellCtx) -> CellOutcome {
+    let cell = ctx.cell;
+    // The flat engine runs on static graphs; close the self-loops once,
+    // the same closure `StaticGraph::new` applies for the boxed path.
+    // `instar` is the conformance-local worst case (see `nets::instar`);
+    // everything else parses through the shared harness families.
+    let open = if cell.topology == format!("instar:{}", cell.n) {
+        Ok(crate::nets::instar(cell.n))
+    } else {
+        parse_graph(&cell.topology)
+    };
+    let g = match open {
+        Ok(g) => g.with_self_loops(),
+        Err(e) => return fail(e.0),
+    };
+    let n = g.n();
+    let rounds = ctx.rounds();
+    let seed = cell.cell_seed;
+    let res = match cell.algorithm.as_str() {
+        "pushsum" => flat_agree(
+            Isotropic(PushSum),
+            PushSum,
+            PushSumState::averaging(&vals_f64(seed, n)),
+            |s: &PushSumState| vec![s.y, s.z],
+            &g,
+            rounds,
+        ),
+        "metropolis" => flat_agree(
+            Isotropic(Metropolis),
+            Metropolis,
+            vals_f64(seed, n),
+            |s: &f64| vec![*s],
+            &g,
+            rounds,
+        ),
+        other => return fail(format!("unknown flat algorithm `{other}`")),
+    };
+    match res {
+        Ok(digest) => CellOutcome::new()
+            .ok(true)
+            .detail("digest", format!("{digest:016x}")),
+        Err(e) => fail(e),
+    }
+}
+
+// ---------------------------------------------------------------------
 // (a) Backend agreement
 // ---------------------------------------------------------------------
 
@@ -229,8 +333,8 @@ fn check_backend(ctx: &CellCtx) -> CellOutcome {
             let mut approx = Execution::new(Isotropic(PushSum), PushSumState::averaging(&floats));
             let mut exact =
                 Execution::new(Isotropic(PushSumExact), PushSumExactState::averaging(&ints));
-            approx.run(net.as_ref(), rounds);
-            exact.run(net.as_ref(), rounds);
+            approx.drive(net.as_ref(), RunConfig::rounds(rounds));
+            exact.drive(net.as_ref(), RunConfig::rounds(rounds));
             // The error is measured in exact arithmetic (the f64 output
             // lifted exactly via `from_f64`), so the measurement itself
             // cannot round away a violation.
@@ -265,8 +369,8 @@ fn check_backend(ctx: &CellCtx) -> CellOutcome {
                 Isotropic(PushSumFrequencyExact),
                 kya_algos::push_sum::ExactFrequencyState::initial(&vals),
             );
-            approx.run(net.as_ref(), rounds);
-            exact.run(net.as_ref(), rounds);
+            approx.drive(net.as_ref(), RunConfig::rounds(rounds));
+            exact.drive(net.as_ref(), RunConfig::rounds(rounds));
             // Frequencies are bounded by n, and the estimate is a ratio
             // of two accumulated masses.
             let tol = f64_tolerance(rounds, n, n as f64);
@@ -329,7 +433,9 @@ fn relabel_agree<A, F>(
     agree: F,
 ) -> Result<(), String>
 where
-    A: Algorithm + Clone,
+    A: Algorithm + Clone + Sync,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
     F: Fn(&A::State, &A::State) -> bool,
 {
     let mut permuted_inits = inits.clone();
@@ -338,8 +444,11 @@ where
     }
     let mut original = Execution::new(algo.clone(), inits);
     let mut relabeled = Execution::new(algo, permuted_inits);
-    original.run(&StaticGraph::new(g.clone()), rounds);
-    relabeled.run(&StaticGraph::new(g.relabel(perm)), rounds);
+    original.drive(&StaticGraph::new(g.clone()), RunConfig::rounds(rounds));
+    relabeled.drive(
+        &StaticGraph::new(g.relabel(perm)),
+        RunConfig::rounds(rounds),
+    );
     for (v, &p) in perm.iter().enumerate() {
         if !agree(&original.states()[v], &relabeled.states()[p]) {
             return Err(format!(
@@ -429,7 +538,7 @@ fn check_mass(ctx: &CellCtx) -> CellOutcome {
             let z0: BigRational = inits.iter().map(|s| &s.z).sum();
             let net = FaultyNetwork::new(StaticGraph::new(g), plan);
             let mut exec = Execution::new(Isotropic(PushSumExact), inits);
-            exec.run(&net, rounds);
+            exec.drive(&net, RunConfig::rounds(rounds));
             let y: BigRational = exec.states().iter().map(|s| &s.y).sum();
             let z: BigRational = exec.states().iter().map(|s| &s.z).sum();
             if y != y0 || z != z0 {
@@ -449,7 +558,7 @@ fn check_mass(ctx: &CellCtx) -> CellOutcome {
                 PushSumState::averaging(&floats),
                 plan,
             );
-            exec.run(&StaticGraph::new(g), rounds);
+            exec.drive(&StaticGraph::new(g), RunConfig::rounds(rounds));
             let (_, z) = total_mass(exec.states());
             let deficit = (n as f64 - z).abs();
             let tol = f64_tolerance(rounds, n, 9.0);
@@ -561,7 +670,10 @@ fn check_churn(ctx: &CellCtx) -> CellOutcome {
                 f
             };
             let mut exec = Execution::new(Isotropic(PushSumExact), inits);
-            exec.run_churned(&stack, &membership, &reinit, rounds);
+            exec.drive(
+                &stack,
+                RunConfig::rounds(rounds).membership(&membership, &reinit),
+            );
             let y: BigRational = exec.states().iter().map(|s| &s.y).sum();
             let z: BigRational = exec.states().iter().map(|s| &s.z).sum();
             let (ly, lz) = ledger.into_inner();
@@ -590,15 +702,11 @@ fn check_churn(ctx: &CellCtx) -> CellOutcome {
                 f
             };
             let mut exec = FaultyExecution::new(Isotropic(SelfHealingPushSum), fresh.clone(), plan);
-            let report = exec.run_with_recovery_churned(
+            let report = exec.drive(
                 &stack,
-                &membership,
-                &reinit,
-                rounds,
-                &EuclideanMetric,
-                &mean,
-                ctx.eps(),
-                None,
+                RunConfig::rounds(rounds)
+                    .membership(&membership, &reinit)
+                    .measure(&EuclideanMetric, &mean, ctx.eps()),
             );
             let (_, z) = total_mass(exec.states());
             let expected = n as f64 + ledger_z.get();

@@ -20,7 +20,11 @@
 //! - **churn** — mass conservation modulo the explicit reinjection
 //!   ledger, frozen parked states, and quiescence/stabilization
 //!   detection under the combined pairing + churn + faults stack
-//!   ([`checks::CheckKind::Churn`]).
+//!   ([`checks::CheckKind::Churn`]);
+//! - **flat** — the flat SoA/CSR executor
+//!   ([`kya_runtime::FlatExecution`]) bitwise identical to the boxed
+//!   sequential executor at 1, 2 and 4 threads
+//!   ([`checks::CheckKind::Flat`]).
 //!
 //! The matrix reuses [`ExperimentSpec`]/[`Runner`]/[`ResultSink`], so
 //! results are **byte-identical at any worker count** — `kya check
@@ -182,13 +186,29 @@ pub fn specs(matrix: Matrix) -> Vec<(CheckKind, ExperimentSpec)> {
             CheckKind::Churn,
             ExperimentSpec::new("conformance-churn")
                 .topologies(["pair:{n}:uniform:{seed}", "pair:{n}:cover:{seed}"])
-                .sizes(sizes)
-                .seeds(seeds)
+                .sizes(sizes.clone())
+                .seeds(seeds.clone())
                 .algorithms(["exact-mass", "healing-mass", "frozen-absence"])
                 .variants(churn_variants)
                 .plans([PlanSpec::quiescent().drop_links(0.25).until(half)])
                 .rounds(rounds)
                 .base_seed(0xc0f0_0006),
+        ),
+        (
+            CheckKind::Flat,
+            ExperimentSpec::new("conformance-flat")
+                .topologies([
+                    "ring:{n}",
+                    "star:{n}",
+                    "instar:{n}",
+                    "torus:{n}",
+                    "random:{n}:{n}:{seed}",
+                ])
+                .sizes(sizes)
+                .seeds(seeds)
+                .algorithms(["pushsum", "metropolis"])
+                .rounds(rounds)
+                .base_seed(0xc0f0_0007),
         ),
     ]
 }
@@ -246,6 +266,7 @@ mod tests {
                 CheckKind::Mass,
                 CheckKind::Lift,
                 CheckKind::Churn,
+                CheckKind::Flat,
             ]
         );
         for (_, spec) in &specs {

@@ -1,0 +1,172 @@
+//! CSR routing plans: the canonical delivery order of a [`Digraph`],
+//! frozen into flat offset arrays.
+//!
+//! Every executor in this workspace delivers each inbox in ascending
+//! `(source id, port rank)` order. The boxed executors re-derive that
+//! order every round by sorting per-destination message lists; a
+//! [`RoutingPlan`] instead sorts **once** at construction and records,
+//! for every inbox slot, which send slot feeds it. A round of routing
+//! then degenerates to a gather: `arena[slot] = send_buf[gather[slot]]`,
+//! with zero comparisons, zero allocation, and a layout that shards over
+//! contiguous vertex ranges — the backbone of the flat executor's
+//! million-agent hot path.
+//!
+//! Layout (all offsets in *message slots*, not bytes):
+//!
+//! - `send_start[v]..send_start[v + 1]` — the send slots of vertex `v`,
+//!   one per out-edge, ordered by port rank. The slot of edge `e` is
+//!   `send_start[src(e)] + rank(e)`.
+//! - `inbox_start[v]..inbox_start[v + 1]` — the arena slots of `v`'s
+//!   inbox, in canonical `(source id, port rank)` order.
+//! - `gather[s]` — for each arena slot `s`, the send slot that feeds it.
+
+use crate::digraph::{Digraph, Vertex};
+use std::ops::Range;
+
+/// A precomputed gather plan realizing the canonical delivery order of
+/// one [`Digraph`]; see the module docs for the layout.
+#[derive(Clone, Debug)]
+pub struct RoutingPlan {
+    n: usize,
+    send_start: Vec<usize>,
+    inbox_start: Vec<usize>,
+    gather: Vec<usize>,
+}
+
+impl RoutingPlan {
+    /// Freeze the canonical routing of `g` into a gather plan.
+    pub fn new(g: &Digraph) -> RoutingPlan {
+        let n = g.n();
+        let order = g.port_ranks();
+        let mut send_start = Vec::with_capacity(n + 1);
+        send_start.push(0usize);
+        for v in 0..n {
+            send_start.push(send_start[v] + g.outdegree(v));
+        }
+        let mut inbox_start = Vec::with_capacity(n + 1);
+        inbox_start.push(0usize);
+        for v in 0..n {
+            inbox_start.push(inbox_start[v] + g.indegree(v));
+        }
+        let edges = g.edges();
+        let mut gather = Vec::with_capacity(g.edge_count());
+        let mut incoming: Vec<(Vertex, u32)> = Vec::new();
+        for v in 0..n {
+            incoming.clear();
+            incoming.extend(g.in_edges(v).map(|e| (edges[e].src, order.rank(e))));
+            // (src, rank) is unique per in-edge, so the sort is total and
+            // the slot order is exactly the executors' delivery order.
+            incoming.sort_unstable();
+            gather.extend(
+                incoming
+                    .iter()
+                    .map(|&(src, rank)| send_start[src] + rank as usize),
+            );
+        }
+        RoutingPlan {
+            n,
+            send_start,
+            inbox_start,
+            gather,
+        }
+    }
+
+    /// Number of vertices the plan was built for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of message slots (= the graph's edge count).
+    pub fn slots(&self) -> usize {
+        self.gather.len()
+    }
+
+    /// First send slot of vertex `v` (`v == n()` gives the total).
+    pub fn send_start(&self, v: Vertex) -> usize {
+        self.send_start[v]
+    }
+
+    /// The send slots of vertex `v`, one per out-edge in rank order.
+    pub fn send_range(&self, v: Vertex) -> Range<usize> {
+        self.send_start[v]..self.send_start[v + 1]
+    }
+
+    /// First inbox slot of vertex `v` (`v == n()` gives the total).
+    pub fn inbox_start(&self, v: Vertex) -> usize {
+        self.inbox_start[v]
+    }
+
+    /// The arena slots of vertex `v`'s inbox, in canonical order.
+    pub fn inbox_range(&self, v: Vertex) -> Range<usize> {
+        self.inbox_start[v]..self.inbox_start[v + 1]
+    }
+
+    /// For each arena slot, the send slot that feeds it.
+    pub fn gather(&self) -> &[usize] {
+        &self.gather
+    }
+
+    /// Resident size of the plan's arrays in bytes.
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<usize>()
+            * (self.send_start.len() + self.inbox_start.len() + self.gather.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_replays_the_canonical_delivery_order() {
+        // In-star on 4 vertices with self-loops: every spoke sends to the
+        // hub (vertex 0), sources in descending insertion order.
+        let mut g = Digraph::new(4);
+        for v in (1..4).rev() {
+            g.add_edge(v, 0);
+        }
+        let g = g.with_self_loops();
+        let plan = RoutingPlan::new(&g);
+        assert_eq!(plan.n(), 4);
+        assert_eq!(plan.slots(), g.edge_count());
+        // Hub inbox: sources 0 (self-loop), 1, 2, 3 in ascending order
+        // regardless of edge insertion order.
+        let edges = g.edges();
+        let hub: Vec<usize> = plan.inbox_range(0).collect();
+        let sources: Vec<usize> = hub
+            .iter()
+            .map(|&slot| {
+                let send = plan.gather()[slot];
+                (0..4)
+                    .find(|&v| plan.send_range(v).contains(&send))
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(sources, vec![0, 1, 2, 3]);
+        // Every in-edge of every vertex is fed by its own source's slot.
+        for v in 0..4 {
+            assert_eq!(plan.inbox_range(v).len(), g.indegree(v));
+            for slot in plan.inbox_range(v) {
+                let send = plan.gather()[slot];
+                let src = (0..4)
+                    .find(|&u| plan.send_range(u).contains(&send))
+                    .unwrap();
+                assert!(edges.iter().any(|e| e.src == src && e.dst == v));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_edges_get_distinct_slots_in_rank_order() {
+        let mut g = Digraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        g.add_edge(0, 0);
+        g.add_edge(1, 1);
+        let plan = RoutingPlan::new(&g);
+        // Vertex 1's inbox: the two parallel 0->1 edges in rank order
+        // (ranks 0 and 1 = send slots 0 and 1), then the self-loop.
+        let fed: Vec<usize> = plan.inbox_range(1).map(|s| plan.gather()[s]).collect();
+        assert_eq!(fed, vec![0, 1, plan.send_start(1)]);
+    }
+}

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A vertex identifier: vertices of an `n`-vertex graph are `0..n`.
 ///
@@ -44,12 +45,73 @@ pub struct Edge {
 /// assert_eq!(g.outdegree(0), 1);
 /// assert_eq!(g.in_neighbors(1).collect::<Vec<_>>(), vec![0]);
 /// ```
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct Digraph {
     n: usize,
     edges: Vec<Edge>,
     out_adj: Vec<Vec<EdgeId>>,
     in_adj: Vec<Vec<EdgeId>>,
+    // Lazily-computed canonical port order; invalidated by every edge or
+    // port mutation and excluded from equality and serialization.
+    port_order: OnceLock<PortOrder>,
+}
+
+/// The canonical port order of a [`Digraph`], computed once per graph by
+/// [`Digraph::port_ranks`].
+///
+/// The *port rank* of an edge is its index in the source vertex's
+/// out-edge list sorted by `(port label, edge id)` — unlabelled edges
+/// sort first, ties break by insertion order. This is the order in which
+/// an output-port-aware sender's messages line up with its out-edges,
+/// and the secondary key of the canonical ascending `(source id, port
+/// rank)` delivery order every executor guarantees.
+#[derive(Clone, Debug)]
+pub struct PortOrder {
+    /// `rank[e]` is the port rank of edge `e` among its source's out-edges.
+    rank: Vec<u32>,
+    /// All edge ids grouped by source vertex, in ascending rank order.
+    sorted: Vec<EdgeId>,
+    /// `sorted[start[v]..start[v + 1]]` are the out-edges of `v`.
+    start: Vec<usize>,
+}
+
+impl PortOrder {
+    fn build(g: &Digraph) -> PortOrder {
+        let mut rank = vec![0u32; g.edges.len()];
+        let mut sorted = Vec::with_capacity(g.edges.len());
+        let mut start = Vec::with_capacity(g.n + 1);
+        start.push(0);
+        for v in 0..g.n {
+            let mut ports: Vec<(Option<u32>, EdgeId)> =
+                g.out_adj[v].iter().map(|&e| (g.edges[e].port, e)).collect();
+            ports.sort_unstable();
+            for (k, &(_, e)) in ports.iter().enumerate() {
+                rank[e] = k as u32;
+                sorted.push(e);
+            }
+            start.push(sorted.len());
+        }
+        PortOrder {
+            rank,
+            sorted,
+            start,
+        }
+    }
+
+    /// The port rank of edge `e` among its source's out-edges.
+    pub fn rank(&self, e: EdgeId) -> u32 {
+        self.rank[e]
+    }
+
+    /// Port ranks indexed by edge id.
+    pub fn ranks(&self) -> &[u32] {
+        &self.rank
+    }
+
+    /// The out-edges of `v` in ascending port-rank order.
+    pub fn out_edges_ranked(&self, v: Vertex) -> &[EdgeId] {
+        &self.sorted[self.start[v]..self.start[v + 1]]
+    }
 }
 
 impl Digraph {
@@ -60,6 +122,7 @@ impl Digraph {
             edges: Vec::new(),
             out_adj: vec![Vec::new(); n],
             in_adj: vec![Vec::new(); n],
+            port_order: OnceLock::new(),
         }
     }
 
@@ -111,7 +174,18 @@ impl Digraph {
         self.edges.push(Edge { src, dst, port });
         self.out_adj[src].push(id);
         self.in_adj[dst].push(id);
+        self.port_order.take();
         id
+    }
+
+    /// The canonical port order of this graph, computed once and cached.
+    ///
+    /// Every execution path (sequential, sharded, observed, faulty) and
+    /// the CSR routing plan derive their delivery order from this single
+    /// accessor, so the canonical ascending `(source id, port rank)`
+    /// contract has exactly one definition.
+    pub fn port_ranks(&self) -> &PortOrder {
+        self.port_order.get_or_init(|| PortOrder::build(self))
     }
 
     /// Outdegree of `v` (counting multiplicities and self-loops).
@@ -201,6 +275,7 @@ impl Digraph {
                 g.edges[e].port = Some(k as u32);
             }
         }
+        g.port_order.take();
         g
     }
 
@@ -232,6 +307,44 @@ impl Digraph {
             g.add_edge_with_port(perm[e.src], perm[e.dst], e.port);
         }
         g
+    }
+}
+
+// Equality and serialization ignore the lazily-built `port_order` cache
+// (it is a pure function of the other fields), so both are written by
+// hand over the four structural fields — mirroring what the derives
+// produced before the cache existed.
+impl PartialEq for Digraph {
+    fn eq(&self, other: &Digraph) -> bool {
+        self.n == other.n
+            && self.edges == other.edges
+            && self.out_adj == other.out_adj
+            && self.in_adj == other.in_adj
+    }
+}
+
+impl Eq for Digraph {}
+
+impl Serialize for Digraph {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("n".to_string(), self.n.to_value()),
+            ("edges".to_string(), self.edges.to_value()),
+            ("out_adj".to_string(), self.out_adj.to_value()),
+            ("in_adj".to_string(), self.in_adj.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Digraph {
+    fn from_value(v: &serde::Value) -> Result<Digraph, serde::Error> {
+        Ok(Digraph {
+            n: Deserialize::from_value(v.field("n")?)?,
+            edges: Deserialize::from_value(v.field("edges")?)?,
+            out_adj: Deserialize::from_value(v.field("out_adj")?)?,
+            in_adj: Deserialize::from_value(v.field("in_adj")?)?,
+            port_order: OnceLock::new(),
+        })
     }
 }
 
@@ -312,6 +425,48 @@ mod tests {
         let g = Digraph::from_edges(3, [(0, 1), (0, 2), (1, 0)]).with_canonical_ports();
         let ports: Vec<Option<u32>> = g.out_edges(0).map(|e| g.edges()[e].port).collect();
         assert_eq!(ports, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn port_ranks_follow_labels_then_insertion_order() {
+        // Vertex 0 has three out-edges: ids 0 (port 1), 1 (port 0),
+        // 2 (unlabelled). Unlabelled sorts first, then by label.
+        let mut g = Digraph::new(3);
+        g.add_edge_with_port(0, 1, Some(1));
+        g.add_edge_with_port(0, 2, Some(0));
+        g.add_edge(0, 0);
+        g.add_edge(1, 2);
+        let order = g.port_ranks();
+        assert_eq!(order.ranks(), &[2, 1, 0, 0]);
+        assert_eq!(order.out_edges_ranked(0), &[2, 1, 0]);
+        assert_eq!(order.out_edges_ranked(1), &[3]);
+        assert_eq!(order.out_edges_ranked(2), &[] as &[EdgeId]);
+    }
+
+    #[test]
+    fn port_ranks_cache_invalidates_on_mutation() {
+        let mut g = Digraph::from_edges(2, [(0, 1)]);
+        assert_eq!(g.port_ranks().ranks(), &[0]);
+        g.add_edge(0, 1);
+        assert_eq!(g.port_ranks().ranks(), &[0, 1]);
+        let ported = g.with_canonical_ports();
+        assert_eq!(ported.port_ranks().ranks(), &[0, 1]);
+        // Cloning carries (or rebuilds) a consistent cache.
+        let clone = ported.clone();
+        assert_eq!(clone.port_ranks().ranks(), ported.port_ranks().ranks());
+    }
+
+    #[test]
+    fn digraph_equality_and_json_ignore_the_cache() {
+        let g = Digraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let h = g.clone();
+        let _ = h.port_ranks(); // populate only one side's cache
+        assert_eq!(g, h);
+        let json = serde::to_json_string(&h);
+        assert!(!json.contains("port_order"), "{json}");
+        let back: Digraph = serde::from_json_str(&json).expect("parses");
+        assert_eq!(back, g);
+        assert_eq!(back.port_ranks().ranks(), g.port_ranks().ranks());
     }
 
     #[test]

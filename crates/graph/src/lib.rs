@@ -33,12 +33,14 @@
 #![warn(missing_docs)]
 
 pub mod connectivity;
+mod csr;
 mod digraph;
 pub mod dynamic;
 pub mod generators;
 pub mod product;
 
-pub use digraph::{Digraph, Edge, EdgeId, Vertex};
+pub use csr::RoutingPlan;
+pub use digraph::{Digraph, Edge, EdgeId, PortOrder, Vertex};
 pub use dynamic::{
     DynamicGraph, Fairness, PairingScheduler, PairwiseMatching, PeriodicGraph, RandomDynamicGraph,
     RoundRobinCover, SparselyConnected, StaticGraph, UniformRandom,

@@ -1,0 +1,142 @@
+//! The unified run configuration consumed by
+//! [`Execution::drive`](crate::Execution::drive) and
+//! [`FaultyExecution::drive`](crate::faults::FaultyExecution::drive).
+//!
+//! Before this builder existed the executors grew one entry point per
+//! feature combination (`run`, `run_observed`, `run_until`,
+//! `run_until_converged`, `run_churned`, `run_with_recovery`, ...).
+//! [`RunConfig`] collapses that zoo into orthogonal knobs:
+//!
+//! - [`rounds`](RunConfig::rounds) — the round budget (the only
+//!   mandatory knob, and the constructor);
+//! - [`threads`](RunConfig::threads) — shard each round over contiguous
+//!   agent ranges (bit-identical to sequential at any count);
+//! - [`observer`](RunConfig::observer) — attach an [`Observer`] to the
+//!   round/message stream;
+//! - [`membership`](RunConfig::membership) — churn: apply the
+//!   membership's rejoin policy before every round;
+//! - [`measure`](RunConfig::measure) /
+//!   [`measure_with`](RunConfig::measure_with) — record a per-round
+//!   distance trace and judge ε-convergence post hoc;
+//! - [`confirm`](RunConfig::confirm) — stop early after the outputs
+//!   stay in the ε-ball this many consecutive rounds;
+//! - [`invariant`](RunConfig::invariant) — evaluate a mass functional
+//!   over the final states into the report.
+//!
+//! Every legacy entry point is now a thin deprecated wrapper over one
+//! `RunConfig` spelling; see DESIGN.md for the migration table.
+
+use crate::algorithm::Algorithm;
+use crate::churn::Membership;
+use crate::metric::Metric;
+use crate::telemetry::Observer;
+
+/// A distance functional over the whole output vector, as installed by
+/// [`RunConfig::measure`] / [`RunConfig::measure_with`].
+pub type DistanceFn<'a, O> = Box<dyn Fn(&[O]) -> f64 + 'a>;
+
+/// A mass functional over the final states ([`RunConfig::invariant`]).
+pub type InvariantFn<'a, S> = &'a dyn Fn(&[S]) -> f64;
+
+/// Declarative description of one `drive` call: budget, parallelism,
+/// observation, churn, and measurement. See the module docs.
+pub struct RunConfig<'a, A: Algorithm> {
+    pub(crate) rounds: u64,
+    pub(crate) threads: usize,
+    pub(crate) observer: Option<&'a mut dyn Observer<A>>,
+    #[allow(clippy::type_complexity)] // one borrowed pair, named inline
+    pub(crate) membership: Option<(&'a Membership, &'a dyn Fn(usize, &A::State) -> A::State)>,
+    pub(crate) dist: Option<DistanceFn<'a, A::Output>>,
+    pub(crate) eps: f64,
+    pub(crate) confirm: Option<u64>,
+    pub(crate) invariant: Option<InvariantFn<'a, A::State>>,
+}
+
+impl<'a, A: Algorithm> RunConfig<'a, A> {
+    /// A plain run of `rounds` rounds: sequential, unobserved,
+    /// unmeasured. Every other knob is added with a builder call.
+    pub fn rounds(rounds: u64) -> RunConfig<'a, A> {
+        RunConfig {
+            rounds,
+            threads: 1,
+            observer: None,
+            membership: None,
+            dist: None,
+            eps: 0.0,
+            confirm: None,
+            invariant: None,
+        }
+    }
+
+    /// Shard each round across `threads` workers over contiguous agent
+    /// ranges. Bit-identical to `threads = 1` at any count.
+    ///
+    /// [`FaultyExecution::drive`](crate::faults::FaultyExecution::drive)
+    /// is sequential and panics when `threads != 1`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Attach an [`Observer`] to the run: it sees every round boundary
+    /// and every delivered message, and `on_converged` fires once the
+    /// report is sealed (measured runs only).
+    pub fn observer(mut self, obs: &'a mut dyn Observer<A>) -> Self {
+        self.observer = Some(obs);
+        self
+    }
+
+    /// Run under churn: before every round, apply `membership`'s rejoin
+    /// policy — under [`ReinjectPolicy::Reset`](crate::churn::ReinjectPolicy)
+    /// each rejoining agent's parked state is replaced by
+    /// `reinit(agent, &parked)`. The network is still expected to mask
+    /// absent agents (wrap it in [`ChurnMasked`](crate::churn::ChurnMasked)).
+    pub fn membership(
+        mut self,
+        membership: &'a Membership,
+        reinit: &'a dyn Fn(usize, &A::State) -> A::State,
+    ) -> Self {
+        self.membership = Some((membership, reinit));
+        self
+    }
+
+    /// Measure the worst-case distance of the outputs from `target`
+    /// under `metric` each round, and judge convergence at tolerance
+    /// `eps` post hoc over the whole trace (§2.3). A non-finite
+    /// distance ends the run at once with `diverged_at` set.
+    pub fn measure<M: Metric<A::Output>>(
+        self,
+        metric: &'a M,
+        target: &'a A::Output,
+        eps: f64,
+    ) -> Self {
+        self.measure_with(
+            move |outputs| crate::metric::max_distance(metric, outputs, target),
+            eps,
+        )
+    }
+
+    /// Like [`RunConfig::measure`], with an arbitrary distance
+    /// functional over the output vector (e.g. per-agent targets).
+    pub fn measure_with(mut self, dist: impl Fn(&[A::Output]) -> f64 + 'a, eps: f64) -> Self {
+        self.dist = Some(Box::new(dist));
+        self.eps = eps;
+        self
+    }
+
+    /// Stop early once the measured distance has stayed within the
+    /// ε-ball for `confirm` consecutive rounds (the budget-saving sweep
+    /// variant). Only meaningful together with a `measure*` knob.
+    pub fn confirm(mut self, confirm: u64) -> Self {
+        self.confirm = Some(confirm);
+        self
+    }
+
+    /// Evaluate `f` over the final states and record it as the report's
+    /// `mass_deficit` — the conservation ledger of the fault and churn
+    /// oracles.
+    pub fn invariant(mut self, f: &'a dyn Fn(&[A::State]) -> f64) -> Self {
+        self.invariant = Some(f);
+        self
+    }
+}

@@ -2,11 +2,47 @@
 
 use crate::algorithm::Algorithm;
 use crate::churn::{Membership, ReinjectPolicy};
+use crate::config::RunConfig;
 use crate::faults::FaultEvents;
 use crate::metric::Metric;
 use crate::report::CellReport;
 use crate::telemetry::{NullObserver, Observer};
 use kya_graph::{Digraph, DynamicGraph};
+use std::ops::Range;
+
+/// Split `0..n` into at most `threads` contiguous, gap-free ranges of
+/// near-equal length — the sharding layout every parallel phase uses.
+/// Shards concatenate back in range order, so no post-sort is needed.
+pub(crate) fn shard_ranges(n: usize, threads: usize) -> Vec<Range<usize>> {
+    let shards = threads.min(n).max(1);
+    (0..shards)
+        .map(|t| (t * n / shards)..((t + 1) * n / shards))
+        .collect()
+}
+
+/// Run `f` over each range on its own crossbeam worker and concatenate
+/// the per-range outputs in range order. With a single range, runs on
+/// the calling thread — same values either way, since every shard's
+/// output depends only on its own range.
+pub(crate) fn run_sharded<T, F>(ranges: &[Range<usize>], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&Range<usize>) -> Vec<T> + Sync,
+{
+    if ranges.len() == 1 {
+        return f(&ranges[0]);
+    }
+    let mut out = Vec::new();
+    crossbeam::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = ranges.iter().map(|r| scope.spawn(move |_| f(r))).collect();
+        for h in handles {
+            out.extend(h.join().expect("shard worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    out
+}
 
 /// An execution of an [`Algorithm`] on a network: the sequence of global
 /// states `C^0, C^1, ...` of §2.2, advanced one communication-closed round
@@ -111,13 +147,9 @@ impl<A: Algorithm> Execution<A> {
                 "algorithm produced {} messages for outdegree {outdeg}",
                 msgs.len()
             );
-            // Port discipline: sort out-edges by (port, edge id).
-            let mut ports: Vec<(Option<u32>, usize)> = graph
-                .out_edges(v)
-                .map(|e| (graph.edges()[e].port, e))
-                .collect();
-            ports.sort_unstable();
-            for (msg, (_, e)) in msgs.into_iter().zip(ports) {
+            // Port discipline: out-edges in (port, edge id) order, from
+            // the graph's cached canonical port order.
+            for (msg, &e) in msgs.into_iter().zip(graph.port_ranks().out_edges_ranked(v)) {
                 let dst = graph.edges()[e].dst;
                 obs.on_message(self.round, v, dst, &msg);
                 inboxes[dst].push(msg);
@@ -129,23 +161,114 @@ impl<A: Algorithm> Execution<A> {
         obs.on_round_end(self.round, &self.algo, &self.states);
     }
 
+    /// Execute one configured run: the single entry point behind every
+    /// legacy `run*` method (see [`RunConfig`] for the knobs).
+    ///
+    /// Per round: apply the membership's rejoin policy (if churned),
+    /// fetch the round's graph, step — sequentially or sharded over
+    /// `cfg.threads` contiguous agent ranges, observed or not — and,
+    /// if measuring, record the round's distance. Convergence at
+    /// tolerance ε is judged post hoc over the whole trace (§2.3): the
+    /// full budget is executed unless a [`RunConfig::confirm`] window
+    /// closes early or an output goes non-finite (no later round can
+    /// converge, so the run ends at once with
+    /// [`CellReport::diverged_at`] set).
+    ///
+    /// Non-consuming: the execution can be driven again afterwards; a
+    /// second call measures from the current round. For unmeasured
+    /// configs the report carries only `rounds_run`.
+    ///
+    /// # Panics
+    ///
+    /// Same per-round contract as [`Execution::step`]; additionally
+    /// panics if `cfg.threads == 0`.
+    pub fn drive(&mut self, net: &dyn DynamicGraph, cfg: RunConfig<'_, A>) -> CellReport
+    where
+        A: Sync,
+        A::State: Send + Sync,
+        A::Msg: Send + Sync,
+    {
+        assert!(cfg.threads > 0, "at least one worker thread");
+        let RunConfig {
+            rounds,
+            threads,
+            mut observer,
+            membership,
+            dist,
+            eps,
+            confirm,
+            invariant,
+        } = cfg;
+        let start = self.round;
+        let mut distances = Vec::new();
+        let mut entered: Option<u64> = None;
+        let mut executed: u64 = 0;
+        while executed < rounds {
+            if let Some((membership, reinit)) = membership {
+                self.apply_rejoins(membership, reinit);
+            }
+            let g = net.graph_ref(self.round + 1);
+            match (&mut observer, threads) {
+                (None, 1) => self.step(&g),
+                (None, t) => self.step_parallel(&g, t),
+                (Some(o), 1) => self.step_observed(&g, o),
+                (Some(o), t) => self.step_parallel_observed(&g, t, o),
+            }
+            executed += 1;
+            if let Some(dist) = &dist {
+                let d = dist(&self.outputs());
+                distances.push(d);
+                if !d.is_finite() {
+                    break;
+                }
+                if let Some(confirm) = confirm {
+                    if d <= eps {
+                        let at = *entered.get_or_insert(self.round);
+                        if self.round - at >= confirm {
+                            break;
+                        }
+                    } else {
+                        entered = None;
+                    }
+                }
+            }
+        }
+        let measured = dist.is_some();
+        let mass = invariant.map(|f| f(&self.states));
+        let mut report =
+            CellReport::from_trace(start, distances, eps, 0, FaultEvents::default(), mass);
+        if !measured {
+            report.rounds_run = executed;
+        }
+        if let Some(obs) = observer.as_mut() {
+            if let Some(round) = report.converged_at {
+                obs.on_converged(round, report.final_distance);
+            }
+        }
+        report
+    }
+
     /// Execute `rounds` rounds on a dynamic graph, starting from the round
     /// after the current one.
-    pub fn run(&mut self, net: &dyn DynamicGraph, rounds: u64) {
-        self.run_observed(net, rounds, &mut NullObserver);
+    #[deprecated(note = "use `drive(net, RunConfig::rounds(rounds))`")]
+    pub fn run(&mut self, net: &dyn DynamicGraph, rounds: u64)
+    where
+        A: Sync,
+        A::State: Send + Sync,
+        A::Msg: Send + Sync,
+    {
+        let _ = self.drive(net, RunConfig::rounds(rounds));
     }
 
     /// Like [`Execution::run`], driving an [`Observer`] each round.
-    pub fn run_observed<O: Observer<A>>(
-        &mut self,
-        net: &dyn DynamicGraph,
-        rounds: u64,
-        obs: &mut O,
-    ) {
-        for _ in 0..rounds {
-            let g = net.graph_ref(self.round + 1);
-            self.step_observed(&g, obs);
-        }
+    #[deprecated(note = "use `drive(net, RunConfig::rounds(rounds).observer(obs))`")]
+    pub fn run_observed<O: Observer<A>>(&mut self, net: &dyn DynamicGraph, rounds: u64, obs: &mut O)
+    where
+        A: Sync,
+        A::State: Send + Sync,
+        A::Msg: Send + Sync,
+    {
+        let _ = self.drive(net, RunConfig::rounds(rounds).observer(obs));
     }
 
     /// Apply the membership's rejoin transitions for the **upcoming**
@@ -179,18 +302,24 @@ impl<A: Algorithm> Execution<A> {
     /// step on the network's graph. The network is expected to mask
     /// absent agents (wrap it in [`crate::churn::ChurnMasked`]) — this
     /// method only owns the *state* side of churn, the re-injection.
+    #[deprecated(
+        note = "use `drive(net, RunConfig::rounds(rounds).membership(membership, reinit))`"
+    )]
     pub fn run_churned(
         &mut self,
         net: &dyn DynamicGraph,
         membership: &Membership,
         reinit: &dyn Fn(usize, &A::State) -> A::State,
         rounds: u64,
-    ) {
-        for _ in 0..rounds {
-            self.apply_rejoins(membership, reinit);
-            let g = net.graph_ref(self.round + 1);
-            self.step(&g);
-        }
+    ) where
+        A: Sync,
+        A::State: Send + Sync,
+        A::Msg: Send + Sync,
+    {
+        let _ = self.drive(
+            net,
+            RunConfig::rounds(rounds).membership(membership, reinit),
+        );
     }
 
     /// Like [`Execution::step`], but computes sends, routing, and
@@ -232,117 +361,58 @@ impl<A: Algorithm> Execution<A> {
         let algo = &self.algo;
         let states = &self.states;
         let round = self.round;
+        let ranges = shard_ranges(n, threads);
+        let order = graph.port_ranks();
 
-        // Phase 1: sends, sharded by source agent.
-        let sends: Vec<Vec<A::Msg>> = {
-            let mut collected: Vec<(usize, Vec<A::Msg>)> = Vec::with_capacity(n);
-            crossbeam::scope(|scope| {
-                let mut handles = Vec::new();
-                for t in 0..threads {
-                    handles.push(scope.spawn(move |_| {
-                        let mut local = Vec::new();
-                        let mut v = t;
-                        while v < n {
-                            let outdeg = graph.outdegree(v);
-                            let msgs = algo.send(&states[v], outdeg);
-                            assert_eq!(
-                                msgs.len(),
-                                outdeg,
-                                "round {round}: wrong message count from agent {v}"
-                            );
-                            local.push((v, msgs));
-                            v += threads;
-                        }
-                        local
-                    }));
-                }
-                for h in handles {
-                    collected.extend(h.join().expect("send worker panicked"));
-                }
-            })
-            .expect("crossbeam scope");
-            collected.sort_unstable_by_key(|(v, _)| *v);
-            collected.into_iter().map(|(_, m)| m).collect()
-        };
+        // Phase 1: sends, sharded over contiguous agent ranges; shards
+        // concatenate in range order, so no re-sort is needed.
+        let sends: Vec<Vec<A::Msg>> = run_sharded(&ranges, |r| {
+            r.clone()
+                .map(|v| {
+                    let outdeg = graph.outdegree(v);
+                    let msgs = algo.send(&states[v], outdeg);
+                    assert_eq!(
+                        msgs.len(),
+                        outdeg,
+                        "round {round}: wrong message count from agent {v}"
+                    );
+                    msgs
+                })
+                .collect()
+        });
 
-        // Port rank of every edge: its index in the source's
-        // (port label, edge id)-sorted out-edge list. sends[v][r] is the
-        // message the algorithm addressed to port rank r of agent v.
-        let mut port_rank: Vec<u32> = vec![0; graph.edges().len()];
-        for v in 0..n {
-            let mut ports: Vec<(Option<u32>, usize)> = graph
-                .out_edges(v)
-                .map(|e| (graph.edges()[e].port, e))
-                .collect();
-            ports.sort_unstable();
-            for (rank, &(_, e)) in ports.iter().enumerate() {
-                port_rank[e] = rank as u32;
-            }
-        }
-
-        // Phase 2: routing, sharded by destination agent. Workers read
-        // in-edges (insertion order) and sort each inbox back into the
-        // canonical ascending (src, port rank) delivery order.
+        // Phase 2: routing, sharded by contiguous destination ranges.
+        // Workers read in-edges (insertion order) and sort each inbox
+        // back into the canonical ascending (src, port rank) delivery
+        // order; sends[v][r] is the message the algorithm addressed to
+        // port rank r of agent v.
         let sends_ref = &sends;
-        let port_rank_ref = &port_rank;
-        let inboxes: Vec<Vec<A::Msg>> = {
-            let mut collected: Vec<(usize, Vec<A::Msg>)> = Vec::with_capacity(n);
-            crossbeam::scope(|scope| {
-                let mut handles = Vec::new();
-                for t in 0..threads {
-                    handles.push(scope.spawn(move |_| {
-                        let mut local = Vec::new();
-                        let mut dst = t;
-                        while dst < n {
-                            let mut keyed: Vec<(u64, A::Msg)> = graph
-                                .in_edges(dst)
-                                .map(|e| {
-                                    let src = graph.edges()[e].src;
-                                    let rank = port_rank_ref[e];
-                                    let key = ((src as u64) << 32) | rank as u64;
-                                    (key, sends_ref[src][rank as usize].clone())
-                                })
-                                .collect();
-                            keyed.sort_unstable_by_key(|&(k, _)| k);
-                            local
-                                .push((dst, keyed.into_iter().map(|(_, m)| m).collect::<Vec<_>>()));
-                            dst += threads;
-                        }
-                        local
-                    }));
-                }
-                for h in handles {
-                    collected.extend(h.join().expect("route worker panicked"));
-                }
-            })
-            .expect("crossbeam scope");
-            collected.sort_unstable_by_key(|(v, _)| *v);
-            collected.into_iter().map(|(_, m)| m).collect()
-        };
+        let inboxes: Vec<Vec<A::Msg>> = run_sharded(&ranges, |r| {
+            r.clone()
+                .map(|dst| {
+                    let mut keyed: Vec<(u64, A::Msg)> = graph
+                        .in_edges(dst)
+                        .map(|e| {
+                            let src = graph.edges()[e].src;
+                            let rank = order.rank(e);
+                            let key = ((src as u64) << 32) | rank as u64;
+                            (key, sends_ref[src][rank as usize].clone())
+                        })
+                        .collect();
+                    keyed.sort_unstable_by_key(|&(k, _)| k);
+                    keyed.into_iter().map(|(_, m)| m).collect::<Vec<_>>()
+                })
+                .collect()
+        });
 
-        // Phase 3: transitions, sharded by agent.
+        // Phase 3: transitions, sharded over contiguous agent ranges.
         let inboxes_ref = &inboxes;
-        let mut next: Vec<(usize, A::State)> = Vec::with_capacity(n);
-        crossbeam::scope(|scope| {
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                handles.push(scope.spawn(move |_| {
-                    let mut local = Vec::new();
-                    let mut v = t;
-                    while v < n {
-                        local.push((v, algo.transition(&states[v], &inboxes_ref[v])));
-                        v += threads;
-                    }
-                    local
-                }));
-            }
-            for h in handles {
-                next.extend(h.join().expect("transition worker panicked"));
-            }
-        })
-        .expect("crossbeam scope");
-        next.sort_unstable_by_key(|(v, _)| *v);
-        self.states = next.into_iter().map(|(_, s)| s).collect();
+        let next: Vec<A::State> = run_sharded(&ranges, |r| {
+            r.clone()
+                .map(|v| algo.transition(&states[v], &inboxes_ref[v]))
+                .collect()
+        });
+        self.states = next;
     }
 
     /// Like [`Execution::step_parallel`], with an [`Observer`].
@@ -381,133 +451,47 @@ impl<A: Algorithm> Execution<A> {
         let algo = &self.algo;
         let states = &self.states;
         let round = self.round;
+        let ranges = shard_ranges(n, threads);
 
-        // Phase 1: sends, sharded by agent.
-        let sends: Vec<Vec<A::Msg>> = {
-            let mut shards: Vec<Vec<Vec<A::Msg>>> = Vec::new();
-            crossbeam::scope(|scope| {
-                let mut handles = Vec::new();
-                for t in 0..threads {
-                    let handle = scope.spawn(move |_| {
-                        let mut local = Vec::new();
-                        let mut v = t;
-                        while v < n {
-                            let outdeg = graph.outdegree(v);
-                            let msgs = algo.send(&states[v], outdeg);
-                            assert_eq!(
-                                msgs.len(),
-                                outdeg,
-                                "round {round}: wrong message count from agent {v}"
-                            );
-                            local.push((v, msgs));
-                            v += threads;
-                        }
-                        local
-                    });
-                    handles.push(handle);
-                }
-                let mut collected: Vec<(usize, Vec<A::Msg>)> = Vec::with_capacity(n);
-                for h in handles {
-                    collected.extend(h.join().expect("send worker panicked"));
-                }
-                collected.sort_by_key(|(v, _)| *v);
-                shards.push(collected.into_iter().map(|(_, m)| m).collect());
-            })
-            .expect("crossbeam scope");
-            shards.pop().expect("one shard")
-        };
+        // Phase 1: sends, sharded over contiguous agent ranges.
+        let sends: Vec<Vec<A::Msg>> = run_sharded(&ranges, |r| {
+            r.clone()
+                .map(|v| {
+                    let outdeg = graph.outdegree(v);
+                    let msgs = algo.send(&states[v], outdeg);
+                    assert_eq!(
+                        msgs.len(),
+                        outdeg,
+                        "round {round}: wrong message count from agent {v}"
+                    );
+                    msgs
+                })
+                .collect()
+        });
 
         // Phase 2: route (sequential — cheap) with the same port order as
         // the sequential step.
         let mut inboxes: Vec<Vec<A::Msg>> = (0..n)
             .map(|v| Vec::with_capacity(graph.indegree(v)))
             .collect();
+        let order = graph.port_ranks();
         for (v, msgs) in sends.into_iter().enumerate() {
-            let mut ports: Vec<(Option<u32>, usize)> = graph
-                .out_edges(v)
-                .map(|e| (graph.edges()[e].port, e))
-                .collect();
-            ports.sort_unstable();
-            for (msg, (_, e)) in msgs.into_iter().zip(ports) {
+            for (msg, &e) in msgs.into_iter().zip(order.out_edges_ranked(v)) {
                 let dst = graph.edges()[e].dst;
                 obs.on_message(self.round, v, dst, &msg);
                 inboxes[dst].push(msg);
             }
         }
 
-        // Phase 3: transitions, sharded by agent.
+        // Phase 3: transitions, sharded over contiguous agent ranges.
         let inboxes_ref = &inboxes;
-        let mut next: Vec<(usize, A::State)> = Vec::with_capacity(n);
-        crossbeam::scope(|scope| {
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let handle = scope.spawn(move |_| {
-                    let mut local = Vec::new();
-                    let mut v = t;
-                    while v < n {
-                        local.push((v, algo.transition(&states[v], &inboxes_ref[v])));
-                        v += threads;
-                    }
-                    local
-                });
-                handles.push(handle);
-            }
-            for h in handles {
-                next.extend(h.join().expect("transition worker panicked"));
-            }
-        })
-        .expect("crossbeam scope");
-        next.sort_by_key(|(v, _)| *v);
-        self.states = next.into_iter().map(|(_, s)| s).collect();
+        let next: Vec<A::State> = run_sharded(&ranges, |r| {
+            r.clone()
+                .map(|v| algo.transition(&states[v], &inboxes_ref[v]))
+                .collect()
+        });
+        self.states = next;
         obs.on_round_end(self.round, &self.algo, &self.states);
-    }
-
-    /// The measuring loop behind [`Execution::run_until`] and friends:
-    /// step, record the worst-case distance, optionally break early once
-    /// the outputs have stayed in the ε-ball for `confirm` rounds. The
-    /// observer sees every round; `on_converged` fires once the report
-    /// is sealed, if the outputs converged.
-    ///
-    /// A non-finite distance (an output went NaN/inf — e.g. Push-Sum's
-    /// `y / z` after `z` underflows to 0.0) ends the run immediately:
-    /// no later round can converge, and the divergence is surfaced as
-    /// [`CellReport::diverged_at`] instead of burning the budget.
-    fn run_measuring<O: Observer<A>>(
-        &mut self,
-        net: &dyn DynamicGraph,
-        max_rounds: u64,
-        dist: &dyn Fn(&[A::Output]) -> f64,
-        eps: f64,
-        confirm: Option<u64>,
-        obs: &mut O,
-    ) -> CellReport {
-        let start = self.round;
-        let mut distances = Vec::new();
-        let mut entered: Option<u64> = None;
-        while self.round - start < max_rounds {
-            let g = net.graph_ref(self.round + 1);
-            self.step_observed(&g, obs);
-            let d = dist(&self.outputs());
-            distances.push(d);
-            if !d.is_finite() {
-                break;
-            }
-            if let Some(confirm) = confirm {
-                if d <= eps {
-                    let at = *entered.get_or_insert(self.round);
-                    if self.round - at >= confirm {
-                        break;
-                    }
-                } else {
-                    entered = None;
-                }
-            }
-        }
-        let report = CellReport::from_trace(start, distances, eps, 0, FaultEvents::default(), None);
-        if let Some(round) = report.converged_at {
-            obs.on_converged(round, report.final_distance);
-        }
-        report
     }
 
     /// Run for up to `max_rounds` rounds, measuring the worst-case
@@ -521,6 +505,9 @@ impl<A: Algorithm> Execution<A> {
     /// [`CellReport::diverged_at`] set. Non-consuming: the execution can
     /// be stepped or measured again afterwards; a second call measures
     /// from the current round.
+    #[deprecated(
+        note = "use `drive(net, RunConfig::rounds(max_rounds).measure(metric, target, eps))`"
+    )]
     pub fn run_until<M: Metric<A::Output>>(
         &mut self,
         net: &dyn DynamicGraph,
@@ -528,12 +515,23 @@ impl<A: Algorithm> Execution<A> {
         target: &A::Output,
         eps: f64,
         max_rounds: u64,
-    ) -> CellReport {
-        self.run_until_observed(net, metric, target, eps, max_rounds, &mut NullObserver)
+    ) -> CellReport
+    where
+        A: Sync,
+        A::State: Send + Sync,
+        A::Msg: Send + Sync,
+    {
+        self.drive(
+            net,
+            RunConfig::rounds(max_rounds).measure(metric, target, eps),
+        )
     }
 
     /// Like [`Execution::run_until`], driving an [`Observer`] each round
     /// (and firing `on_converged` when the sealed report says so).
+    #[deprecated(
+        note = "use `drive(net, RunConfig::rounds(max_rounds).measure(metric, target, eps).observer(obs))`"
+    )]
     pub fn run_until_observed<M: Metric<A::Output>, O: Observer<A>>(
         &mut self,
         net: &dyn DynamicGraph,
@@ -542,14 +540,17 @@ impl<A: Algorithm> Execution<A> {
         eps: f64,
         max_rounds: u64,
         obs: &mut O,
-    ) -> CellReport {
-        self.run_measuring(
+    ) -> CellReport
+    where
+        A: Sync,
+        A::State: Send + Sync,
+        A::Msg: Send + Sync,
+    {
+        self.drive(
             net,
-            max_rounds,
-            &|outputs| crate::metric::max_distance(metric, outputs, target),
-            eps,
-            None,
-            obs,
+            RunConfig::rounds(max_rounds)
+                .measure(metric, target, eps)
+                .observer(obs),
         )
     }
 
@@ -562,6 +563,9 @@ impl<A: Algorithm> Execution<A> {
     /// window is truncated, so `converged_at` equals the full-budget
     /// answer whenever the algorithm does not leave the ball again after
     /// `confirm` rounds inside it.
+    #[deprecated(
+        note = "use `drive(net, RunConfig::rounds(max_rounds).measure(metric, target, eps).confirm(confirm))`"
+    )]
     pub fn run_until_converged<M: Metric<A::Output>>(
         &mut self,
         net: &dyn DynamicGraph,
@@ -570,21 +574,26 @@ impl<A: Algorithm> Execution<A> {
         eps: f64,
         max_rounds: u64,
         confirm: u64,
-    ) -> CellReport {
-        self.run_until_converged_observed(
+    ) -> CellReport
+    where
+        A: Sync,
+        A::State: Send + Sync,
+        A::Msg: Send + Sync,
+    {
+        self.drive(
             net,
-            metric,
-            target,
-            eps,
-            max_rounds,
-            confirm,
-            &mut NullObserver,
+            RunConfig::rounds(max_rounds)
+                .measure(metric, target, eps)
+                .confirm(confirm),
         )
     }
 
     /// Like [`Execution::run_until_converged`], driving an [`Observer`]
     /// each round.
     #[allow(clippy::too_many_arguments)] // mirrors run_until_converged + observer
+    #[deprecated(
+        note = "use `drive(net, RunConfig::rounds(max_rounds).measure(metric, target, eps).confirm(confirm).observer(obs))`"
+    )]
     pub fn run_until_converged_observed<M: Metric<A::Output>, O: Observer<A>>(
         &mut self,
         net: &dyn DynamicGraph,
@@ -594,14 +603,18 @@ impl<A: Algorithm> Execution<A> {
         max_rounds: u64,
         confirm: u64,
         obs: &mut O,
-    ) -> CellReport {
-        self.run_measuring(
+    ) -> CellReport
+    where
+        A: Sync,
+        A::State: Send + Sync,
+        A::Msg: Send + Sync,
+    {
+        self.drive(
             net,
-            max_rounds,
-            &|outputs| crate::metric::max_distance(metric, outputs, target),
-            eps,
-            Some(confirm),
-            obs,
+            RunConfig::rounds(max_rounds)
+                .measure(metric, target, eps)
+                .confirm(confirm)
+                .observer(obs),
         )
     }
 
@@ -620,29 +633,28 @@ impl<A: Algorithm> Execution<A> {
         targets: &[A::Output],
         eps: f64,
         max_rounds: u64,
-    ) -> CellReport {
+    ) -> CellReport
+    where
+        A: Sync,
+        A::State: Send + Sync,
+        A::Msg: Send + Sync,
+    {
         assert_eq!(targets.len(), self.n(), "one target per agent");
-        self.run_measuring(
-            net,
-            max_rounds,
-            &|outputs| {
-                outputs
-                    .iter()
-                    .zip(targets)
-                    .map(|(o, t)| {
-                        let d = metric.distance(o, t);
-                        if d.is_finite() {
-                            d
-                        } else {
-                            f64::INFINITY
-                        }
-                    })
-                    .fold(0.0, f64::max)
-            },
-            eps,
-            None,
-            &mut NullObserver,
-        )
+        let dist = |outputs: &[A::Output]| {
+            outputs
+                .iter()
+                .zip(targets)
+                .map(|(o, t)| {
+                    let d = metric.distance(o, t);
+                    if d.is_finite() {
+                        d
+                    } else {
+                        f64::INFINITY
+                    }
+                })
+                .fold(0.0, f64::max)
+        };
+        self.drive(net, RunConfig::rounds(max_rounds).measure_with(dist, eps))
     }
 }
 
@@ -681,7 +693,7 @@ mod tests {
         let net = StaticGraph::new(generators::directed_ring(6));
         let inits: Vec<Vec<u32>> = [3, 9, 2, 9, 1, 4].iter().map(|&v| vec![v]).collect();
         let mut exec = Execution::new(Broadcast(SetGossip), inits);
-        exec.run(&net, 5);
+        exec.drive(&net, RunConfig::rounds(5));
         assert!(exec.outputs().iter().all(|&x| x == 9));
         // All agents hold the full set.
         assert!(exec.states().iter().all(|s| s == &vec![1, 2, 3, 4, 9]));
@@ -693,7 +705,10 @@ mod tests {
         let net = StaticGraph::new(generators::directed_ring(6));
         let inits: Vec<Vec<u32>> = (0..6).map(|v| vec![v]).collect();
         let mut exec = Execution::new(Broadcast(SetGossip), inits);
-        let report = exec.run_until(&net, &DiscreteMetric, &5u32, 0.0, 20);
+        let report = exec.drive(
+            &net,
+            RunConfig::rounds(20).measure(&DiscreteMetric, &5u32, 0.0),
+        );
         // The max floods the ring in diameter = 5 rounds.
         assert_eq!(report.converged_at, Some(5));
         assert_eq!(report.convergence_rounds, Some(5));
@@ -708,7 +723,12 @@ mod tests {
         let net = StaticGraph::new(generators::directed_ring(6));
         let inits: Vec<Vec<u32>> = (0..6).map(|v| vec![v]).collect();
         let mut exec = Execution::new(Broadcast(SetGossip), inits);
-        let report = exec.run_until_converged(&net, &DiscreteMetric, &5u32, 0.0, 10_000, 3);
+        let report = exec.drive(
+            &net,
+            RunConfig::rounds(10_000)
+                .measure(&DiscreteMetric, &5u32, 0.0)
+                .confirm(3),
+        );
         assert_eq!(report.converged_at, Some(5));
         assert_eq!(report.rounds_run, 8, "5 to converge + 3 to confirm");
         assert_eq!(exec.round(), 8);
@@ -720,8 +740,11 @@ mod tests {
         let net = StaticGraph::new(generators::directed_ring(6));
         let inits: Vec<Vec<u32>> = (0..6).map(|v| vec![v]).collect();
         let mut exec = Execution::new(Broadcast(SetGossip), inits);
-        exec.run(&net, 2);
-        let report = exec.run_until(&net, &DiscreteMetric, &5u32, 0.0, 10);
+        exec.drive(&net, RunConfig::rounds(2));
+        let report = exec.drive(
+            &net,
+            RunConfig::rounds(10).measure(&DiscreteMetric, &5u32, 0.0),
+        );
         // Rounds are absolute: convergence still lands at round 5, but
         // only 3 of this call's rounds were needed.
         assert_eq!(report.converged_at, Some(5));
@@ -787,7 +810,10 @@ mod tests {
         use crate::metric::DiscreteMetric;
         let net = StaticGraph::new(generators::directed_ring(3));
         let mut exec = Execution::new(Broadcast(Keep), vec![5, 5, 5]);
-        let report = exec.run_until(&net, &DiscreteMetric, &5u32, 0.0, 0);
+        let report = exec.drive(
+            &net,
+            RunConfig::rounds(0).measure(&DiscreteMetric, &5u32, 0.0),
+        );
         // Zero rounds: nothing measured, so nothing converged — even
         // though the initial states already sit on the target.
         assert_eq!(report.rounds_run, 0);
@@ -796,7 +822,12 @@ mod tests {
         assert!(report.distances.is_empty());
         assert_eq!(exec.round(), 0, "no rounds executed");
         // The early-exit variant behaves identically at budget 0.
-        let report = exec.run_until_converged(&net, &DiscreteMetric, &5u32, 0.0, 0, 3);
+        let report = exec.drive(
+            &net,
+            RunConfig::rounds(0)
+                .measure(&DiscreteMetric, &5u32, 0.0)
+                .confirm(3),
+        );
         assert_eq!(report.rounds_run, 0);
         assert_eq!(report.converged_at, None);
     }
@@ -808,7 +839,10 @@ mod tests {
         // dated to the end of round 1, the first *measured* round.
         let net = StaticGraph::new(generators::directed_ring(3));
         let mut exec = Execution::new(Broadcast(Keep), vec![5, 5, 5]);
-        let report = exec.run_until(&net, &DiscreteMetric, &5u32, 0.0, 4);
+        let report = exec.drive(
+            &net,
+            RunConfig::rounds(4).measure(&DiscreteMetric, &5u32, 0.0),
+        );
         assert_eq!(report.converged_at, Some(1));
         assert_eq!(report.convergence_rounds, Some(1));
         assert_eq!(report.rounds_run, 4);
@@ -828,11 +862,19 @@ mod tests {
             }
         }
         let mut exec = Execution::new(Broadcast(KeepF), vec![2.5, 2.5, 2.5]);
-        let report = exec.run_until(&net, &EuclideanMetric, &2.5, 0.0, 4);
+        let report = exec.drive(
+            &net,
+            RunConfig::rounds(4).measure(&EuclideanMetric, &2.5, 0.0),
+        );
         assert_eq!(report.converged_at, Some(1));
         // run_until_converged stops right after the confirm window.
         let mut exec = Execution::new(Broadcast(Keep), vec![5, 5, 5]);
-        let report = exec.run_until_converged(&net, &DiscreteMetric, &5u32, 0.0, 1000, 2);
+        let report = exec.drive(
+            &net,
+            RunConfig::rounds(1000)
+                .measure(&DiscreteMetric, &5u32, 0.0)
+                .confirm(2),
+        );
         assert_eq!(report.converged_at, Some(1));
         assert_eq!(report.rounds_run, 3, "1 to converge + 2 to confirm");
     }
@@ -859,24 +901,36 @@ mod tests {
         // at eps = 0.0 neither ever converges.
         let inits = vec![1.0, 1.0, 1.0 + 1e-12];
         let mut exec = Execution::new(Broadcast(KeepF), inits.clone());
-        let report = exec.run_until(&net, &DiscreteMetric, &1.0, 0.0, 5);
+        let report = exec.drive(
+            &net,
+            RunConfig::rounds(5).measure(&DiscreteMetric, &1.0, 0.0),
+        );
         assert_eq!(report.converged_at, None);
         assert_eq!(report.final_distance, 1.0, "discrete: unequal is 1");
         let mut exec = Execution::new(Broadcast(KeepF), inits);
-        let report = exec.run_until(&net, &EuclideanMetric, &1.0, 0.0, 5);
+        let report = exec.drive(
+            &net,
+            RunConfig::rounds(5).measure(&EuclideanMetric, &1.0, 0.0),
+        );
         assert_eq!(report.converged_at, None);
         assert!(report.final_distance > 0.0 && report.final_distance < 1e-11);
         // Exactly on target, eps = 0.0 converges under both metrics.
         let mut exec = Execution::new(Broadcast(KeepF), vec![1.0, 1.0, 1.0]);
         assert_eq!(
-            exec.run_until(&net, &DiscreteMetric, &1.0, 0.0, 5)
-                .converged_at,
+            exec.drive(
+                &net,
+                RunConfig::rounds(5).measure(&DiscreteMetric, &1.0, 0.0)
+            )
+            .converged_at,
             Some(1)
         );
         let mut exec = Execution::new(Broadcast(KeepF), vec![1.0, 1.0, 1.0]);
         assert_eq!(
-            exec.run_until(&net, &EuclideanMetric, &1.0, 0.0, 5)
-                .converged_at,
+            exec.drive(
+                &net,
+                RunConfig::rounds(5).measure(&EuclideanMetric, &1.0, 0.0)
+            )
+            .converged_at,
             Some(1)
         );
     }
@@ -972,8 +1026,8 @@ mod tests {
         let inits: Vec<Vec<u32>> = (0..8).map(|v| vec![v * 7 % 5]).collect();
         let mut a = Execution::new(Broadcast(SetGossip), inits.clone());
         let mut b = Execution::new(Broadcast(SetGossip), inits);
-        a.run(&net, 10);
-        b.run(&net, 10);
+        a.drive(&net, RunConfig::rounds(10));
+        b.drive(&net, RunConfig::rounds(10));
         assert_eq!(a.states(), b.states());
     }
 }

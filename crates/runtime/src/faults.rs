@@ -37,6 +37,7 @@
 //! output and replayed bit-for-bit.
 
 use crate::algorithm::Algorithm;
+use crate::config::RunConfig;
 use crate::metric::Metric;
 use crate::report::CellReport;
 use kya_graph::{Digraph, DynamicGraph};
@@ -660,12 +661,7 @@ impl<A: FaultAware> FaultyExecution<A> {
                 msgs.len()
             );
             // Same port discipline as the fault-free executor.
-            let mut ports: Vec<(Option<u32>, usize)> = graph
-                .out_edges(v)
-                .map(|e| (graph.edges()[e].port, e))
-                .collect();
-            ports.sort_unstable();
-            for (msg, (_, e)) in msgs.into_iter().zip(ports) {
+            for (msg, &e) in msgs.into_iter().zip(graph.port_ranks().out_edges_ranked(v)) {
                 let dst = graph.edges()[e].dst;
                 if dst == v {
                     obs.on_message(t, v, dst, &msg);
@@ -706,12 +702,127 @@ impl<A: FaultAware> FaultyExecution<A> {
         obs.on_round_end(t, &self.algo, &self.states);
     }
 
-    /// Execute `rounds` rounds on a dynamic graph.
-    pub fn run(&mut self, net: &dyn DynamicGraph, rounds: u64) {
-        for _ in 0..rounds {
+    /// Execute one run described by a [`RunConfig`]: the single entry
+    /// point behind every legacy `run*` method, sharing the builder
+    /// with [`Execution::drive`](crate::Execution::drive).
+    ///
+    /// Fault-specific semantics on top of the fault-free `drive`:
+    ///
+    /// - the report's `last_fault_round` covers every fault injected
+    ///   during the run, and — when a
+    ///   [`membership`](RunConfig::membership) is attached — the last
+    ///   membership transition inside the budget, so `converged_at`
+    ///   only reports recovery after both scripts went quiet;
+    /// - the report's `events` are the delta of fault counters over
+    ///   this run.
+    ///
+    /// # Panics
+    ///
+    /// The faulted executor is sequential: panics if
+    /// [`threads`](RunConfig::threads) is not 1. Also panics under the
+    /// same contract as [`FaultyExecution::step`].
+    pub fn drive(&mut self, net: &dyn DynamicGraph, cfg: RunConfig<'_, A>) -> CellReport {
+        let RunConfig {
+            rounds,
+            threads,
+            mut observer,
+            membership,
+            dist,
+            eps,
+            confirm,
+            invariant,
+        } = cfg;
+        assert_eq!(
+            threads, 1,
+            "FaultyExecution::drive is sequential; threads must be 1"
+        );
+        let start = self.round;
+        let events_before = self.events;
+        let mut distances = Vec::new();
+        let mut entered: Option<u64> = None;
+        let mut executed: u64 = 0;
+        while executed < rounds {
+            if let Some((membership, reinit)) = membership {
+                self.apply_rejoins(membership, reinit);
+            }
             let g = net.graph_ref(self.round + 1);
-            self.step(&g);
+            match &mut observer {
+                Some(o) => self.step_observed(&g, o),
+                None => self.step(&g),
+            }
+            executed += 1;
+            if let Some(dist) = &dist {
+                let d = dist(&self.outputs());
+                distances.push(d);
+                // An output went NaN/inf: no later round can recover,
+                // so seal the report with `diverged_at` instead of
+                // burning the remaining budget.
+                if !d.is_finite() {
+                    break;
+                }
+                if let Some(confirm) = confirm {
+                    if d <= eps {
+                        let at = *entered.get_or_insert(self.round);
+                        if self.round - at >= confirm {
+                            break;
+                        }
+                    } else {
+                        entered = None;
+                    }
+                }
+            }
         }
+        let last_fault_round = {
+            let faults = if self.events.last_fault_round > start {
+                self.events.last_fault_round
+            } else {
+                0
+            };
+            let churn = match membership {
+                Some((membership, _)) => {
+                    let churn = membership.last_transition();
+                    // Clamp to the final round: transitions beyond the
+                    // budget leave the trace unconverged, which is the
+                    // honest verdict.
+                    if churn > start {
+                        churn.min(self.round)
+                    } else {
+                        0
+                    }
+                }
+                None => 0,
+            };
+            faults.max(churn)
+        };
+        let mut events = self.events;
+        events.dropped -= events_before.dropped;
+        events.duplicated -= events_before.duplicated;
+        events.bounced_to_crashed -= events_before.bounced_to_crashed;
+        events.crashed_rounds -= events_before.crashed_rounds;
+        let measured = dist.is_some();
+        let mut report = CellReport::from_trace(
+            start,
+            distances,
+            eps,
+            last_fault_round,
+            events,
+            invariant.map(|f| f(&self.states)),
+        );
+        if !measured {
+            report.rounds_run = executed;
+        }
+        if let Some(obs) = observer.as_mut() {
+            if let Some(round) = report.converged_at {
+                obs.on_converged(round, report.final_distance);
+            }
+        }
+        report
+    }
+
+    /// Execute `rounds` rounds on a dynamic graph.
+    #[deprecated(note = "use `drive(net, RunConfig::rounds(rounds))`")]
+    pub fn run(&mut self, net: &dyn DynamicGraph, rounds: u64) {
+        self.drive(net, RunConfig::rounds(rounds));
     }
 
     /// Execute `rounds` rounds while measuring distance to `target`
@@ -722,6 +833,9 @@ impl<A: FaultAware> FaultyExecution<A> {
     /// `invariant` optionally measures the deficit of a conserved
     /// quantity at the end of the run (0 means perfectly conserved) —
     /// for Push-Sum, the lost mass.
+    #[deprecated(
+        note = "use `drive(net, RunConfig::rounds(rounds).measure(metric, target, eps).invariant(f))`"
+    )]
     pub fn run_with_recovery<M: Metric<A::Output>>(
         &mut self,
         net: &dyn DynamicGraph,
@@ -731,15 +845,11 @@ impl<A: FaultAware> FaultyExecution<A> {
         eps: f64,
         invariant: Option<Invariant<'_, A::State>>,
     ) -> CellReport {
-        self.run_with_recovery_observed(
-            net,
-            rounds,
-            metric,
-            target,
-            eps,
-            invariant,
-            &mut crate::telemetry::NullObserver,
-        )
+        let mut cfg = RunConfig::rounds(rounds).measure(metric, target, eps);
+        if let Some(f) = invariant {
+            cfg = cfg.invariant(f);
+        }
+        self.drive(net, cfg)
     }
 
     /// Like [`FaultyExecution::run_with_recovery`], driving an
@@ -747,6 +857,9 @@ impl<A: FaultAware> FaultyExecution<A> {
     /// fire `on_message_dropped`; `on_converged` fires once the report
     /// is sealed, if the outputs recovered).
     #[allow(clippy::too_many_arguments)] // mirrors run_with_recovery + observer
+    #[deprecated(
+        note = "use `drive(net, RunConfig::rounds(rounds).measure(metric, target, eps).invariant(f).observer(obs))`"
+    )]
     pub fn run_with_recovery_observed<M: Metric<A::Output>, O: crate::telemetry::Observer<A>>(
         &mut self,
         net: &dyn DynamicGraph,
@@ -757,43 +870,13 @@ impl<A: FaultAware> FaultyExecution<A> {
         invariant: Option<Invariant<'_, A::State>>,
         obs: &mut O,
     ) -> CellReport {
-        let start = self.round;
-        let events_before = self.events;
-        let mut distances = Vec::with_capacity(rounds as usize);
-        for _ in 0..rounds {
-            let g = net.graph_ref(self.round + 1);
-            self.step_observed(&g, obs);
-            let d = crate::metric::max_distance(metric, &self.outputs(), target);
-            distances.push(d);
-            // An output went NaN/inf: no later round can recover, so
-            // seal the report with `diverged_at` instead of burning the
-            // remaining budget.
-            if !d.is_finite() {
-                break;
-            }
+        let mut cfg = RunConfig::rounds(rounds)
+            .measure(metric, target, eps)
+            .observer(obs);
+        if let Some(f) = invariant {
+            cfg = cfg.invariant(f);
         }
-        let last_fault_round = if self.events.last_fault_round > start {
-            self.events.last_fault_round
-        } else {
-            0
-        };
-        let mut events = self.events;
-        events.dropped -= events_before.dropped;
-        events.duplicated -= events_before.duplicated;
-        events.bounced_to_crashed -= events_before.bounced_to_crashed;
-        events.crashed_rounds -= events_before.crashed_rounds;
-        let report = CellReport::from_trace(
-            start,
-            distances,
-            eps,
-            last_fault_round,
-            events,
-            invariant.map(|f| f(&self.states)),
-        );
-        if let Some(round) = report.converged_at {
-            obs.on_converged(round, report.final_distance);
-        }
-        report
+        self.drive(net, cfg)
     }
 
     /// Apply the membership's rejoin transitions for the upcoming round;
@@ -825,6 +908,9 @@ impl<A: FaultAware> FaultyExecution<A> {
     /// after *both* the fault script and the churn script went quiet. A
     /// membership still churning when the budget ends never converges.
     #[allow(clippy::too_many_arguments)] // mirrors run_with_recovery + membership
+    #[deprecated(
+        note = "use `drive(net, RunConfig::rounds(rounds).membership(membership, reinit).measure(metric, target, eps).invariant(f))`"
+    )]
     pub fn run_with_recovery_churned<M: Metric<A::Output>>(
         &mut self,
         net: &dyn DynamicGraph,
@@ -836,48 +922,13 @@ impl<A: FaultAware> FaultyExecution<A> {
         eps: f64,
         invariant: Option<Invariant<'_, A::State>>,
     ) -> CellReport {
-        let start = self.round;
-        let events_before = self.events;
-        let mut distances = Vec::with_capacity(rounds as usize);
-        for _ in 0..rounds {
-            self.apply_rejoins(membership, reinit);
-            let g = net.graph_ref(self.round + 1);
-            self.step(&g);
-            let d = crate::metric::max_distance(metric, &self.outputs(), target);
-            distances.push(d);
-            if !d.is_finite() {
-                break;
-            }
+        let mut cfg = RunConfig::rounds(rounds)
+            .membership(membership, reinit)
+            .measure(metric, target, eps);
+        if let Some(f) = invariant {
+            cfg = cfg.invariant(f);
         }
-        let last_fault_round = {
-            let faults = if self.events.last_fault_round > start {
-                self.events.last_fault_round
-            } else {
-                0
-            };
-            let churn = membership.last_transition();
-            // Clamp to the final round: transitions beyond the budget
-            // leave the trace unconverged, which is the honest verdict.
-            let churn = if churn > start {
-                churn.min(self.round)
-            } else {
-                0
-            };
-            faults.max(churn)
-        };
-        let mut events = self.events;
-        events.dropped -= events_before.dropped;
-        events.duplicated -= events_before.duplicated;
-        events.bounced_to_crashed -= events_before.bounced_to_crashed;
-        events.crashed_rounds -= events_before.crashed_rounds;
-        CellReport::from_trace(
-            start,
-            distances,
-            eps,
-            last_fault_round,
-            events,
-            invariant.map(|f| f(&self.states)),
-        )
+        self.drive(net, cfg)
     }
 }
 
@@ -1072,7 +1123,10 @@ mod tests {
         let net = StaticGraph::new(generators::directed_ring(4));
         let plan = FaultPlan::new(0).crash(1, 1..4);
         let mut exec = FaultyExecution::new(Lossy(Broadcast(MaxFlood)), vec![9, 0, 0, 0], plan);
-        let report = exec.run_with_recovery(&net, 20, &DiscreteMetric, &9u32, 0.0, None);
+        let report = exec.drive(
+            &net,
+            RunConfig::rounds(20).measure(&DiscreteMetric, &9u32, 0.0),
+        );
         assert_eq!(report.last_fault_round, 3);
         assert_eq!(report.max_divergence_during_faults, 1.0);
         let recovered = report.converged_at.expect("flood completes");
@@ -1092,7 +1146,10 @@ mod tests {
         let net = StaticGraph::new(generators::complete(3));
         let plan = FaultPlan::new(5).drop_links(0.2);
         let mut exec = FaultyExecution::new(Lossy(Broadcast(MaxFlood)), vec![1, 2, 3], plan);
-        let report = exec.run_with_recovery(&net, 10, &DiscreteMetric, &3u32, 0.0, None);
+        let report = exec.drive(
+            &net,
+            RunConfig::rounds(10).measure(&DiscreteMetric, &3u32, 0.0),
+        );
         let json = serde::to_json_string(&report);
         let back: CellReport = serde::from_json_str(&json).expect("parses");
         assert_eq!(back, report);

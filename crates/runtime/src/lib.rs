@@ -26,7 +26,7 @@
 //!
 //! ```
 //! use kya_graph::{generators, StaticGraph};
-//! use kya_runtime::{Broadcast, BroadcastAlgorithm, Execution};
+//! use kya_runtime::{Broadcast, BroadcastAlgorithm, Execution, RunConfig};
 //!
 //! struct MaxFlood;
 //! impl BroadcastAlgorithm for MaxFlood {
@@ -42,9 +42,16 @@
 //!
 //! let net = StaticGraph::new(generators::directed_ring(5));
 //! let mut exec = Execution::new(Broadcast(MaxFlood), vec![3, 1, 4, 1, 5]);
-//! exec.run(&net, 4); // diameter rounds suffice
+//! exec.drive(&net, RunConfig::rounds(4)); // diameter rounds suffice
 //! assert!(exec.outputs().iter().all(|&x| x == 5));
 //! ```
+//!
+//! Every run — plain, observed, measured, churned, parallel — goes
+//! through [`Execution::drive`] with a [`RunConfig`] describing the
+//! knobs; the legacy `run*` entry points survive as deprecated
+//! wrappers. Large-`n` f64 simulations can instead use the flat
+//! executor ([`flat::FlatExecution`]), which is bitwise identical to
+//! the boxed path at any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,8 +59,10 @@
 pub mod adversary;
 mod algorithm;
 pub mod churn;
+mod config;
 mod execution;
 pub mod faults;
+pub mod flat;
 pub mod metric;
 pub mod report;
 pub mod telemetry;
@@ -62,7 +71,9 @@ pub mod testing;
 pub use algorithm::{
     Algorithm, Broadcast, BroadcastAlgorithm, CommunicationModel, Isotropic, IsotropicAlgorithm,
 };
+pub use config::RunConfig;
 pub use execution::Execution;
+pub use flat::{FlatAlgorithm, FlatExecution};
 pub use report::CellReport;
 pub use telemetry::{
     CountSummary, CountingObserver, NullObserver, Observer, ResidualObserver, RoundEvent, TraceSink,

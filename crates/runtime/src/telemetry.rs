@@ -75,6 +75,30 @@ pub trait Observer<A: Algorithm> {
     }
 }
 
+// Forwarding impl so `&mut dyn Observer<A>` (what a `RunConfig` holds)
+// satisfies the `O: Observer<A>` bounds of `step_observed` and friends.
+impl<A: Algorithm, O: Observer<A> + ?Sized> Observer<A> for &mut O {
+    fn on_round_start(&mut self, round: u64, states: &[A::State]) {
+        (**self).on_round_start(round, states);
+    }
+
+    fn on_message(&mut self, round: u64, src: usize, dst: usize, msg: &A::Msg) {
+        (**self).on_message(round, src, dst, msg);
+    }
+
+    fn on_message_dropped(&mut self, round: u64, src: usize, dst: usize, msg: &A::Msg) {
+        (**self).on_message_dropped(round, src, dst, msg);
+    }
+
+    fn on_round_end(&mut self, round: u64, algo: &A, states: &[A::State]) {
+        (**self).on_round_end(round, algo, states);
+    }
+
+    fn on_converged(&mut self, round: u64, final_distance: f64) {
+        (**self).on_converged(round, final_distance);
+    }
+}
+
 /// The zero-cost default observer: every hook is the empty default.
 ///
 /// `Execution::step` is exactly `step_observed(graph, &mut
@@ -363,7 +387,7 @@ mod tests {
     use super::*;
     use crate::algorithm::{Broadcast, BroadcastAlgorithm};
     use crate::metric::{DiscreteMetric, EuclideanMetric};
-    use crate::Execution;
+    use crate::{Execution, RunConfig};
     use kya_graph::{generators, StaticGraph};
 
     /// Flood the maximum value.
@@ -409,7 +433,12 @@ mod tests {
         let net = StaticGraph::new(generators::directed_ring(4));
         let mut exec = Execution::new(Broadcast(MaxFlood), vec![9, 0, 0, 0]);
         let mut obs = ResidualObserver::new(DiscreteMetric, 9u32);
-        let report = exec.run_until_observed(&net, &DiscreteMetric, &9, 0.0, 6, &mut obs);
+        let report = exec.drive(
+            &net,
+            RunConfig::rounds(6)
+                .measure(&DiscreteMetric, &9, 0.0)
+                .observer(&mut obs),
+        );
         assert_eq!(obs.residuals().len(), 6);
         // The flood covers the ring in diameter = 3 rounds.
         assert_eq!(obs.residuals()[..4], [1.0, 1.0, 0.0, 0.0]);
@@ -431,7 +460,12 @@ mod tests {
         let net = StaticGraph::new(generators::directed_ring(4));
         let mut exec = Execution::new(Broadcast(MaxFlood), vec![9, 0, 0, 0]);
         let mut sink = TraceSink::with_residual(DiscreteMetric, 9u32);
-        let report = exec.run_until_observed(&net, &DiscreteMetric, &9, 0.0, 5, &mut sink);
+        let report = exec.drive(
+            &net,
+            RunConfig::rounds(5)
+                .measure(&DiscreteMetric, &9, 0.0)
+                .observer(&mut sink),
+        );
         assert_eq!(sink.events().len(), 5);
         for (i, e) in sink.events().iter().enumerate() {
             assert_eq!(e.round, i as u64 + 1);

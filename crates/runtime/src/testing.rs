@@ -80,7 +80,9 @@ pub fn check_self_stabilization<A, F>(
     max_rounds: u64,
 ) -> SelfStabOutcome<A::Output>
 where
-    A: Algorithm,
+    A: Algorithm + Sync,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
     A::Output: PartialEq,
     F: Fn(usize) -> A::Output,
 {

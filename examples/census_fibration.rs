@@ -9,7 +9,7 @@ use know_your_audience::algos::min_base::{MinBaseOutdegree, ViewState};
 use know_your_audience::core::functions::average;
 use know_your_audience::fibration::{iso, MinimumBase};
 use know_your_audience::graph::{generators, StaticGraph};
-use know_your_audience::runtime::{Execution, Isotropic, IsotropicAlgorithm};
+use know_your_audience::runtime::{Execution, Isotropic, IsotropicAlgorithm, RunConfig};
 
 fn main() {
     // A 3-vertex base, lifted with fibre sizes (2, 3, 4): nine agents
@@ -37,7 +37,7 @@ fn main() {
     let net = StaticGraph::new(g.clone());
     let rounds = (g.n() + 10) as u64;
     let mut exec = Execution::new(Isotropic(MinBaseOutdegree), ViewState::initial(&values));
-    exec.run(&net, rounds);
+    exec.drive(&net, RunConfig::rounds(rounds));
     let cb = exec.outputs()[0].clone().expect("stabilized by n + D");
     println!(
         "distributed candidate (agent 0): {} fibres, outdegrees {:?}",
@@ -62,7 +62,7 @@ fn main() {
 
     // End-to-end algorithm (min base + solver in one), every agent:
     let mut census_exec = Execution::new(Isotropic(CensusOutdegree), ViewState::initial(&values));
-    census_exec.run(&net, rounds);
+    census_exec.drive(&net, RunConfig::rounds(rounds));
     for (agent, out) in census_exec.outputs().into_iter().enumerate() {
         let census = out.expect("stabilized");
         assert_eq!(average(&census.canonical_vector()), truth, "agent {agent}");

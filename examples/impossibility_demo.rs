@@ -14,7 +14,7 @@ use know_your_audience::algos::lifting::{check_lifting, close_fibration, ring_fi
 use know_your_audience::algos::push_sum::{PushSumExact, PushSumExactState};
 use know_your_audience::fibration::verify_fibration;
 use know_your_audience::graph::StaticGraph;
-use know_your_audience::runtime::{Broadcast, Execution, Isotropic};
+use know_your_audience::runtime::{Broadcast, Execution, Isotropic, RunConfig};
 
 fn main() {
     let (g, b, phi) = ring_fibration(4, 2);
@@ -55,8 +55,8 @@ fn main() {
     let lifted = phic.lift_valuation(&base_inits);
     let mut small = Execution::new(Isotropic(PushSumExact), base_inits);
     let mut large = Execution::new(Isotropic(PushSumExact), lifted);
-    small.run(&StaticGraph::new(bc), 30);
-    large.run(&StaticGraph::new(gc), 30);
+    small.drive(&StaticGraph::new(bc), RunConfig::rounds(30));
+    large.drive(&StaticGraph::new(gc), RunConfig::rounds(30));
 
     println!("\nafter 30 rounds:");
     println!(

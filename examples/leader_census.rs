@@ -15,7 +15,7 @@ use know_your_audience::arith::BigInt;
 use know_your_audience::core::functions::sum;
 use know_your_audience::core::value;
 use know_your_audience::graph::{generators, RandomDynamicGraph, StaticGraph};
-use know_your_audience::runtime::{Execution, Isotropic};
+use know_your_audience::runtime::{Execution, Isotropic, RunConfig};
 
 fn main() {
     // ----- Static case: census + leader scaling (Corollary 4.4) -----
@@ -32,7 +32,7 @@ fn main() {
     let g = generators::random_strongly_connected(n, 5, 8);
     let net = StaticGraph::new(g);
     let mut exec = Execution::new(Isotropic(CensusOutdegree), ViewState::initial(&values));
-    exec.run(&net, (n + 10) as u64);
+    exec.drive(&net, RunConfig::rounds((n + 10) as u64));
 
     let census = exec.outputs()[0].clone().expect("census stabilized");
     let mults = census
@@ -63,7 +63,7 @@ fn main() {
         Isotropic(PushSumFrequency::with_leaders(1)),
         FrequencyState::initial_with_leaders(&int_values, &leaders),
     );
-    ps.run(&topology, 700);
+    ps.drive(&topology, RunConfig::rounds(700));
     println!("\ndynamic network, one leader — multiplicities via Push-Sum:");
     let est = ps.outputs()[0].clone();
     for (v, x) in &est {

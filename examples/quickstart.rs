@@ -14,7 +14,7 @@ use know_your_audience::algos::min_base::ViewState;
 use know_your_audience::core::functions::average;
 use know_your_audience::core::table::{render_table, NetworkKind};
 use know_your_audience::graph::{generators, StaticGraph};
-use know_your_audience::runtime::{Broadcast, Execution, Isotropic};
+use know_your_audience::runtime::{Broadcast, Execution, Isotropic, RunConfig};
 
 fn main() {
     // ----- What does the theory say? -----
@@ -29,7 +29,7 @@ fn main() {
     // Simple broadcast: the set of readings floods in D rounds; max is
     // computable, the average is provably not (Table 1, column 1).
     let mut gossip = Execution::new(Broadcast(SetGossip), SetGossip::initial(&values));
-    gossip.run(&net, 10);
+    gossip.drive(&net, RunConfig::rounds(10));
     let set = gossip.outputs()[0].clone();
     println!("\nsimple broadcast: every agent knows the SET {set:?}");
     println!(
@@ -40,7 +40,7 @@ fn main() {
     // Outdegree awareness: the fibre census recovers exact frequencies,
     // hence the exact average (Theorem 4.1).
     let mut census_exec = Execution::new(Isotropic(CensusOutdegree), ViewState::initial(&values));
-    census_exec.run(&net, 24); // n + D rounds suffice
+    census_exec.drive(&net, RunConfig::rounds(24)); // n + D rounds suffice
     let census = census_exec.outputs()[0]
         .clone()
         .expect("census stabilizes by round n + D");

@@ -14,7 +14,7 @@ use know_your_audience::algos::push_sum::{
 };
 use know_your_audience::graph::RandomDynamicGraph;
 use know_your_audience::runtime::adversary::AsyncStarts;
-use know_your_audience::runtime::{Execution, Isotropic};
+use know_your_audience::runtime::{Execution, Isotropic, RunConfig};
 
 fn main() {
     let n = 10;
@@ -31,7 +31,7 @@ fn main() {
 
     let mut exec = Execution::new(Isotropic(PushSum), PushSumState::averaging(&readings));
     for checkpoint in [10u64, 50, 200, 800] {
-        exec.run(&net, checkpoint - exec.round());
+        exec.drive(&net, RunConfig::rounds(checkpoint - exec.round()));
         let outs = exec.outputs();
         let worst = outs
             .iter()
@@ -50,7 +50,7 @@ fn main() {
         FrequencyState::initial(&int_readings),
     );
     let net2 = AsyncStarts::random(topology, 4, 3);
-    freq_exec.run(&net2, 900);
+    freq_exec.drive(&net2, RunConfig::rounds(900));
     let snapped = round_to_grid(&freq_exec.outputs()[0], 16); // N = 16 >= n
     println!("\nexact frequencies after rounding to the grid Q_16:");
     for (v, f) in &snapped {

@@ -15,7 +15,7 @@
 use know_your_audience::algos::push_sum::{round_to_grid, FrequencyState, PushSumFrequency};
 use know_your_audience::arith::{BigInt, BigRational};
 use know_your_audience::graph::RandomDynamicGraph;
-use know_your_audience::runtime::{Execution, Isotropic};
+use know_your_audience::runtime::{Execution, Isotropic, RunConfig};
 
 const YES: u64 = 1;
 const NO: u64 = 0;
@@ -39,7 +39,7 @@ fn main() {
     println!("\nirrational threshold r = 1/phi = {golden:.6} (no size bound needed)");
     let mut verdict_history = Vec::new();
     for _ in 0..12 {
-        exec.run(&net, 50);
+        exec.drive(&net, RunConfig::rounds(50));
         let est = exec.outputs()[0].clone();
         let yes_est = est.get(&YES).copied().unwrap_or(0.0) / est.values().sum::<f64>();
         let verdict = yes_est >= golden;

@@ -37,7 +37,7 @@
 //! use know_your_audience::algos::frequency::CensusOutdegree;
 //! use know_your_audience::algos::min_base::ViewState;
 //! use know_your_audience::graph::{generators, StaticGraph};
-//! use know_your_audience::runtime::{CommunicationModel, Execution, Isotropic};
+//! use know_your_audience::runtime::{CommunicationModel, Execution, Isotropic, RunConfig};
 //!
 //! // Theory: with outdegree awareness and no help, frequency-based
 //! // functions (like the average) are computable...
@@ -52,7 +52,7 @@
 //! let values = vec![4, 4, 10];
 //! let net = StaticGraph::new(generators::directed_ring(3));
 //! let mut exec = Execution::new(Isotropic(CensusOutdegree), ViewState::initial(&values));
-//! exec.run(&net, 10);
+//! exec.drive(&net, RunConfig::rounds(10));
 //! let census = exec.outputs()[0].clone().expect("stabilized by n + D");
 //! assert_eq!(average(&census.canonical_vector()), average(&values));
 //! ```

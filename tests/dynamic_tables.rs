@@ -10,7 +10,7 @@ use know_your_audience::arith::BigRational;
 use know_your_audience::core::functions::{maximum, FrequencyFunction};
 use know_your_audience::graph::RandomDynamicGraph;
 use know_your_audience::runtime::adversary::AsyncStarts;
-use know_your_audience::runtime::{Broadcast, Execution, Isotropic};
+use know_your_audience::runtime::{Broadcast, Execution, Isotropic, RunConfig};
 
 #[test]
 fn cell_dynamic_broadcast_set_based() {
@@ -19,7 +19,7 @@ fn cell_dynamic_broadcast_set_based() {
         let net = RandomDynamicGraph::directed(9, 5, seed);
         let values: Vec<u64> = (0..9).map(|i| (i * 13) % 7).collect();
         let mut exec = Execution::new(Broadcast(SetGossip), SetGossip::initial(&values));
-        exec.run(&net, 20);
+        exec.drive(&net, RunConfig::rounds(20));
         for out in exec.outputs() {
             assert_eq!(set_functions::max(&out), Some(maximum(&values)));
         }
@@ -39,7 +39,7 @@ fn cell_dynamic_outdegree_bound_known_frequency_based() {
         Isotropic(PushSumFrequency::frequency()),
         FrequencyState::initial(&values),
     );
-    exec.run(&net, 900);
+    exec.drive(&net, RunConfig::rounds(900));
     for est in exec.outputs() {
         let grid = round_to_grid(&est, bound);
         for (v, f) in &grid {
@@ -58,7 +58,7 @@ fn cell_dynamic_outdegree_known_n_multiset_based() {
         Isotropic(PushSumFrequency::frequency()),
         FrequencyState::initial(&values),
     );
-    exec.run(&net, 900);
+    exec.drive(&net, RunConfig::rounds(900));
     for est in exec.outputs() {
         let grid = round_to_grid(&est, n);
         for (v, f) in &grid {
@@ -79,7 +79,7 @@ fn cell_dynamic_outdegree_no_help_continuous_in_frequency() {
         Isotropic(PushSumFrequency::frequency()),
         FrequencyState::initial(&values),
     );
-    exec.run(&net, 700);
+    exec.drive(&net, RunConfig::rounds(700));
     let truth = 20.0; // (10+20+10+40)/4
     for est in exec.outputs() {
         let norm = normalize_estimate(&est);
@@ -97,7 +97,7 @@ fn cell_dynamic_symmetric_bound_known_frequency_based() {
     let truth: f64 = values.iter().sum::<f64>() / n as f64;
     let net = RandomDynamicGraph::symmetric(n, 3, 17);
     let mut exec = Execution::new(Broadcast(FixedWeight::new(12)), values.clone());
-    exec.run(&net, 2500);
+    exec.drive(&net, RunConfig::rounds(2500));
     for x in exec.outputs() {
         assert!((x - truth).abs() < 1e-7, "{x} vs {truth}");
     }
@@ -112,7 +112,7 @@ fn cell_dynamic_symmetric_metropolis_with_outdegree() {
     let truth: f64 = values.iter().sum::<f64>() / n as f64;
     let net = RandomDynamicGraph::symmetric(n, 2, 23);
     let mut exec = Execution::new(Isotropic(Metropolis), values);
-    exec.run(&net, 1500);
+    exec.drive(&net, RunConfig::rounds(1500));
     for x in exec.outputs() {
         assert!((x - truth).abs() < 1e-7);
     }
@@ -128,7 +128,7 @@ fn cell_dynamic_leader_multiset_asymptotic() {
         Isotropic(PushSumFrequency::with_leaders(1)),
         FrequencyState::initial_with_leaders(&values, &leaders),
     );
-    exec.run(&net, 900);
+    exec.drive(&net, RunConfig::rounds(900));
     for est in exec.outputs() {
         assert!((est[&1] - 2.0).abs() < 1e-7);
         assert!((est[&6] - 4.0).abs() < 1e-7);
@@ -147,7 +147,7 @@ fn async_starts_do_not_break_push_sum() {
         Isotropic(PushSumFrequency::frequency()),
         FrequencyState::initial(&values),
     );
-    exec.run(&net, 1200);
+    exec.drive(&net, RunConfig::rounds(1200));
     for est in exec.outputs() {
         let grid = round_to_grid(&est, n);
         assert_eq!(grid[&4], BigRational::from_i64(1, 2));

@@ -1,0 +1,78 @@
+//! Property test: the flat SoA/CSR engine ([`FlatExecution`]) is
+//! **bitwise** identical to the boxed executor — not approximately, not
+//! up to reassociation — on random seeded digraphs, at every thread
+//! count. The flat engine's send slots replay port-rank order and its
+//! inbox offsets replay the canonical ascending `(source id, port
+//! rank)` delivery order, so every f64 operation happens in the same
+//! sequence as in `Execution::step`; this test is the contract.
+
+use kya_algos::metropolis::Metropolis;
+use kya_algos::push_sum::{PushSum, PushSumState};
+use kya_graph::generators;
+use kya_runtime::{Execution, FlatExecution, Isotropic, RunConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Push-Sum: y and z lanes match the boxed state bit for bit after
+    /// every budget, at 1, 2, and 4 threads.
+    #[test]
+    fn flat_pushsum_is_bitwise_boxed(
+        n in 3usize..24,
+        extra in 0usize..30,
+        seed in 0u64..1000,
+        rounds in 1u64..12,
+    ) {
+        let g = generators::random_strongly_connected(n, extra, seed).with_self_loops();
+        let values: Vec<f64> = (0..n).map(|i| ((i as u64 * 37 + seed) % 101) as f64).collect();
+        let states = PushSumState::averaging(&values);
+
+        let mut boxed = Execution::new(Isotropic(PushSum), states.clone());
+        boxed.drive(&kya_graph::StaticGraph::new(g.clone()), RunConfig::rounds(rounds));
+
+        for threads in [1usize, 2, 4] {
+            let mut flat = FlatExecution::new(PushSum, &g, PushSumState::columns(&states));
+            flat.run(rounds, threads);
+            prop_assert_eq!(flat.round(), boxed.round());
+            for (v, s) in boxed.states().iter().enumerate() {
+                prop_assert_eq!(
+                    flat.lane(0)[v].to_bits(), s.y.to_bits(),
+                    "y lane, agent {} at {} threads", v, threads
+                );
+                prop_assert_eq!(
+                    flat.lane(1)[v].to_bits(), s.z.to_bits(),
+                    "z lane, agent {} at {} threads", v, threads
+                );
+            }
+        }
+    }
+
+    /// Metropolis: the degree exchange (usize max on the boxed path,
+    /// f64 max of exact small integers on the flat path) lands on the
+    /// same bits too.
+    #[test]
+    fn flat_metropolis_is_bitwise_boxed(
+        n in 3usize..20,
+        extra in 0usize..24,
+        seed in 0u64..1000,
+        rounds in 1u64..10,
+    ) {
+        let g = generators::random_strongly_connected(n, extra, seed).with_self_loops();
+        let values: Vec<f64> = (0..n).map(|i| ((i as u64 * 53 + seed) % 97) as f64 / 7.0).collect();
+
+        let mut boxed = Execution::new(Isotropic(Metropolis), values.clone());
+        boxed.drive(&kya_graph::StaticGraph::new(g.clone()), RunConfig::rounds(rounds));
+
+        for threads in [1usize, 2, 4] {
+            let mut flat = FlatExecution::new(Metropolis, &g, vec![values.clone()]);
+            flat.run(rounds, threads);
+            for (v, s) in boxed.states().iter().enumerate() {
+                prop_assert_eq!(
+                    flat.lane(0)[v].to_bits(), s.to_bits(),
+                    "agent {} at {} threads", v, threads
+                );
+            }
+        }
+    }
+}

@@ -6,7 +6,7 @@ use kya_algos::push_sum::{PushSum, PushSumState};
 use kya_graph::StaticGraph;
 use kya_harness::{CellCtx, CellOutcome, ExperimentSpec, PlanSpec, Runner, TopologyCache};
 use kya_runtime::metric::EuclideanMetric;
-use kya_runtime::{Execution, Isotropic};
+use kya_runtime::{Execution, Isotropic, RunConfig};
 use proptest::prelude::*;
 
 /// A representative sweep: three topology families × two sizes × two
@@ -32,12 +32,9 @@ fn demo_cell(ctx: &CellCtx) -> CellOutcome {
         .collect();
     let target = values.iter().sum::<f64>() / n as f64;
     let net = StaticGraph::new((*g).clone());
-    let report = Execution::new(Isotropic(PushSum), PushSumState::averaging(&values)).run_until(
+    let report = Execution::new(Isotropic(PushSum), PushSumState::averaging(&values)).drive(
         &net,
-        &EuclideanMetric,
-        &target,
-        ctx.eps(),
-        ctx.rounds(),
+        RunConfig::rounds(ctx.rounds()).measure(&EuclideanMetric, &target, ctx.eps()),
     );
     CellOutcome::new()
         .ok(report.converged())

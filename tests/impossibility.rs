@@ -13,7 +13,7 @@ use know_your_audience::algos::min_base::{MinBaseOutdegree, ViewState};
 use know_your_audience::algos::push_sum::{PushSumExact, PushSumExactState};
 use know_your_audience::fibration::{verify_covering, verify_fibration};
 use know_your_audience::graph::StaticGraph;
-use know_your_audience::runtime::{Broadcast, Execution, Isotropic};
+use know_your_audience::runtime::{Broadcast, Execution, Isotropic, RunConfig};
 
 /// §4.1's construction: vectors v (length 6) and w (length 3) with the
 /// same frequency function, both collapsing onto R_3.
@@ -58,7 +58,7 @@ fn broadcast_gossip_lifts_and_forgets_multiplicity() {
     // frequencies also produce the same gossip output:
     let skewed = StaticGraph::new(know_your_audience::graph::generators::directed_ring(3));
     let mut exec = Execution::new(Broadcast(SetGossip), SetGossip::initial(&[7, 9, 9]));
-    exec.run(&skewed, 5);
+    exec.drive(&skewed, RunConfig::rounds(5));
     assert_eq!(exec.outputs()[0], vec![7, 9]);
     // Identical output, different average: broadcast cannot compute the
     // average (Table 1, column 1 ceiling).
@@ -79,12 +79,12 @@ fn census_is_identical_across_frequency_equivalent_networks() {
         Isotropic(CensusOutdegree),
         ViewState::initial(&values_small),
     );
-    small.run(&StaticGraph::new(b2c), 12);
+    small.drive(&StaticGraph::new(b2c), RunConfig::rounds(12));
     let mut large = Execution::new(
         Isotropic(CensusOutdegree),
         ViewState::initial(&values_large),
     );
-    large.run(&StaticGraph::new(g4c), 12);
+    large.drive(&StaticGraph::new(g4c), RunConfig::rounds(12));
 
     let census_small = small.outputs()[0].clone().expect("stabilized");
     let census_large = large.outputs()[0].clone().expect("stabilized");
@@ -115,9 +115,9 @@ fn lifting_lemma_on_random_lifts() {
         let base_values: Vec<u64> = vec![3, 1, 4];
         let lifted_values: Vec<u64> = fibre_of.iter().map(|&f| base_values[f]).collect();
         let mut down = Execution::new(Broadcast(SetGossip), SetGossip::initial(&base_values));
-        down.run(&StaticGraph::new(bc), 12);
+        down.drive(&StaticGraph::new(bc), RunConfig::rounds(12));
         let mut up = Execution::new(Broadcast(SetGossip), SetGossip::initial(&lifted_values));
-        up.run(&StaticGraph::new(gc), 12);
+        up.drive(&StaticGraph::new(gc), RunConfig::rounds(12));
         for (v, &f) in fibre_of.iter().enumerate() {
             assert_eq!(up.outputs()[v], down.outputs()[f], "seed {seed} vertex {v}");
         }
@@ -138,12 +138,12 @@ fn min_base_candidates_coincide_across_lift() {
         Isotropic(MinBaseOutdegree),
         ViewState::initial(&base_values),
     );
-    down.run(&StaticGraph::new(b3c), 14);
+    down.drive(&StaticGraph::new(b3c), RunConfig::rounds(14));
     let mut up = Execution::new(
         Isotropic(MinBaseOutdegree),
         ViewState::initial(&lifted_values),
     );
-    up.run(&StaticGraph::new(g6c), 14);
+    up.drive(&StaticGraph::new(g6c), RunConfig::rounds(14));
 
     let cb_down = down.outputs()[0].clone().expect("stabilized");
     let cb_up = up.outputs()[0].clone().expect("stabilized");

@@ -15,7 +15,7 @@ use know_your_audience::runtime::churn::{ChurnMasked, ChurnPlan};
 use know_your_audience::runtime::faults::{FaultPlan, FaultyExecution, FaultyNetwork, Lossy};
 use know_your_audience::runtime::metric::EuclideanMetric;
 use know_your_audience::runtime::testing::{check_self_stabilization, SelfStabOutcome};
-use know_your_audience::runtime::{Broadcast, Execution, Isotropic};
+use know_your_audience::runtime::{Broadcast, Execution, Isotropic, RunConfig};
 
 #[test]
 fn gossip_floods_over_pairwise_interactions() {
@@ -26,7 +26,7 @@ fn gossip_floods_over_pairwise_interactions() {
     let values: Vec<u64> = (0..n as u64).map(|i| i % 3).collect();
     let net = PairwiseMatching::new(n, n / 2, 99);
     let mut exec = Execution::new(Broadcast(SetGossip), SetGossip::initial(&values));
-    exec.run(&net, 200);
+    exec.drive(&net, RunConfig::rounds(200));
     for out in exec.outputs() {
         assert_eq!(out, vec![0, 1, 2]);
     }
@@ -38,7 +38,7 @@ fn fixed_weight_averages_over_pairwise_interactions() {
     let values: Vec<f64> = vec![0.0, 6.0, 12.0, 0.0, 6.0, 12.0];
     let net = PairwiseMatching::new(n, 3, 123);
     let mut exec = Execution::new(Broadcast(FixedWeight::new(n)), values);
-    exec.run(&net, 5000);
+    exec.drive(&net, RunConfig::rounds(5000));
     for x in exec.outputs() {
         assert!((x - 6.0).abs() < 1e-7, "{x}");
     }
@@ -54,7 +54,7 @@ fn depth_capped_min_base_recovers_from_corruption_end_to_end() {
     // Clean target output.
     let clean = DepthCapped::new(Broadcast(MinBaseBroadcast), cap);
     let mut reference = Execution::new(clean, ViewState::initial(&values));
-    reference.run(&net, 30);
+    reference.drive(&net, RunConfig::rounds(30));
     let truth = reference.outputs()[0].clone().expect("stabilized");
 
     // Adversarial garbage views of a consistent depth.
@@ -87,7 +87,7 @@ fn push_sum_is_not_self_stabilizing() {
         PushSumState::new(6.0, 1.0),
     ];
     let mut exec = Execution::new(Isotropic(PushSum), corrupted);
-    exec.run(&net, 300);
+    exec.drive(&net, RunConfig::rounds(300));
     let settled = exec.outputs()[0];
     assert!(
         (settled - truth).abs() > 0.5,
@@ -111,7 +111,7 @@ fn weak_connectivity_still_converges_for_symmetric_consensus() {
     let mut exec = Execution::new(Broadcast(FixedWeight::new(n)), values);
     let mut errors = Vec::new();
     for _ in 0..11 {
-        exec.run(&net, 364);
+        exec.drive(&net, RunConfig::rounds(364));
         let worst = exec
             .outputs()
             .iter()
@@ -141,7 +141,7 @@ fn gossip_floods_despite_heavy_link_drops() {
     let plan = FaultPlan::new(1234).drop_links(0.3);
     let net = FaultyNetwork::new(StaticGraph::new(generators::directed_ring(n)), plan);
     let mut exec = Execution::new(Broadcast(SetGossip), SetGossip::initial(&values));
-    exec.run(&net, 120);
+    exec.drive(&net, RunConfig::rounds(120));
     for out in exec.outputs() {
         assert_eq!(out, vec![0, 1, 2]);
     }
@@ -165,8 +165,12 @@ fn self_healing_push_sum_recovers_from_crash_recover() {
         plan,
     );
     let z_deficit = move |states: &[PushSumState]| n as f64 - total_mass(states).1;
-    let report =
-        exec.run_with_recovery(&net, 200, &EuclideanMetric, &target, 1e-9, Some(&z_deficit));
+    let report = exec.drive(
+        &net,
+        RunConfig::rounds(200)
+            .measure(&EuclideanMetric, &target, 1e-9)
+            .invariant(&z_deficit),
+    );
     assert!(report.events.dropped > 0 && report.events.bounced_to_crashed > 0);
     assert!(
         report.mass_deficit.unwrap().abs() < 1e-9,
@@ -195,8 +199,12 @@ fn plain_push_sum_does_not_recover_from_message_loss() {
         plan,
     );
     let z_deficit = move |states: &[PushSumState]| n as f64 - total_mass(states).1;
-    let report =
-        exec.run_with_recovery(&net, 200, &EuclideanMetric, &target, 1e-9, Some(&z_deficit));
+    let report = exec.drive(
+        &net,
+        RunConfig::rounds(200)
+            .measure(&EuclideanMetric, &target, 1e-9)
+            .invariant(&z_deficit),
+    );
     assert!(
         report.mass_deficit.unwrap() > 1.0,
         "plain push-sum must leak visibly, deficit {:?}",
@@ -227,15 +235,12 @@ fn self_healing_push_sum_recovers_under_pairing_churn_and_faults() {
     let reinit = |v: usize, _parked: &PushSumState| fresh[v];
     let mut exec = FaultyExecution::new(Isotropic(SelfHealingPushSum), fresh.clone(), plan);
     let z_deficit = move |states: &[PushSumState]| n as f64 - total_mass(states).1;
-    let report = exec.run_with_recovery_churned(
+    let report = exec.drive(
         &stack,
-        &membership,
-        &reinit,
-        400,
-        &EuclideanMetric,
-        &target,
-        1e-9,
-        Some(&z_deficit),
+        RunConfig::rounds(400)
+            .membership(&membership, &reinit)
+            .measure(&EuclideanMetric, &target, 1e-9)
+            .invariant(&z_deficit),
     );
     assert!(report.events.dropped > 0, "faults actually fired");
     assert!(
@@ -278,7 +283,10 @@ fn exact_mass_is_conserved_through_the_full_adversary_stack() {
     let mut exec = Execution::new(Isotropic(PushSumExact), inits);
     // Carry policy: rejoins restore the parked state, reinit never runs.
     let reinit = |_: usize, parked: &PushSumExactState| parked.clone();
-    exec.run_churned(&stack, &membership, &reinit, 60);
+    exec.drive(
+        &stack,
+        RunConfig::rounds(60).membership(&membership, &reinit),
+    );
     let y: BigRational = exec.states().iter().map(|s| &s.y).sum();
     let z: BigRational = exec.states().iter().map(|s| &s.z).sum();
     assert_eq!(y, y0, "Σy is exactly conserved");

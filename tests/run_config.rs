@@ -1,0 +1,240 @@
+//! The deprecated run-method wrappers are pure sugar over
+//! [`RunConfig`]: each one must leave the execution in the *same state*
+//! and return the *same report* as its documented builder spelling.
+//! This pins the migration table in `DESIGN.md` — if a wrapper ever
+//! drifts from its replacement, the deprecation note would be lying.
+
+#![allow(deprecated)]
+
+use kya_algos::push_sum::{PushSum, PushSumState, SelfHealingPushSum};
+use kya_graph::generators;
+use kya_graph::StaticGraph;
+use kya_runtime::churn::{ChurnMasked, ChurnPlan};
+use kya_runtime::faults::{FaultPlan, FaultyExecution};
+use kya_runtime::metric::EuclideanMetric;
+use kya_runtime::{CountingObserver, Execution, Isotropic, RunConfig};
+
+const N: usize = 8;
+const ROUNDS: u64 = 12;
+
+fn values() -> Vec<f64> {
+    (0..N).map(|i| ((i * 37) % 101) as f64).collect()
+}
+
+fn avg() -> f64 {
+    values().iter().sum::<f64>() / N as f64
+}
+
+fn fresh() -> (Execution<Isotropic<PushSum>>, StaticGraph) {
+    let exec = Execution::new(Isotropic(PushSum), PushSumState::averaging(&values()));
+    let net = StaticGraph::new(generators::random_strongly_connected(N, N, 7));
+    (exec, net)
+}
+
+/// The two executions' states, rendered for a single comparison.
+fn states(exec: &Execution<Isotropic<PushSum>>) -> String {
+    format!("{:?}", exec.states())
+}
+
+#[test]
+fn run_matches_rounds_config() {
+    let (mut old, net) = fresh();
+    old.run(&net, ROUNDS);
+    let (mut new, _) = fresh();
+    new.drive(&net, RunConfig::rounds(ROUNDS));
+    assert_eq!(states(&old), states(&new));
+    assert_eq!(old.round(), new.round());
+}
+
+#[test]
+fn run_observed_matches_observer_config() {
+    let (mut old, net) = fresh();
+    let mut obs_old = CountingObserver::new();
+    old.run_observed(&net, ROUNDS, &mut obs_old);
+    let (mut new, _) = fresh();
+    let mut obs_new = CountingObserver::new();
+    new.drive(&net, RunConfig::rounds(ROUNDS).observer(&mut obs_new));
+    assert_eq!(states(&old), states(&new));
+    assert_eq!(obs_old.summary(), obs_new.summary());
+}
+
+#[test]
+fn run_until_matches_measure_config() {
+    let (mut old, net) = fresh();
+    let r_old = old.run_until(&net, &EuclideanMetric, &avg(), 1e-9, ROUNDS);
+    let (mut new, _) = fresh();
+    let r_new = new.drive(
+        &net,
+        RunConfig::rounds(ROUNDS).measure(&EuclideanMetric, &avg(), 1e-9),
+    );
+    assert_eq!(r_old, r_new);
+    assert_eq!(states(&old), states(&new));
+}
+
+#[test]
+fn run_until_observed_matches_its_config() {
+    let (mut old, net) = fresh();
+    let mut obs_old = CountingObserver::new();
+    let r_old = old.run_until_observed(&net, &EuclideanMetric, &avg(), 1e-9, ROUNDS, &mut obs_old);
+    let (mut new, _) = fresh();
+    let mut obs_new = CountingObserver::new();
+    let r_new = new.drive(
+        &net,
+        RunConfig::rounds(ROUNDS)
+            .measure(&EuclideanMetric, &avg(), 1e-9)
+            .observer(&mut obs_new),
+    );
+    assert_eq!(r_old, r_new);
+    assert_eq!(obs_old.summary(), obs_new.summary());
+}
+
+#[test]
+fn run_until_converged_matches_confirm_config() {
+    let (mut old, net) = fresh();
+    let r_old = old.run_until_converged(&net, &EuclideanMetric, &avg(), 1e-3, 4000, 50);
+    let (mut new, _) = fresh();
+    let r_new = new.drive(
+        &net,
+        RunConfig::rounds(4000)
+            .measure(&EuclideanMetric, &avg(), 1e-3)
+            .confirm(50),
+    );
+    assert_eq!(r_old, r_new);
+    assert!(r_new.converged(), "sanity: the cell converges");
+    assert_eq!(states(&old), states(&new));
+}
+
+#[test]
+fn run_until_converged_observed_matches_its_config() {
+    let (mut old, net) = fresh();
+    let mut obs_old = CountingObserver::new();
+    let r_old = old.run_until_converged_observed(
+        &net,
+        &EuclideanMetric,
+        &avg(),
+        1e-3,
+        4000,
+        50,
+        &mut obs_old,
+    );
+    let (mut new, _) = fresh();
+    let mut obs_new = CountingObserver::new();
+    let r_new = new.drive(
+        &net,
+        RunConfig::rounds(4000)
+            .measure(&EuclideanMetric, &avg(), 1e-3)
+            .confirm(50)
+            .observer(&mut obs_new),
+    );
+    assert_eq!(r_old, r_new);
+    assert_eq!(obs_old.summary(), obs_new.summary());
+}
+
+#[test]
+fn run_churned_matches_membership_config() {
+    let membership = ChurnPlan::new(3).leave(1, 4..8).membership(N);
+    let reinit = |_: usize, s: &PushSumState| *s;
+    let (mut old, net) = fresh();
+    let stack = ChurnMasked::new(net, membership.clone());
+    old.run_churned(&stack, &membership, &reinit, ROUNDS);
+    let (mut new, _) = fresh();
+    new.drive(
+        &stack,
+        RunConfig::rounds(ROUNDS).membership(&membership, &reinit),
+    );
+    assert_eq!(states(&old), states(&new));
+}
+
+fn fresh_faulty() -> (FaultyExecution<Isotropic<SelfHealingPushSum>>, StaticGraph) {
+    let plan = FaultPlan::new(11).drop_links(0.2).until(ROUNDS / 2);
+    let exec = FaultyExecution::new(
+        Isotropic(SelfHealingPushSum),
+        PushSumState::averaging(&values()),
+        plan,
+    );
+    let net = StaticGraph::new(generators::random_strongly_connected(N, N, 7));
+    (exec, net)
+}
+
+fn faulty_states(exec: &FaultyExecution<Isotropic<SelfHealingPushSum>>) -> String {
+    format!("{:?}", exec.states())
+}
+
+#[test]
+fn faulty_run_matches_rounds_config() {
+    let (mut old, net) = fresh_faulty();
+    old.run(&net, ROUNDS);
+    let (mut new, _) = fresh_faulty();
+    new.drive(&net, RunConfig::rounds(ROUNDS));
+    assert_eq!(faulty_states(&old), faulty_states(&new));
+}
+
+#[test]
+fn run_with_recovery_matches_its_config() {
+    let mass = |states: &[PushSumState]| {
+        (states.iter().map(|s| s.y).sum::<f64>() - values().iter().sum::<f64>()).abs()
+    };
+    let (mut old, net) = fresh_faulty();
+    let r_old = old.run_with_recovery(&net, ROUNDS, &EuclideanMetric, &avg(), 1e-9, Some(&mass));
+    let (mut new, _) = fresh_faulty();
+    let r_new = new.drive(
+        &net,
+        RunConfig::rounds(ROUNDS)
+            .measure(&EuclideanMetric, &avg(), 1e-9)
+            .invariant(&mass),
+    );
+    assert_eq!(r_old, r_new);
+    assert_eq!(faulty_states(&old), faulty_states(&new));
+}
+
+#[test]
+fn run_with_recovery_observed_matches_its_config() {
+    let (mut old, net) = fresh_faulty();
+    let mut obs_old = CountingObserver::new();
+    let r_old = old.run_with_recovery_observed(
+        &net,
+        ROUNDS,
+        &EuclideanMetric,
+        &avg(),
+        1e-9,
+        None,
+        &mut obs_old,
+    );
+    let (mut new, _) = fresh_faulty();
+    let mut obs_new = CountingObserver::new();
+    let r_new = new.drive(
+        &net,
+        RunConfig::rounds(ROUNDS)
+            .measure(&EuclideanMetric, &avg(), 1e-9)
+            .observer(&mut obs_new),
+    );
+    assert_eq!(r_old, r_new);
+    assert_eq!(obs_old.summary(), obs_new.summary());
+}
+
+#[test]
+fn run_with_recovery_churned_matches_its_config() {
+    let membership = ChurnPlan::new(3).leave(2, 3..7).membership(N);
+    let reinit = |_: usize, s: &PushSumState| *s;
+    let (mut old, net) = fresh_faulty();
+    let stack = ChurnMasked::new(net, membership.clone());
+    let r_old = old.run_with_recovery_churned(
+        &stack,
+        &membership,
+        &reinit,
+        ROUNDS,
+        &EuclideanMetric,
+        &avg(),
+        1e-9,
+        None,
+    );
+    let (mut new, _) = fresh_faulty();
+    let r_new = new.drive(
+        &stack,
+        RunConfig::rounds(ROUNDS)
+            .membership(&membership, &reinit)
+            .measure(&EuclideanMetric, &avg(), 1e-9),
+    );
+    assert_eq!(r_old, r_new);
+    assert_eq!(faulty_states(&old), faulty_states(&new));
+}

@@ -12,7 +12,7 @@ use know_your_audience::arith::BigInt;
 use know_your_audience::core::functions::{average, maximum, sum};
 use know_your_audience::core::value;
 use know_your_audience::graph::{generators, Digraph, StaticGraph};
-use know_your_audience::runtime::{Broadcast, Execution, Isotropic};
+use know_your_audience::runtime::{Broadcast, Execution, Isotropic, RunConfig};
 
 /// Test family: name, graph, values. All strongly connected.
 fn directed_family() -> Vec<(&'static str, Digraph, Vec<u64>)> {
@@ -61,7 +61,7 @@ fn cell_simple_broadcast_set_based() {
     for (name, g, values) in directed_family() {
         let net = StaticGraph::new(g.clone());
         let mut exec = Execution::new(Broadcast(SetGossip), SetGossip::initial(&values));
-        exec.run(&net, rounds_for(&g));
+        exec.drive(&net, RunConfig::rounds(rounds_for(&g)));
         for out in exec.outputs() {
             assert_eq!(
                 set_functions::max(&out),
@@ -78,7 +78,7 @@ fn cell_outdegree_frequency_based() {
     for (name, g, values) in directed_family() {
         let net = StaticGraph::new(g.clone());
         let mut exec = Execution::new(Isotropic(CensusOutdegree), ViewState::initial(&values));
-        exec.run(&net, rounds_for(&g));
+        exec.drive(&net, RunConfig::rounds(rounds_for(&g)));
         for out in exec.outputs() {
             let census = out.unwrap_or_else(|| panic!("census stabilized ({name})"));
             assert_eq!(
@@ -96,7 +96,7 @@ fn cell_outdegree_known_n_multiset_based() {
     for (name, g, values) in directed_family() {
         let net = StaticGraph::new(g.clone());
         let mut exec = Execution::new(Isotropic(CensusOutdegree), ViewState::initial(&values));
-        exec.run(&net, rounds_for(&g));
+        exec.drive(&net, RunConfig::rounds(rounds_for(&g)));
         let census = exec.outputs()[0].clone().expect("stabilized");
         let mults = census
             .multiplicities_known_n(g.n())
@@ -117,7 +117,7 @@ fn cell_outdegree_leader_multiset_based() {
             .collect();
         let net = StaticGraph::new(g.clone());
         let mut exec = Execution::new(Isotropic(CensusOutdegree), ViewState::initial(&values));
-        exec.run(&net, rounds_for(&g));
+        exec.drive(&net, RunConfig::rounds(rounds_for(&g)));
         let census = exec.outputs()[0].clone().expect("stabilized");
         let mults = census
             .multiplicities_with_leaders(1, value::is_leader)
@@ -138,7 +138,7 @@ fn cell_symmetric_frequency_based() {
     for (name, g, values) in symmetric_family() {
         let net = StaticGraph::new(g.clone());
         let mut exec = Execution::new(Broadcast(CensusSymmetric), ViewState::initial(&values));
-        exec.run(&net, rounds_for(&g));
+        exec.drive(&net, RunConfig::rounds(rounds_for(&g)));
         for out in exec.outputs() {
             let census = out.unwrap_or_else(|| panic!("census stabilized ({name})"));
             assert_eq!(
@@ -155,7 +155,7 @@ fn cell_symmetric_known_n_multiset_based() {
     for (name, g, values) in symmetric_family() {
         let net = StaticGraph::new(g.clone());
         let mut exec = Execution::new(Broadcast(CensusSymmetric), ViewState::initial(&values));
-        exec.run(&net, rounds_for(&g));
+        exec.drive(&net, RunConfig::rounds(rounds_for(&g)));
         let census = exec.outputs()[0].clone().expect("stabilized");
         let mults = census.multiplicities_known_n(g.n()).expect("scaling");
         let recovered: BigInt = mults.iter().map(|(v, m)| &BigInt::from(*v) * m).sum();
@@ -178,7 +178,7 @@ fn cell_ports_frequency_based() {
     let values: Vec<u64> = fibre_of.iter().map(|&f| [4, 8][f]).collect();
     let net = StaticGraph::new(g.clone());
     let mut exec = Execution::new(CensusPorts, ViewState::initial(&values));
-    exec.run(&net, rounds_for(&g));
+    exec.drive(&net, RunConfig::rounds(rounds_for(&g)));
     for out in exec.outputs() {
         let census = out.expect("stabilized");
         assert_eq!(average(&census.canonical_vector()), average(&values));
@@ -196,7 +196,7 @@ fn cell_ports_known_n_multiset_based() {
     let values: Vec<u64> = fibre_of.iter().map(|&f| [1, 7][f]).collect();
     let net = StaticGraph::new(g.clone());
     let mut exec = Execution::new(CensusPorts, ViewState::initial(&values));
-    exec.run(&net, rounds_for(&g));
+    exec.drive(&net, RunConfig::rounds(rounds_for(&g)));
     let census = exec.outputs()[0].clone().expect("stabilized");
     let mults = census.multiplicities_known_n(g.n()).expect("scaling");
     let recovered: BigInt = mults.iter().map(|(v, m)| &BigInt::from(*v) * m).sum();

@@ -8,7 +8,7 @@ use kya_algos::push_sum::{PushSum, PushSumState};
 use kya_graph::{Digraph, StaticGraph};
 use kya_harness::{parse_graph, CellCtx, CellOutcome, ExperimentSpec, Runner, TelemetryMode};
 use kya_runtime::telemetry::TraceSink;
-use kya_runtime::{Algorithm, Broadcast, CountingObserver, Execution, Isotropic};
+use kya_runtime::{Algorithm, Broadcast, CountingObserver, Execution, Isotropic, RunConfig};
 use std::time::{Duration, Instant};
 
 const ROUNDS: u64 = 7;
@@ -30,17 +30,11 @@ fn traced_cell(ctx: &CellCtx) -> CellOutcome {
     let values: Vec<f64> = (0..n).map(|i| ((i * i) % 13) as f64).collect();
     let net = StaticGraph::new((*g).clone());
     let mut counter = CountingObserver::new();
-    Execution::new(Isotropic(PushSum), PushSumState::averaging(&values)).run_observed(
-        &net,
-        ctx.rounds(),
-        &mut counter,
-    );
+    Execution::new(Isotropic(PushSum), PushSumState::averaging(&values))
+        .drive(&net, RunConfig::rounds(ctx.rounds()).observer(&mut counter));
     let mut trace = TraceSink::new();
-    Execution::new(Isotropic(PushSum), PushSumState::averaging(&values)).run_observed(
-        &net,
-        ctx.rounds(),
-        &mut trace,
-    );
+    Execution::new(Isotropic(PushSum), PushSumState::averaging(&values))
+        .drive(&net, RunConfig::rounds(ctx.rounds()).observer(&mut trace));
     let (events, summary) = trace.finish();
     assert_eq!(summary, counter.summary(), "the two observers agree");
     CellOutcome::new()
