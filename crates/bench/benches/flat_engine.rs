@@ -4,11 +4,17 @@
 //! is pure engine overhead: per-round message boxing and inbox
 //! allocation on the boxed side vs a precomputed gather over reused
 //! flat buffers on the flat side.
+//!
+//! The `flat_probe_overhead` group is the **NullProbe guard**: `run` vs
+//! `run_probed::<NullProbe>` (must be indistinguishable — the probe
+//! hooks compile away behind `FlatProbe::ENABLED`) vs a full
+//! `CountingProbe` (the measured cost of real metrics; EXPERIMENTS.md
+//! quotes this table).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kya_algos::push_sum::{PushSum, PushSumState};
 use kya_graph::generators;
-use kya_runtime::{Execution, FlatExecution, Isotropic, RunConfig};
+use kya_runtime::{CountingProbe, Execution, FlatExecution, Isotropic, NullProbe, RunConfig};
 use std::time::Duration;
 
 const ROUNDS: u64 = 20;
@@ -53,5 +59,48 @@ fn bench_engines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engines);
+fn bench_probe_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flat_probe_overhead");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
+    let n = 10_000usize;
+    let g = generators::random_strongly_connected(n, 2 * n, 5).with_self_loops();
+    let states = PushSumState::averaging(&values_for(n));
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("bare", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let mut exec = FlatExecution::new(PushSum, &g, PushSumState::columns(&states));
+                exec.run(ROUNDS, t);
+                exec.outputs()[0]
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("null_probe", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    let mut exec = FlatExecution::new(PushSum, &g, PushSumState::columns(&states));
+                    exec.run_probed(ROUNDS, t, &mut NullProbe);
+                    exec.outputs()[0]
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("counting_probe", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    let mut exec = FlatExecution::new(PushSum, &g, PushSumState::columns(&states));
+                    let mut probe = CountingProbe::new();
+                    exec.run_probed(ROUNDS, t, &mut probe);
+                    (exec.outputs()[0], probe.summary().messages_routed)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_probe_overhead);
 criterion_main!(benches);

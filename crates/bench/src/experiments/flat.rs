@@ -14,8 +14,16 @@ use super::Experiment;
 use kya_algos::push_sum::{PushSum, PushSumState};
 use kya_graph::StaticGraph;
 use kya_harness::{Args, CellCtx, CellOutcome, ExperimentSpec, ResultSink, SpecError};
-use kya_runtime::{Execution, FlatExecution, Isotropic, RunConfig};
+use kya_runtime::metric::EuclideanMetric;
+use kya_runtime::{
+    CountingProbe, Execution, FlatExecution, FlatRunConfig, Isotropic, Log2Histogram, RunConfig,
+};
 use std::time::Instant;
+
+/// Convergence tolerance of the sweep's measured runs; Push-Sum rarely
+/// reaches it inside the fixed budget at large n, in which case
+/// `converged_at` is honestly null.
+const EPS: f64 = 1e-9;
 
 /// The flat-engine registry entry.
 pub const EXPERIMENT: Experiment = Experiment {
@@ -66,7 +74,13 @@ fn cell(ctx: &CellCtx) -> CellOutcome {
     };
     let n = g.n();
     let rounds = ctx.rounds();
-    let states = PushSumState::averaging(&values_for(n));
+    let values = values_for(n);
+    let target = values.iter().sum::<f64>() / n.max(1) as f64;
+    let states = PushSumState::averaging(&values);
+    // First run: pure timing (unmeasured, unprobed) for an honest
+    // rounds/s. Second run: measured (and, on the flat engine, probed)
+    // for `converged_at`, the residual histogram, and the probe totals.
+    let mut outcome = CellOutcome::new();
     let (secs, outputs, bytes) = match engine {
         "flat" => {
             let closed = g.with_self_loops();
@@ -74,18 +88,52 @@ fn cell(ctx: &CellCtx) -> CellOutcome {
             let bytes = exec.resident_bytes();
             let start = Instant::now();
             exec.run(rounds, threads);
-            (start.elapsed().as_secs_f64(), exec.outputs(), Some(bytes))
+            let secs = start.elapsed().as_secs_f64();
+
+            let mut probed = FlatExecution::new(PushSum, &closed, PushSumState::columns(&states));
+            let mut probe = CountingProbe::new();
+            let report = probed.drive_probed(
+                FlatRunConfig::rounds(rounds)
+                    .threads(threads)
+                    .measure(target, EPS)
+                    .confirm(2),
+                &mut probe,
+            );
+            let residuals: Vec<f64> = probed.outputs().iter().map(|x| x - target).collect();
+            let plan = probed.plan();
+            let mut indeg = Log2Histogram::new();
+            for v in 0..plan.n() {
+                indeg.record_count(plan.indegree(v) as u64);
+            }
+            outcome = outcome
+                .report(report.without_trace())
+                .probe(probe.summary())
+                .detail("residual_hist", Log2Histogram::from_values(&residuals))
+                .detail("volume_hist", probe.volume_histogram().clone())
+                .detail("indegree_hist", indeg);
+            (secs, exec.outputs(), Some(bytes))
         }
         _ => {
             let net = StaticGraph::new((*g).clone());
-            let mut exec = Execution::new(Isotropic(PushSum), states);
+            let mut exec = Execution::new(Isotropic(PushSum), states.clone());
             let start = Instant::now();
             exec.drive(&net, RunConfig::rounds(rounds).threads(threads));
-            (start.elapsed().as_secs_f64(), exec.outputs(), None)
+            let secs = start.elapsed().as_secs_f64();
+
+            let mut measured = Execution::new(Isotropic(PushSum), states);
+            let report = measured.drive(
+                &net,
+                RunConfig::rounds(rounds)
+                    .threads(threads)
+                    .measure(&EuclideanMetric, &target, EPS)
+                    .confirm(2),
+            );
+            outcome = outcome.report(report.without_trace());
+            (secs, exec.outputs(), None)
         }
     };
     let ok = outputs.iter().all(|x| x.is_finite());
-    let mut outcome = CellOutcome::new()
+    outcome = outcome
         .ok(ok)
         .detail("engine", engine)
         .detail("threads", threads)
@@ -112,14 +160,20 @@ fn render(sink: &ResultSink) -> String {
     let mut out = String::new();
     out.push_str("Flat engine vs boxed executor (Push-Sum, full round budget)\n");
     out.push_str(&format!(
-        "{:>22} {:>9} {:>8} {:>8} {:>14} {:>12} {:>9}\n",
-        "graph", "n", "engine", "threads", "rounds/s", "bytes/agent", "speedup"
+        "{:>22} {:>9} {:>8} {:>8} {:>14} {:>12} {:>8} {:>9}\n",
+        "graph", "n", "engine", "threads", "rounds/s", "bytes/agent", "conv@", "speedup"
     ));
     for r in sink.records() {
         let (engine, threads) = parse_variant(&r.variant);
         let rps = detail_f64(r, "rounds_per_sec").unwrap_or(0.0);
         let bytes = detail_f64(r, "bytes_per_agent")
             .map(|b| format!("{b:.1}"))
+            .unwrap_or_else(|| "-".to_string());
+        let conv = r
+            .report
+            .as_ref()
+            .and_then(|rep| rep.converged_at)
+            .map(|c| c.to_string())
             .unwrap_or_else(|| "-".to_string());
         // Speedup vs the boxed cell at the same (graph, n, threads).
         let speedup = if engine == "flat" {
@@ -137,8 +191,8 @@ fn render(sink: &ResultSink) -> String {
             "-".to_string()
         };
         out.push_str(&format!(
-            "{:>22} {:>9} {:>8} {:>8} {:>14.1} {:>12} {:>9}\n",
-            r.topology, r.n, engine, threads, rps, bytes, speedup
+            "{:>22} {:>9} {:>8} {:>8} {:>14.1} {:>12} {:>8} {:>9}\n",
+            r.topology, r.n, engine, threads, rps, bytes, conv, speedup
         ));
     }
     out.push_str(

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod profile;
 
 use kya_algos::min_base::ViewState;
 use kya_algos::push_sum::{PushSum, PushSumState};

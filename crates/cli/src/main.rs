@@ -31,6 +31,12 @@
 //!                                  run the conformance matrix: differential
 //!                                  oracles keeping the execution paths and
 //!                                  arithmetic backends in agreement
+//! kya profile  [--out FILE] [--smoke] [--threads LIST] [--probe-out FILE]
+//!              [--validate FILE]
+//!                                  run the seeded flat+boxed profile matrix
+//!                                  and write the versioned BENCH_flat.json
+//!                                  snapshot (rounds/s, bytes/agent, phase
+//!                                  breakdown, host fingerprint)
 //! ```
 //!
 //! Graph specs: `ring:6`, `biring:6`, `star:5`, `path:4`, `complete:4`,
@@ -75,6 +81,8 @@ const USAGE: &str = "usage:
               [sweep flags...]
   kya trace   [EXPERIMENT] [--trace-out FILE] [--residuals] [sweep flags...]
   kya check   [--matrix small|full] [--workers N] [--ndjson]
+  kya profile [--out FILE] [--smoke] [--threads LIST] [--probe-out FILE]
+              [--validate FILE]
 
 graph specs: ring:6 biring:6 star:5 path:4 complete:4 torus:3x4 torus:12
              hypercube:3 debruijn:2x3 kautz:2x1 layered:3x8
@@ -642,6 +650,67 @@ fn cmd_check(args: &Args) -> Result<(), SpecError> {
     }
 }
 
+/// `kya profile` — run the flat+boxed profile matrix and write the
+/// schema-versioned `BENCH_flat.json` snapshot; or, with `--probe-out`,
+/// write the matrix's *deterministic* probe stream (the artifact the CI
+/// `metrics` job byte-diffs across `--threads`); or, with `--validate`,
+/// check an existing snapshot against the schema without running
+/// anything.
+fn cmd_profile(args: &Args) -> Result<(), SpecError> {
+    use kya_bench::profile::{self, ProfileConfig};
+    if let Some(path) = args.optional("validate") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SpecError(format!("cannot read `{path}`: {e}")))?;
+        let doc = serde::Value::from_json(&text)
+            .map_err(|e| SpecError(format!("`{path}` is not JSON: {e}")))?;
+        profile::validate(&doc).map_err(SpecError)?;
+        println!(
+            "kya profile: `{path}` is a valid schema-v{} snapshot",
+            profile::SCHEMA_VERSION
+        );
+        return Ok(());
+    }
+    let mut cfg = if args.is_set("smoke") {
+        ProfileConfig::smoke()
+    } else {
+        ProfileConfig::full()
+    };
+    let default_threads = cfg.threads.clone();
+    cfg.threads = args.usize_list_flag("threads", &default_threads)?;
+    if cfg.threads.iter().any(|&t| t == 0) {
+        return Err(SpecError("--threads entries must be positive".into()));
+    }
+    if let Some(path) = args.optional("probe-out") {
+        // Probe-stream mode runs at ONE thread count (the first of
+        // `--threads`) and writes only deterministic bytes, so two
+        // invocations differing in `--threads` must produce identical
+        // files.
+        let t = cfg.threads.first().copied().unwrap_or(1);
+        let stream = profile::probe_stream(&cfg, t);
+        std::fs::write(path, &stream)
+            .map_err(|e| SpecError(format!("cannot write probe stream to `{path}`: {e}")))?;
+        eprintln!(
+            "kya profile: {} probe lines written to {path}",
+            stream.lines().count()
+        );
+        return Ok(());
+    }
+    let doc = profile::run(&cfg);
+    profile::validate(&doc).map_err(SpecError)?;
+    let out = args.optional("out").unwrap_or("BENCH_flat.json");
+    std::fs::write(out, format!("{}\n", doc.to_json()))
+        .map_err(|e| SpecError(format!("cannot write snapshot to `{out}`: {e}")))?;
+    let cells = doc
+        .get("cells")
+        .and_then(serde::Value::as_seq)
+        .map_or(0, <[serde::Value]>::len);
+    println!(
+        "kya profile: wrote {out} ({cells} cells, schema v{})",
+        profile::SCHEMA_VERSION
+    );
+    Ok(())
+}
+
 fn run() -> Result<(), SpecError> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
@@ -707,6 +776,13 @@ fn run() -> Result<(), SpecError> {
         "check" => {
             args.reject_unknown(&kya_cmd, &["matrix", "workers", "ndjson"])?;
             cmd_check(&args)
+        }
+        "profile" => {
+            args.reject_unknown(
+                &kya_cmd,
+                &["out", "smoke", "threads", "probe-out", "validate"],
+            )?;
+            cmd_profile(&args)
         }
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -909,6 +985,53 @@ mod tests {
         assert!(cmd_churn(&a).is_err());
         let a = args(&["--n", "4", "--values", "1,2"]);
         assert!(cmd_churn(&a).unwrap_err().0.contains("values were given"));
+    }
+
+    #[test]
+    fn profile_subcommand_writes_and_validates_snapshots() {
+        let dir = std::env::temp_dir();
+        let out = dir.join("kya-cli-test-profile.json");
+        let a = args(&[
+            "--smoke",
+            "--threads",
+            "1",
+            "--out",
+            &out.display().to_string(),
+        ]);
+        assert!(cmd_profile(&a).is_ok());
+        // The written snapshot passes its own validator...
+        let a = args(&["--validate", &out.display().to_string()]);
+        assert!(cmd_profile(&a).is_ok());
+        // ...and a corrupted one is rejected with the offending key.
+        let text = std::fs::read_to_string(&out).unwrap();
+        std::fs::write(&out, text.replace("\"kind\":", "\"kin\":")).unwrap();
+        let err = cmd_profile(&a).unwrap_err();
+        assert!(err.0.contains("kind"), "{err}");
+        let _ = std::fs::remove_file(&out);
+        // Probe streams are byte-identical across thread counts.
+        let p1 = dir.join("kya-cli-test-probe1.ndjson");
+        let p4 = dir.join("kya-cli-test-probe4.ndjson");
+        for (path, t) in [(&p1, "1"), (&p4, "4")] {
+            let a = args(&[
+                "--smoke",
+                "--threads",
+                t,
+                "--probe-out",
+                &path.display().to_string(),
+            ]);
+            assert!(cmd_profile(&a).is_ok());
+        }
+        let s1 = std::fs::read(&p1).unwrap();
+        let s4 = std::fs::read(&p4).unwrap();
+        let _ = std::fs::remove_file(&p1);
+        let _ = std::fs::remove_file(&p4);
+        assert!(!s1.is_empty());
+        assert_eq!(s1, s4, "probe stream depends on --threads");
+        // Zero threads and missing validate targets are rejected.
+        let a = args(&["--smoke", "--threads", "0"]);
+        assert!(cmd_profile(&a).is_err());
+        let a = args(&["--validate", "/nonexistent/kya-profile.json"]);
+        assert!(cmd_profile(&a).unwrap_err().0.contains("cannot read"));
     }
 
     #[test]

@@ -24,7 +24,8 @@ use kya_runtime::faults::{FaultPlan, FaultyExecution, FaultyNetwork, Lossy};
 use kya_runtime::metric::EuclideanMetric;
 use kya_runtime::telemetry::{CountingObserver, NullObserver};
 use kya_runtime::{
-    Algorithm, Broadcast, Execution, FlatAlgorithm, FlatExecution, Isotropic, RunConfig,
+    Algorithm, Broadcast, CountingProbe, Execution, FlatAlgorithm, FlatExecution, Isotropic,
+    RunConfig,
 };
 use std::cell::{Cell, RefCell};
 
@@ -47,6 +48,11 @@ pub enum CheckKind {
     /// (b) Flat (SoA/CSR) executor bitwise identical to the boxed
     /// executor at 1, 2 and 4 threads.
     Flat,
+    /// (b) Probed flat runs: the deterministic probe stream (merged
+    /// shard counters + strided sample digests) byte-identical at 1, 2
+    /// and 4 threads, and the counters equal to the routing plan's
+    /// ground truth.
+    Probe,
 }
 
 impl CheckKind {
@@ -60,6 +66,7 @@ impl CheckKind {
             CheckKind::Lift => check_lift(ctx),
             CheckKind::Churn => check_churn(ctx),
             CheckKind::Flat => check_flat(ctx),
+            CheckKind::Probe => check_probe(ctx),
         }
     }
 }
@@ -304,6 +311,98 @@ fn check_flat(ctx: &CellCtx) -> CellOutcome {
             rounds,
         ),
         other => return fail(format!("unknown flat algorithm `{other}`")),
+    };
+    match res {
+        Ok(digest) => CellOutcome::new()
+            .ok(true)
+            .detail("digest", format!("{digest:016x}")),
+        Err(e) => fail(e),
+    }
+}
+
+/// Run the same probed flat execution at 1, 2 and 4 threads and demand
+/// the [`CountingProbe`] NDJSON streams — merged per-round counters plus
+/// the bit-exact strided sample digests — are **byte-identical**, then
+/// check the counters against the routing plan's ground truth: every
+/// round delivers exactly `plan.slots()` messages and touches exactly
+/// `slots × MSG_LANES × 8` arena bytes. Returns the fingerprint of the
+/// (shared) stream.
+fn probe_streams_agree<F: FlatAlgorithm + Clone>(
+    flat: F,
+    columns: Vec<Vec<f64>>,
+    g: &Digraph,
+    rounds: u64,
+) -> Result<u64, String> {
+    let mut baseline: Option<String> = None;
+    for t in [1usize, 2, 4] {
+        let mut exec = FlatExecution::new(flat.clone(), g, columns.clone());
+        let mut probe = CountingProbe::new();
+        exec.run_probed(rounds, t, &mut probe);
+        let slots = exec.plan().slots() as u64;
+        let s = probe.summary();
+        if s.rounds != rounds {
+            return Err(format!(
+                "probe at {t} thread(s) saw {} rounds, expected {rounds}",
+                s.rounds
+            ));
+        }
+        if s.messages_routed != rounds * slots {
+            return Err(format!(
+                "probe at {t} thread(s) counted {} routed messages, \
+                 plan ground truth is {}",
+                s.messages_routed,
+                rounds * slots
+            ));
+        }
+        let arena = slots * (F::MSG_LANES * std::mem::size_of::<f64>()) as u64;
+        for e in probe.events() {
+            if e.messages_routed != slots || e.arena_bytes != arena {
+                return Err(format!(
+                    "round {}: probe at {t} thread(s) reported {} messages / \
+                     {} arena bytes, plan ground truth is {slots} / {arena}",
+                    e.round, e.messages_routed, e.arena_bytes
+                ));
+            }
+        }
+        let stream = probe.to_ndjson();
+        match &baseline {
+            None => baseline = Some(stream),
+            Some(b) if *b != stream => {
+                return Err(format!(
+                    "probe stream at {t} thread(s) differs bytewise from 1 thread"
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    let mut fp = Fingerprint::new();
+    fp.absorb(baseline.unwrap_or_default().as_bytes());
+    Ok(fp.digest())
+}
+
+fn check_probe(ctx: &CellCtx) -> CellOutcome {
+    let cell = ctx.cell;
+    let open = if cell.topology == format!("instar:{}", cell.n) {
+        Ok(crate::nets::instar(cell.n))
+    } else {
+        parse_graph(&cell.topology)
+    };
+    let g = match open {
+        Ok(g) => g.with_self_loops(),
+        Err(e) => return fail(e.0),
+    };
+    let n = g.n();
+    let rounds = ctx.rounds();
+    let seed = cell.cell_seed;
+    let res = match cell.algorithm.as_str() {
+        "pushsum" => probe_streams_agree(
+            PushSum,
+            PushSumState::columns(&PushSumState::averaging(&vals_f64(seed, n))),
+            &g,
+            rounds,
+        ),
+        "metropolis" => probe_streams_agree(Metropolis, vec![vals_f64(seed, n)], &g, rounds),
+        other => return fail(format!("unknown probe algorithm `{other}`")),
     };
     match res {
         Ok(digest) => CellOutcome::new()

@@ -24,7 +24,11 @@
 //! - **flat** — the flat SoA/CSR executor
 //!   ([`kya_runtime::FlatExecution`]) bitwise identical to the boxed
 //!   sequential executor at 1, 2 and 4 threads
-//!   ([`checks::CheckKind::Flat`]).
+//!   ([`checks::CheckKind::Flat`]);
+//! - **probe** — the deterministic probe stream of a probed flat run
+//!   (merged shard counters plus strided bit-exact sample digests)
+//!   byte-identical at 1, 2 and 4 threads, with counters matching the
+//!   routing plan's ground truth ([`checks::CheckKind::Probe`]).
 //!
 //! The matrix reuses [`ExperimentSpec`]/[`Runner`]/[`ResultSink`], so
 //! results are **byte-identical at any worker count** — `kya check
@@ -204,11 +208,21 @@ pub fn specs(matrix: Matrix) -> Vec<(CheckKind, ExperimentSpec)> {
                     "torus:{n}",
                     "random:{n}:{n}:{seed}",
                 ])
+                .sizes(sizes.clone())
+                .seeds(seeds.clone())
+                .algorithms(["pushsum", "metropolis"])
+                .rounds(rounds)
+                .base_seed(0xc0f0_0007),
+        ),
+        (
+            CheckKind::Probe,
+            ExperimentSpec::new("conformance-probe")
+                .topologies(["ring:{n}", "instar:{n}", "random:{n}:{n}:{seed}"])
                 .sizes(sizes)
                 .seeds(seeds)
                 .algorithms(["pushsum", "metropolis"])
                 .rounds(rounds)
-                .base_seed(0xc0f0_0007),
+                .base_seed(0xc0f0_0008),
         ),
     ]
 }
@@ -267,6 +281,7 @@ mod tests {
                 CheckKind::Lift,
                 CheckKind::Churn,
                 CheckKind::Flat,
+                CheckKind::Probe,
             ]
         );
         for (_, spec) in &specs {

@@ -106,6 +106,29 @@ impl RoutingPlan {
         &self.gather
     }
 
+    /// Out-degree of vertex `v` under the plan (= its send-slot count).
+    pub fn outdegree(&self, v: Vertex) -> usize {
+        self.send_start[v + 1] - self.send_start[v]
+    }
+
+    /// In-degree of vertex `v` under the plan (= its inbox-slot count).
+    pub fn indegree(&self, v: Vertex) -> usize {
+        self.inbox_start[v + 1] - self.inbox_start[v]
+    }
+
+    /// Send slots owned by the contiguous vertex range — the shard
+    /// accounting behind the flat executor's per-shard probe counters
+    /// (a shard routes exactly this many messages in phase 1).
+    pub fn send_slots_in(&self, range: Range<Vertex>) -> usize {
+        self.send_start[range.end] - self.send_start[range.start]
+    }
+
+    /// Inbox slots owned by the contiguous vertex range — the number of
+    /// messages a phase-2 shard gathers and folds.
+    pub fn inbox_slots_in(&self, range: Range<Vertex>) -> usize {
+        self.inbox_start[range.end] - self.inbox_start[range.start]
+    }
+
     /// Resident size of the plan's arrays in bytes.
     pub fn resident_bytes(&self) -> usize {
         std::mem::size_of::<usize>()
@@ -154,6 +177,35 @@ mod tests {
                 assert!(edges.iter().any(|e| e.src == src && e.dst == v));
             }
         }
+    }
+
+    #[test]
+    fn shard_accounting_partitions_the_slots() {
+        let mut g = Digraph::new(5);
+        for v in (1..5).rev() {
+            g.add_edge(v, 0);
+        }
+        g.add_edge(0, 3);
+        let g = g.with_self_loops();
+        let plan = RoutingPlan::new(&g);
+        for v in 0..5 {
+            assert_eq!(plan.outdegree(v), g.outdegree(v));
+            assert_eq!(plan.indegree(v), g.indegree(v));
+            assert_eq!(plan.send_slots_in(v..v + 1), plan.send_range(v).len());
+            assert_eq!(plan.inbox_slots_in(v..v + 1), plan.inbox_range(v).len());
+        }
+        // Any split of 0..n partitions the slot total exactly.
+        for cut in 0..=5 {
+            assert_eq!(
+                plan.send_slots_in(0..cut) + plan.send_slots_in(cut..5),
+                plan.slots()
+            );
+            assert_eq!(
+                plan.inbox_slots_in(0..cut) + plan.inbox_slots_in(cut..5),
+                plan.slots()
+            );
+        }
+        assert_eq!(plan.send_slots_in(2..2), 0);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 use crate::runner::CellOutcome;
 use crate::spec::{CellSpec, ExperimentSpec};
 use kya_runtime::telemetry::{CountSummary, RoundEvent};
-use kya_runtime::CellReport;
+use kya_runtime::{CellReport, FlatProbeSummary};
 use serde::{Deserialize, Serialize, Value};
 
 /// The optional `telemetry` block of a [`CellRecord`]: the cell's
@@ -45,6 +45,11 @@ pub struct CellTelemetry {
     pub cache_hits: u64,
     /// Cache misses by this cell's worker while the cell ran.
     pub cache_misses: u64,
+    /// Flat-engine probe totals, when the cell ran a probed
+    /// [`FlatExecution`](kya_runtime::FlatExecution). Fully
+    /// deterministic (the probe stream is bitwise identical at any
+    /// thread count); `null` for boxed cells.
+    pub probe: Option<FlatProbeSummary>,
 }
 
 impl CellTelemetry {
@@ -121,7 +126,17 @@ impl CellRecord {
             cell_seed: cell.cell_seed,
             ok: outcome.ok,
             report: outcome.report,
-            telemetry: outcome.telemetry.as_ref().map(CellTelemetry::from_counts),
+            telemetry: match (&outcome.telemetry, outcome.probe) {
+                (None, None) => None,
+                (counts, probe) => {
+                    let mut t = counts
+                        .as_ref()
+                        .map(CellTelemetry::from_counts)
+                        .unwrap_or_default();
+                    t.probe = probe;
+                    Some(t)
+                }
+            },
             details: outcome.details,
             trace: outcome.trace,
         }

@@ -28,7 +28,7 @@
 
 use crate::algorithm::Algorithm;
 use crate::churn::Membership;
-use crate::metric::Metric;
+use crate::metric::{EuclideanMetric, Metric};
 use crate::telemetry::Observer;
 
 /// A distance functional over the whole output vector, as installed by
@@ -137,6 +137,73 @@ impl<'a, A: Algorithm> RunConfig<'a, A> {
     /// oracles.
     pub fn invariant(mut self, f: &'a dyn Fn(&[A::State]) -> f64) -> Self {
         self.invariant = Some(f);
+        self
+    }
+}
+
+/// [`RunConfig`]'s flat twin, consumed by
+/// [`FlatExecution::drive`](crate::FlatExecution::drive) /
+/// [`drive_probed`](crate::FlatExecution::drive_probed).
+///
+/// The flat executor's outputs are always `f64` and it runs on static
+/// graphs without observers or churn, so only the measurement knobs
+/// carry over: a round budget, a thread count, an optional distance
+/// functional with tolerance `eps` (judged post hoc over the whole
+/// trace, exactly like the boxed loop), and confirmed early stopping.
+/// Probing is orthogonal — pass a [`FlatProbe`](crate::FlatProbe) to
+/// `drive_probed` instead of a config knob, so the borrow of the probe
+/// stays outside the config.
+pub struct FlatRunConfig<'a> {
+    pub(crate) rounds: u64,
+    pub(crate) threads: usize,
+    pub(crate) dist: Option<DistanceFn<'a, f64>>,
+    pub(crate) eps: f64,
+    pub(crate) confirm: Option<u64>,
+}
+
+impl<'a> FlatRunConfig<'a> {
+    /// A plain run of `rounds` rounds: sequential and unmeasured.
+    pub fn rounds(rounds: u64) -> FlatRunConfig<'a> {
+        FlatRunConfig {
+            rounds,
+            threads: 1,
+            dist: None,
+            eps: 0.0,
+            confirm: None,
+        }
+    }
+
+    /// Shard each round across `threads` workers. Bit-identical to
+    /// `threads = 1` at any count — probed or not.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Measure the worst-case absolute distance of the outputs from
+    /// `target` each round and judge ε-convergence post hoc — the flat
+    /// spelling of [`RunConfig::measure`] with the Euclidean metric on
+    /// scalars. A non-finite distance ends the run at once with
+    /// `diverged_at` set.
+    pub fn measure(self, target: f64, eps: f64) -> Self {
+        self.measure_with(
+            move |outputs| crate::metric::max_distance(&EuclideanMetric, outputs, &target),
+            eps,
+        )
+    }
+
+    /// Like [`FlatRunConfig::measure`], with an arbitrary distance
+    /// functional over the output vector.
+    pub fn measure_with(mut self, dist: impl Fn(&[f64]) -> f64 + 'a, eps: f64) -> Self {
+        self.dist = Some(Box::new(dist));
+        self.eps = eps;
+        self
+    }
+
+    /// Stop early once the measured distance has stayed within the
+    /// ε-ball for `confirm` consecutive rounds.
+    pub fn confirm(mut self, confirm: u64) -> Self {
+        self.confirm = Some(confirm);
         self
     }
 }

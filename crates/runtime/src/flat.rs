@@ -32,8 +32,18 @@
 
 use kya_graph::{Digraph, RoutingPlan};
 use std::ops::Range;
+use std::time::Instant;
 
+use crate::config::FlatRunConfig;
 use crate::execution::shard_ranges;
+use crate::faults::FaultEvents;
+use crate::probe::{FlatProbe, NullProbe, PhaseTimes, ShardCounters};
+use crate::report::CellReport;
+
+/// Target number of strided samples per state lane handed to
+/// [`FlatProbe::on_lane_sample`] each round. The stride is computed
+/// from `n` alone, so the sample set is independent of thread count.
+const LANE_SAMPLE_TARGET: usize = 64;
 
 /// Maximum number of f64 lanes a flat state or message may use; bounds
 /// the executor's stack scratch buffers.
@@ -165,16 +175,31 @@ impl<A: FlatAlgorithm> FlatExecution<A> {
             .collect()
     }
 
-    /// Resident buffer bytes (states, double-buffer, send buffer,
-    /// arena, and routing plan) — the flat engine's whole per-run
-    /// footprint after warm-up.
+    /// Resident buffer bytes — the flat engine's whole per-run
+    /// footprint after warm-up: state columns and their double-buffer,
+    /// the send buffer, the full message arena (its high-water mark:
+    /// every inbox slot is re-gathered each round), and the routing
+    /// plan's offset arrays. Measured over *capacities*, so it is what
+    /// the allocator actually holds. `tests/flat_probe.rs` pins this
+    /// against the 128–168 B/agent figures in EXPERIMENTS.md.
     pub fn resident_bytes(&self) -> usize {
         let f = std::mem::size_of::<f64>();
-        f * (self.send_buf.len()
-            + self.arena.len()
-            + self.cols.iter().map(Vec::len).sum::<usize>()
-            + self.next.iter().map(Vec::len).sum::<usize>())
+        f * (self.send_buf.capacity()
+            + self.arena.capacity()
+            + self.cols.iter().map(Vec::capacity).sum::<usize>()
+            + self.next.iter().map(Vec::capacity).sum::<usize>())
             + self.plan.resident_bytes()
+    }
+
+    /// High-water mark of message-arena bytes touched by any executed
+    /// round — zero before the first round, then the full arena (every
+    /// inbox slot is re-gathered each round).
+    pub fn arena_high_water(&self) -> usize {
+        if self.round == 0 {
+            0
+        } else {
+            std::mem::size_of::<f64>() * self.arena.len()
+        }
     }
 
     /// Execute one round sequentially.
@@ -190,81 +215,160 @@ impl<A: FlatAlgorithm> FlatExecution<A> {
     ///
     /// Panics if `threads == 0`.
     pub fn step_threads(&mut self, threads: usize) {
+        self.step_probed(threads, &mut NullProbe);
+    }
+
+    /// Execute one round under a [`FlatProbe`]: per-shard counters are
+    /// merged and delivered in ascending shard order after the joins,
+    /// state lanes are sampled at a thread-independent stride, and the
+    /// wall-clock phase breakdown arrives through the separate
+    /// [`FlatProbe::on_phase_times`] hook. With [`NullProbe`] (whose
+    /// `ENABLED` is `false`) every probe branch const-folds away and
+    /// this *is* [`FlatExecution::step_threads`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn step_probed<P: FlatProbe>(&mut self, threads: usize, probe: &mut P) {
         assert!(threads > 0, "at least one worker thread");
+        let round = self.round + 1;
+        if P::ENABLED {
+            probe.on_round_start(round, self.n);
+        }
+        let mut times = PhaseTimes::default();
+        let mut mark = if P::ENABLED {
+            Some(Instant::now())
+        } else {
+            None
+        };
+
         let ranges = shard_ranges(self.n, threads);
         let ml = A::MSG_LANES;
         let algo = &self.algo;
         let plan = &self.plan;
         let cols = &self.cols;
+        lap(&mut mark, &mut times.route_us);
 
         // Phase 1: sends — each shard owns the send-buffer span of its
-        // contiguous source range.
-        if ranges.len() == 1 {
-            send_range(algo, plan, cols, &mut self.send_buf, &ranges[0]);
+        // contiguous source range. Join order is shard order, so the
+        // counters come back canonically regardless of scheduling.
+        let send_counters: Vec<ShardCounters> = if ranges.len() == 1 {
+            vec![send_range::<A, P>(
+                algo,
+                plan,
+                cols,
+                &mut self.send_buf,
+                &ranges[0],
+            )]
         } else {
             let parts = split_spans(&mut self.send_buf, &ranges, |v| plan.send_start(v) * ml);
+            let mut counters = Vec::new();
             crossbeam::scope(|scope| {
                 let handles: Vec<_> = ranges
                     .iter()
                     .zip(parts)
-                    .map(|(r, part)| scope.spawn(move |_| send_range(algo, plan, cols, part, r)))
+                    .map(|(r, part)| {
+                        scope.spawn(move |_| send_range::<A, P>(algo, plan, cols, part, r))
+                    })
                     .collect();
-                for h in handles {
-                    h.join().expect("flat send worker panicked");
-                }
+                counters = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("flat send worker panicked"))
+                    .collect();
             })
             .expect("crossbeam scope");
-        }
+            counters
+        };
+        lap(&mut mark, &mut times.send_us);
 
         // Phase 2: gather + transition fused — each shard owns the
         // arena span and next-column spans of its contiguous
         // destination range, and reads the whole send buffer.
-        let send_buf = &self.send_buf;
-        if ranges.len() == 1 {
-            let mut next: Vec<&mut [f64]> = self.next.iter_mut().map(Vec::as_mut_slice).collect();
-            gather_transition_range(
-                algo,
-                plan,
-                cols,
-                send_buf,
-                &mut self.arena,
-                &mut next,
-                &ranges[0],
-            );
-        } else {
-            let arena_parts = split_spans(&mut self.arena, &ranges, |v| plan.inbox_start(v) * ml);
-            // Per-shard bundles of (arena span, one span per next column).
-            let mut bundles: Vec<(&mut [f64], Vec<&mut [f64]>)> = arena_parts
-                .into_iter()
-                .map(|a| (a, Vec::with_capacity(A::STATE_LANES)))
-                .collect();
-            for col in self.next.iter_mut() {
-                for (part, bundle) in split_spans(col, &ranges, |v| v)
+        let gather_counters: Vec<ShardCounters> = {
+            let send_buf = &self.send_buf;
+            if ranges.len() == 1 {
+                let mut next: Vec<&mut [f64]> =
+                    self.next.iter_mut().map(Vec::as_mut_slice).collect();
+                vec![gather_transition_range::<A, P>(
+                    algo,
+                    plan,
+                    cols,
+                    send_buf,
+                    &mut self.arena,
+                    &mut next,
+                    &ranges[0],
+                )]
+            } else {
+                let arena_parts =
+                    split_spans(&mut self.arena, &ranges, |v| plan.inbox_start(v) * ml);
+                // Per-shard bundles of (arena span, one span per next column).
+                let mut bundles: Vec<(&mut [f64], Vec<&mut [f64]>)> = arena_parts
                     .into_iter()
-                    .zip(&mut bundles)
-                {
-                    bundle.1.push(part);
-                }
-            }
-            crossbeam::scope(|scope| {
-                let handles: Vec<_> = ranges
-                    .iter()
-                    .zip(bundles)
-                    .map(|(r, (arena, mut next))| {
-                        scope.spawn(move |_| {
-                            gather_transition_range(algo, plan, cols, send_buf, arena, &mut next, r)
-                        })
-                    })
+                    .map(|a| (a, Vec::with_capacity(A::STATE_LANES)))
                     .collect();
-                for h in handles {
-                    h.join().expect("flat transition worker panicked");
+                for col in self.next.iter_mut() {
+                    for (part, bundle) in split_spans(col, &ranges, |v| v)
+                        .into_iter()
+                        .zip(&mut bundles)
+                    {
+                        bundle.1.push(part);
+                    }
                 }
-            })
-            .expect("crossbeam scope");
-        }
+                let mut counters = Vec::new();
+                crossbeam::scope(|scope| {
+                    let handles: Vec<_> = ranges
+                        .iter()
+                        .zip(bundles)
+                        .map(|(r, (arena, mut next))| {
+                            scope.spawn(move |_| {
+                                gather_transition_range::<A, P>(
+                                    algo, plan, cols, send_buf, arena, &mut next, r,
+                                )
+                            })
+                        })
+                        .collect();
+                    counters = handles
+                        .into_iter()
+                        .map(|h| h.join().expect("flat transition worker panicked"))
+                        .collect();
+                })
+                .expect("crossbeam scope");
+                counters
+            }
+        };
+        lap(&mut mark, &mut times.transition_us);
 
         std::mem::swap(&mut self.cols, &mut self.next);
         self.round += 1;
+
+        if P::ENABLED {
+            for (i, c) in send_counters.iter().enumerate() {
+                probe.on_send_shard(i, c);
+            }
+            for (i, c) in gather_counters.iter().enumerate() {
+                probe.on_gather_shard(i, c);
+            }
+            let mut send_total = ShardCounters::default();
+            for c in &send_counters {
+                send_total.merge(c);
+            }
+            let mut gather_total = ShardCounters::default();
+            for c in &gather_counters {
+                gather_total.merge(c);
+            }
+            // Strided lane sampling over the post-round state; the
+            // stride depends on n only, never on the thread count.
+            let stride = (self.n / LANE_SAMPLE_TARGET).max(1);
+            let mut samples = Vec::with_capacity(self.n.div_ceil(stride));
+            for (lane, col) in self.cols.iter().enumerate() {
+                samples.clear();
+                samples.extend(col.iter().step_by(stride).copied());
+                probe.on_lane_sample(round, lane, &samples);
+            }
+            probe.on_round_end(round, &send_total, &gather_total);
+            lap(&mut mark, &mut times.merge_us);
+            probe.on_phase_times(round, &times);
+        }
     }
 
     /// Execute `rounds` rounds at the given thread count.
@@ -272,6 +376,80 @@ impl<A: FlatAlgorithm> FlatExecution<A> {
         for _ in 0..rounds {
             self.step_threads(threads);
         }
+    }
+
+    /// Execute `rounds` rounds under a [`FlatProbe`].
+    pub fn run_probed<P: FlatProbe>(&mut self, rounds: u64, threads: usize, probe: &mut P) {
+        for _ in 0..rounds {
+            self.step_probed(threads, probe);
+        }
+    }
+
+    /// Drive the execution under a [`FlatRunConfig`] — the flat twin of
+    /// [`Execution::drive`](crate::Execution::drive): a round budget
+    /// plus optional residual measurement, ε-convergence judged post
+    /// hoc over the whole trace, and confirmed early stopping. Closes
+    /// the `RunConfig::measure` parity gap, so flat sweeps report
+    /// `converged_at` instead of only fixed budgets.
+    pub fn drive(&mut self, cfg: FlatRunConfig<'_>) -> CellReport {
+        self.drive_probed(cfg, &mut NullProbe)
+    }
+
+    /// [`FlatExecution::drive`] with a [`FlatProbe`] attached to every
+    /// executed round.
+    pub fn drive_probed<P: FlatProbe>(
+        &mut self,
+        cfg: FlatRunConfig<'_>,
+        probe: &mut P,
+    ) -> CellReport {
+        let FlatRunConfig {
+            rounds,
+            threads,
+            dist,
+            eps,
+            confirm,
+        } = cfg;
+        let start = self.round;
+        let mut distances = Vec::new();
+        let mut entered: Option<u64> = None;
+        let mut executed: u64 = 0;
+        while executed < rounds {
+            self.step_probed(threads, probe);
+            executed += 1;
+            if let Some(dist) = &dist {
+                let d = dist(&self.outputs());
+                distances.push(d);
+                if !d.is_finite() {
+                    break;
+                }
+                if let Some(confirm) = confirm {
+                    if d <= eps {
+                        let at = *entered.get_or_insert(self.round);
+                        if self.round - at >= confirm {
+                            break;
+                        }
+                    } else {
+                        entered = None;
+                    }
+                }
+            }
+        }
+        let measured = dist.is_some();
+        let mut report =
+            CellReport::from_trace(start, distances, eps, 0, FaultEvents::default(), None);
+        if !measured {
+            report.rounds_run = executed;
+        }
+        report
+    }
+}
+
+/// Advance the phase timer: charge the elapsed time since the last lap
+/// to `slot` and restart. A `None` mark (probe disabled) is free.
+fn lap(mark: &mut Option<Instant>, slot: &mut u64) {
+    if let Some(t) = mark {
+        *slot = t.elapsed().as_micros() as u64;
+        *mark = Some(Instant::now());
     }
 }
 
@@ -300,18 +478,26 @@ fn split_spans<'b>(
 /// Phase 1 for one contiguous source range: compute each agent's
 /// isotropic message once and replicate it into the agent's send slots
 /// (one per out-edge, rank order). `out` is the range's span of the
-/// send buffer.
-fn send_range<A: FlatAlgorithm>(
+/// send buffer. Returns the shard's counters — all accumulation is
+/// gated on `P::ENABLED`, so the [`NullProbe`] instantiation pays
+/// nothing.
+fn send_range<A: FlatAlgorithm, P: FlatProbe>(
     algo: &A,
     plan: &RoutingPlan,
     cols: &[Vec<f64>],
     out: &mut [f64],
     range: &Range<usize>,
-) {
+) -> ShardCounters {
     let ml = A::MSG_LANES;
     let base = plan.send_start(range.start);
     let mut state = [0.0f64; MAX_LANES];
     let mut msg = [0.0f64; MAX_LANES];
+    let mut counters = ShardCounters::default();
+    if P::ENABLED {
+        counters.agents = range.len() as u64;
+        counters.messages_routed = plan.send_slots_in(range.clone()) as u64;
+        counters.lane_writes = counters.messages_routed * ml as u64;
+    }
     for v in range.clone() {
         let slots = plan.send_range(v);
         let outdeg = slots.len();
@@ -327,13 +513,15 @@ fn send_range<A: FlatAlgorithm>(
             chunk.copy_from_slice(&msg[..ml]);
         }
     }
+    counters
 }
 
 /// Phase 2 for one contiguous destination range: gather each agent's
 /// inbox from the send buffer into the arena span (already in canonical
 /// delivery order, by construction of the plan) and fold it into the
-/// next-state columns.
-fn gather_transition_range<A: FlatAlgorithm>(
+/// next-state columns. Returns the shard's counters (see
+/// [`send_range`]).
+fn gather_transition_range<A: FlatAlgorithm, P: FlatProbe>(
     algo: &A,
     plan: &RoutingPlan,
     cols: &[Vec<f64>],
@@ -341,8 +529,17 @@ fn gather_transition_range<A: FlatAlgorithm>(
     arena: &mut [f64],
     next: &mut [&mut [f64]],
     range: &Range<usize>,
-) {
+) -> ShardCounters {
     let ml = A::MSG_LANES;
+    let mut counters = ShardCounters::default();
+    if P::ENABLED {
+        let slots = plan.inbox_slots_in(range.clone()) as u64;
+        counters.agents = range.len() as u64;
+        counters.messages_routed = slots;
+        // Gathered lanes plus the per-agent next-state writes.
+        counters.lane_writes = slots * ml as u64 + (range.len() * A::STATE_LANES) as u64;
+        counters.arena_bytes = slots * (ml * std::mem::size_of::<f64>()) as u64;
+    }
     let base = plan.inbox_start(range.start);
     let gather = plan.gather();
     let mut state = [0.0f64; MAX_LANES];
@@ -368,6 +565,7 @@ fn gather_transition_range<A: FlatAlgorithm>(
             col[v - range.start] = out[l];
         }
     }
+    counters
 }
 
 #[cfg(test)]

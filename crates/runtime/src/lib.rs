@@ -64,6 +64,7 @@ mod execution;
 pub mod faults;
 pub mod flat;
 pub mod metric;
+pub mod probe;
 pub mod report;
 pub mod telemetry;
 pub mod testing;
@@ -71,10 +72,15 @@ pub mod testing;
 pub use algorithm::{
     Algorithm, Broadcast, BroadcastAlgorithm, CommunicationModel, Isotropic, IsotropicAlgorithm,
 };
-pub use config::RunConfig;
+pub use config::{FlatRunConfig, RunConfig};
 pub use execution::Execution;
 pub use flat::{FlatAlgorithm, FlatExecution};
+pub use probe::{
+    CountingProbe, FlatProbe, FlatProbeSummary, FlatRoundEvent, NullProbe, PhaseTimes,
+    ShardCounters,
+};
 pub use report::CellReport;
 pub use telemetry::{
-    CountSummary, CountingObserver, NullObserver, Observer, ResidualObserver, RoundEvent, TraceSink,
+    CountSummary, CountingObserver, Log2Histogram, NullObserver, Observer, ResidualObserver,
+    RoundEvent, TraceSink,
 };

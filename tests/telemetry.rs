@@ -9,7 +9,6 @@ use kya_graph::{Digraph, StaticGraph};
 use kya_harness::{parse_graph, CellCtx, CellOutcome, ExperimentSpec, Runner, TelemetryMode};
 use kya_runtime::telemetry::TraceSink;
 use kya_runtime::{Algorithm, Broadcast, CountingObserver, Execution, Isotropic, RunConfig};
-use std::time::{Duration, Instant};
 
 const ROUNDS: u64 = 7;
 
@@ -123,6 +122,16 @@ fn baseline_step<A: Algorithm>(algo: &A, states: &mut [A::State], graph: &Digrap
     }
 }
 
+/// The `NullObserver`-monomorphized `step` computes byte-for-byte the
+/// same states as the inline pre-observer round body.
+///
+/// This test used to double as an env-gated wall-clock comparison
+/// (`KYA_TIMING_ASSERT=1` armed a median-of-9 `step` vs baseline timing
+/// assert). That gate is retired: wall-clock now lives in the separate
+/// timing channel — the `flat_engine` bench's probe-overhead group and
+/// the `phase_us` block of `kya profile` — and never inside a functional
+/// test, which keeps `cargo test` load-insensitive. Only the
+/// unconditional state-equality check remains.
 #[test]
 fn unobserved_step_matches_inline_baseline() {
     let g = parse_graph("random:64:4:7")
@@ -130,53 +139,16 @@ fn unobserved_step_matches_inline_baseline() {
         .with_self_loops();
     let values: Vec<u64> = (0..64).map(|i| (i * 37) % 101).collect();
     const STEPS: usize = 40;
-    const TRIALS: usize = 9;
-    let mut base_times = Vec::with_capacity(TRIALS);
-    let mut step_times = Vec::with_capacity(TRIALS);
-    // Interleave the two variants so CPU noise hits both equally.
-    for _ in 0..TRIALS {
-        let algo = Broadcast(SetGossip);
-        let mut states = SetGossip::initial(&values);
-        let t0 = Instant::now();
-        for _ in 0..STEPS {
-            baseline_step(&algo, &mut states, &g);
-        }
-        base_times.push(t0.elapsed());
-        std::hint::black_box(&states);
-
-        let mut exec = Execution::new(Broadcast(SetGossip), SetGossip::initial(&values));
-        let t0 = Instant::now();
-        for _ in 0..STEPS {
-            exec.step(&g);
-        }
-        step_times.push(t0.elapsed());
-        std::hint::black_box(exec.states());
-
-        // Unconditional functional check: the observer-layer `step`
-        // computes byte-for-byte the same states as the inline baseline.
+    let algo = Broadcast(SetGossip);
+    let mut states = SetGossip::initial(&values);
+    let mut exec = Execution::new(Broadcast(SetGossip), SetGossip::initial(&values));
+    for _ in 0..STEPS {
+        baseline_step(&algo, &mut states, &g);
+        exec.step(&g);
         assert_eq!(
             exec.states(),
             &states[..],
             "observed executor diverged from the inline round body"
         );
     }
-    // The wall-clock comparison is inherently load-sensitive: even as a
-    // median-of-9 over interleaved trials it flakes on busy CI runners,
-    // so it only arms when explicitly requested (a perf-gate runner
-    // exports KYA_TIMING_ASSERT=1); the state-equality assertions above
-    // always run.
-    if std::env::var_os("KYA_TIMING_ASSERT").is_none() {
-        return;
-    }
-    base_times.sort();
-    step_times.sort();
-    let (base, step) = (base_times[TRIALS / 2], step_times[TRIALS / 2]);
-    // Medians over interleaved trials; the generous factor (plus an
-    // absolute floor for timer granularity) keeps noise out while
-    // still catching an accidentally un-elided observer dispatch, which
-    // would cost well over 3x on this message-heavy workload.
-    assert!(
-        step <= base * 3 + Duration::from_millis(5),
-        "unobserved step regressed: median {step:?} vs inline baseline {base:?}"
-    );
 }
