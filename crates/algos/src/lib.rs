@@ -24,6 +24,11 @@
 //!   Metropolis and Lazy Metropolis weights under outdegree awareness,
 //!   and the fixed-weight `1/N` variant that needs only a bound on the
 //!   network size (§5);
+//! - [`certified`]: the certified middle rung between the `f64` and exact
+//!   variants — Push-Sum and Metropolis over directed-rounding
+//!   [`Enclosure`](kya_arith::Enclosure)s whose intervals certify the
+//!   `f64` run, plus lazily-normalized ℚ twins
+//!   ([`certified::LazyPushSumExact`]) for the escalated path;
 //! - [`lifting`]: the Lifting Lemma (Lemma 3.1) as an executable check —
 //!   run an algorithm on a base, lift fibrewise, and verify the lift is a
 //!   legal execution upstairs. This is the engine of every impossibility
@@ -32,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod certified;
 pub mod frequency;
 pub mod gossip;
 pub mod lifting;

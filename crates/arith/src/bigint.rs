@@ -208,6 +208,22 @@ fn mag_shr(a: &[u64], bits: usize) -> Vec<u64> {
     out
 }
 
+/// Whether any of the low `bits` bits of the magnitude are set — the
+/// "sticky" information a truncating shift discards.
+fn mag_low_bits_nonzero(a: &[u64], bits: usize) -> bool {
+    let limbs = bits / 64;
+    if a[..limbs.min(a.len())].iter().any(|&x| x != 0) {
+        return true;
+    }
+    let rem = bits % 64;
+    if rem > 0 {
+        if let Some(&x) = a.get(limbs) {
+            return x & ((1u64 << rem) - 1) != 0;
+        }
+    }
+    false
+}
+
 fn mag_bits(a: &[u64]) -> usize {
     match a.last() {
         None => 0,
@@ -520,17 +536,29 @@ impl BigInt {
         )
     }
 
-    /// Approximate conversion to `f64` (may lose precision, may overflow to
-    /// infinity for huge magnitudes).
+    /// Correctly rounded conversion to `f64` (round-to-nearest-even;
+    /// overflows to infinity for huge magnitudes).
+    ///
+    /// Values wider than 64 bits keep their top 63 bits and fold every
+    /// dropped bit into the low bit (round-to-odd). The `u64 → f64`
+    /// conversion then rounds to nearest-even exactly as if it had seen
+    /// the full value: round-to-odd to 64 bits followed by
+    /// round-to-nearest to 53 never double-rounds, because the odd
+    /// sticky bit sits more than two positions below the kept mantissa.
     pub fn to_f64(&self) -> f64 {
         let bits = self.bits();
         let v = if bits <= 64 {
             self.mag.first().copied().unwrap_or(0) as f64
+        } else if bits > 1100 {
+            // Beyond any finite double regardless of mantissa.
+            f64::INFINITY
         } else {
-            // Take the top 64 bits and scale.
-            let top = mag_shr(&self.mag, bits - 64);
-            let top_val = top.first().copied().unwrap_or(0) as f64;
-            top_val * 2f64.powi((bits - 64) as i32)
+            let drop = bits - 63;
+            let mut m = mag_shr(&self.mag, drop).first().copied().unwrap_or(0) << 1;
+            if mag_low_bits_nonzero(&self.mag, drop) {
+                m |= 1;
+            }
+            m as f64 * 2f64.powi((drop - 1) as i32)
         };
         match self.sign {
             Sign::Negative => -v,
@@ -1035,6 +1063,29 @@ mod tests {
         let f = a.to_f64();
         assert!((f / 2f64.powi(100) - 1.0).abs() < 1e-12);
         assert_eq!((-a).to_f64(), -f);
+    }
+
+    #[test]
+    fn to_f64_rounds_to_nearest_even() {
+        // Regression: the pre-sticky conversion truncated every bit
+        // below the top 64, so 2^64 + 2^11 + 1 — one sliver above the
+        // halfway point between 2^64 and 2^64 + 2^12 — collapsed to
+        // 2^64 instead of rounding up.
+        let above_half = (&BigInt::from(1u64) << 64) + (&BigInt::from(1u64) << 11) + BigInt::one();
+        assert_eq!(above_half.to_f64(), 2f64.powi(64) + 2f64.powi(12));
+        // An exact halfway value ties to even (mantissa LSB 0 → stay).
+        let halfway = (&BigInt::from(1u64) << 64) + (&BigInt::from(1u64) << 11);
+        assert_eq!(halfway.to_f64(), 2f64.powi(64));
+        // Halfway with an odd kept mantissa ties to even (round up).
+        let halfway_odd =
+            (&BigInt::from(1u64) << 64) + (&BigInt::from(1u64) << 12) + (&BigInt::from(1u64) << 11);
+        assert_eq!(halfway_odd.to_f64(), 2f64.powi(64) + 2f64.powi(13));
+        // Below halfway rounds down even when low limbs are full.
+        let below_half = (&BigInt::from(1u64) << 64) + (&BigInt::from(1u64) << 11) - BigInt::one();
+        assert_eq!(below_half.to_f64(), 2f64.powi(64));
+        // Sign carries through; overflow saturates to infinity.
+        assert_eq!((-above_half).to_f64(), -(2f64.powi(64) + 2f64.powi(12)));
+        assert_eq!((&BigInt::one() << 1200).to_f64(), f64::INFINITY);
     }
 
     #[test]

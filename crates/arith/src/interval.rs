@@ -1,0 +1,814 @@
+//! Machine-checked f64 enclosures and the lazy-ℚ escalation ladder.
+//!
+//! The conformance backend oracle used to compare f64 runs against the
+//! exact backend with a heuristic linear tolerance. This module replaces
+//! that guess with a *certificate*: [`Enclosure`] is a `[lo, hi]`
+//! interval with outward-rounded arithmetic, and its soundness lemma is
+//! what the oracle checks.
+//!
+//! # Soundness lemma
+//!
+//! Every binary operation here evaluates each endpoint candidate with
+//! the hardware's round-to-nearest op, detects whether that op was
+//! *exact* via an error-free transformation (2Sum for `+ −`, an FMA
+//! residual for `× ÷`), and steps one ulp outward only when it was not.
+//! Because round-to-nearest is monotone, two containments follow by
+//! induction over any op sequence:
+//!
+//! 1. **the exact real value** of the expression lies in the enclosure
+//!    (each endpoint bound is a true bound on the corner's real value);
+//! 2. **every round-to-nearest f64 trajectory** of the same expression
+//!    lies in the enclosure (the f64 result of an op on contained inputs
+//!    is squeezed between the rounded corner results, which the outward
+//!    step covers).
+//!
+//! So "f64 output ∈ enclosure" is a tolerance-free differential oracle:
+//! a correct f64 implementation can never escape the box, and the box's
+//! width is a *measured* bound on `|f64 − exact|`, not an estimate.
+//!
+//! # Escalation
+//!
+//! When an enclosure cannot certify a pending comparison — a convergence
+//! threshold, the sign of an α-safety entry, a frequency-table tie — the
+//! caller escalates to exact arithmetic. [`LazyRational`] is the
+//! escalated representation: an unnormalized `num/den` pair whose `add`
+//! cancels only the denominator gcd (keeping Push-Sum denominators at
+//! the lcm of degree products instead of their product) and whose full
+//! gcd normalization is deferred to [`LazyRational::reduce`], so ℚ work
+//! is paid per-certification, not per-op.
+
+use crate::{BigInt, BigRational};
+
+/// Whether an enclosure can decide a comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Certainty {
+    /// The enclosure proves the predicate true or false.
+    Certain(bool),
+    /// The enclosure straddles the decision boundary: escalate to ℚ.
+    Unknown,
+}
+
+impl Certainty {
+    /// The decided value, if any.
+    pub fn known(self) -> Option<bool> {
+        match self {
+            Certainty::Certain(b) => Some(b),
+            Certainty::Unknown => None,
+        }
+    }
+
+    /// Whether the enclosure decided at all.
+    pub fn is_certain(self) -> bool {
+        matches!(self, Certainty::Certain(_))
+    }
+}
+
+/// 2Sum error term: zero iff `s = a + b` was exact (NaN when `s`
+/// overflowed, which callers treat as inexact).
+#[inline]
+fn two_sum_err(a: f64, b: f64, s: f64) -> f64 {
+    let bv = s - a;
+    let av = s - bv;
+    (a - av) + (b - bv)
+}
+
+/// Lower bound of the real sum `a + b`: the rounded sum, stepped one
+/// ulp down unless the 2Sum residual proves it exact.
+#[inline]
+fn sum_down(a: f64, b: f64) -> f64 {
+    let s = a + b;
+    if two_sum_err(a, b, s) == 0.0 {
+        s
+    } else {
+        s.next_down()
+    }
+}
+
+/// Upper bound of the real sum `a + b`.
+#[inline]
+fn sum_up(a: f64, b: f64) -> f64 {
+    let s = a + b;
+    if two_sum_err(a, b, s) == 0.0 {
+        s
+    } else {
+        s.next_up()
+    }
+}
+
+/// Magnitude floor below which an FMA residual cannot be trusted to
+/// witness exactness: the error of a product/quotient is a multiple of
+/// `2^(e−105)` at result exponent `e`, so it stays exactly
+/// representable (and a zero residual really means exact) only while
+/// the result is safely above the subnormal range. `1e-270 ≈ 2^-897`
+/// leaves two decades of margin over the `2^-966` cutoff.
+const EXACT_GUARD: f64 = 1e-270;
+
+/// Corner product with the interval-endpoint convention `0 · ±∞ = 0`
+/// (the extremum at a zero endpoint is attained, so the corner is
+/// exact), plus bounds: `(value, exact)`.
+#[inline]
+fn corner_mul(a: f64, b: f64) -> (f64, bool) {
+    if a == 0.0 || b == 0.0 {
+        return (0.0, true);
+    }
+    let p = a * b;
+    let exact = p.is_finite() && p.abs() >= EXACT_GUARD && a.mul_add(b, -p) == 0.0;
+    (p, exact)
+}
+
+/// Corner quotient bounds; `None` for the dominated `±∞ / ±∞` corners.
+#[inline]
+fn corner_div(a: f64, b: f64) -> Option<(f64, bool)> {
+    if a.is_infinite() && b.is_infinite() {
+        return None;
+    }
+    if a == 0.0 {
+        return Some((0.0, true));
+    }
+    let q = a / b;
+    let exact = q.is_finite() && a.abs() >= EXACT_GUARD && q != 0.0 && q.mul_add(b, -a) == 0.0;
+    Some((q, exact))
+}
+
+/// A directed-rounding interval: every real value (and every
+/// round-to-nearest f64 trajectory) of the enclosed expression lies in
+/// `[lo, hi]`. See the [module docs](self) for the soundness lemma.
+///
+/// Endpoints may be infinite (an unbounded side certifies nothing);
+/// they are never NaN, and `lo ≤ hi` always holds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Enclosure {
+    lo: f64,
+    hi: f64,
+}
+
+impl Enclosure {
+    /// The whole real line — the enclosure that certifies nothing,
+    /// produced e.g. by dividing by an interval that straddles zero.
+    pub const ENTIRE: Enclosure = Enclosure {
+        lo: f64::NEG_INFINITY,
+        hi: f64::INFINITY,
+    };
+
+    /// The exact point `[v, v]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not finite.
+    pub fn point(v: f64) -> Enclosure {
+        assert!(v.is_finite(), "Enclosure::point of non-finite {v}");
+        Enclosure { lo: v, hi: v }
+    }
+
+    /// The exact point for a finite `v`; `None` for NaN or infinities.
+    pub fn from_f64(v: f64) -> Option<Enclosure> {
+        v.is_finite().then_some(Enclosure { lo: v, hi: v })
+    }
+
+    /// Exact enclosure of an integer: a point when `|v| ≤ 2^53`, a
+    /// one-ulp bracket around the rounded value otherwise.
+    pub fn from_i64(v: i64) -> Enclosure {
+        let f = v as f64;
+        if v.unsigned_abs() <= 1u64 << 53 {
+            Enclosure { lo: f, hi: f }
+        } else {
+            Enclosure {
+                lo: f.next_down(),
+                hi: f.next_up(),
+            }
+        }
+    }
+
+    /// Exact enclosure of an unsigned integer.
+    pub fn from_u64(v: u64) -> Enclosure {
+        let f = v as f64;
+        if v <= 1u64 << 53 {
+            Enclosure { lo: f, hi: f }
+        } else {
+            Enclosure {
+                lo: f.next_down(),
+                hi: f.next_up(),
+            }
+        }
+    }
+
+    /// The tightest enclosure of an exact rational: a point when the
+    /// value is a representable double, the one-ulp bracket around the
+    /// correctly rounded conversion otherwise (with an unbounded side
+    /// when the value overflows f64 range).
+    pub fn from_rational(q: &BigRational) -> Enclosure {
+        let f = q.to_f64();
+        if f == f64::INFINITY {
+            return Enclosure {
+                lo: f64::MAX,
+                hi: f64::INFINITY,
+            };
+        }
+        if f == f64::NEG_INFINITY {
+            return Enclosure {
+                lo: f64::NEG_INFINITY,
+                hi: f64::MIN,
+            };
+        }
+        // Correct rounding puts `f` on the tight side: compare the
+        // lifted float back against `q` to bracket with the minimal
+        // one-ulp interval (any sound enclosure of `q` contains it).
+        match BigRational::from_f64(f).map(|lifted| lifted.cmp(q)) {
+            Some(std::cmp::Ordering::Equal) => Enclosure { lo: f, hi: f },
+            Some(std::cmp::Ordering::Less) => Enclosure {
+                lo: f,
+                hi: f.next_up(),
+            },
+            _ => Enclosure {
+                lo: f.next_down(),
+                hi: f,
+            },
+        }
+    }
+
+    /// The zero point.
+    pub fn zero() -> Enclosure {
+        Enclosure { lo: 0.0, hi: 0.0 }
+    }
+
+    /// The unit point.
+    pub fn one() -> Enclosure {
+        Enclosure { lo: 1.0, hi: 1.0 }
+    }
+
+    /// Lower endpoint.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Outward-rounded width `hi − lo` (infinite for unbounded sides):
+    /// the machine-checked bound on `|f64 − exact|` for any value pair
+    /// inside the enclosure.
+    pub fn width(&self) -> f64 {
+        sum_up(self.hi, -self.lo)
+    }
+
+    /// A representative point (the rounded midpoint; `lo` when hi is
+    /// unbounded, `hi` when lo is).
+    pub fn midpoint(&self) -> f64 {
+        match (self.lo.is_finite(), self.hi.is_finite()) {
+            (true, true) => self.lo + (self.hi - self.lo) / 2.0,
+            (true, false) => self.lo,
+            (false, true) => self.hi,
+            (false, false) => 0.0,
+        }
+    }
+
+    /// Whether the enclosure is a single f64 (width zero).
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Whether both endpoints are finite — the precondition for any
+    /// certification.
+    pub fn is_bounded(&self) -> bool {
+        self.lo.is_finite() && self.hi.is_finite()
+    }
+
+    /// Whether the f64 value `v` lies in the enclosure (NaN never does;
+    /// `±inf` only on an unbounded side).
+    pub fn contains(&self, v: f64) -> bool {
+        !v.is_nan() && self.lo <= v && v <= self.hi
+    }
+
+    /// Whether the exact rational `q` lies in the enclosure (exact
+    /// comparison against the lifted endpoints; an unbounded side
+    /// contains everything in that direction).
+    pub fn contains_rational(&self, q: &BigRational) -> bool {
+        let above_lo = match BigRational::from_f64(self.lo) {
+            Some(lo) => &lo <= q,
+            None => self.lo == f64::NEG_INFINITY,
+        };
+        let below_hi = match BigRational::from_f64(self.hi) {
+            Some(hi) => q <= &hi,
+            None => self.hi == f64::INFINITY,
+        };
+        above_lo && below_hi
+    }
+
+    /// Certified `self ≤ t`: true when even the upper endpoint is below
+    /// the threshold, false when even the lower endpoint is above.
+    pub fn le(&self, t: f64) -> Certainty {
+        if self.hi <= t {
+            Certainty::Certain(true)
+        } else if self.lo > t {
+            Certainty::Certain(false)
+        } else {
+            Certainty::Unknown
+        }
+    }
+
+    /// Certified `self < t`.
+    pub fn lt(&self, t: f64) -> Certainty {
+        if self.hi < t {
+            Certainty::Certain(true)
+        } else if self.lo >= t {
+            Certainty::Certain(false)
+        } else {
+            Certainty::Unknown
+        }
+    }
+
+    /// Certified `self ≥ t`.
+    pub fn ge(&self, t: f64) -> Certainty {
+        match self.lt(t) {
+            Certainty::Certain(b) => Certainty::Certain(!b),
+            Certainty::Unknown => Certainty::Unknown,
+        }
+    }
+
+    /// Certified `self > t`.
+    pub fn gt(&self, t: f64) -> Certainty {
+        match self.le(t) {
+            Certainty::Certain(b) => Certainty::Certain(!b),
+            Certainty::Unknown => Certainty::Unknown,
+        }
+    }
+
+    /// Certified sign: `Certain(true)` strictly positive,
+    /// `Certain(false)` strictly negative, `Unknown` when the enclosure
+    /// touches zero — the frequency-table tie case that escalates.
+    pub fn sign_positive(&self) -> Certainty {
+        if self.lo > 0.0 {
+            Certainty::Certain(true)
+        } else if self.hi < 0.0 {
+            Certainty::Certain(false)
+        } else {
+            Certainty::Unknown
+        }
+    }
+
+    /// Interval division by a positive integer (the Push-Sum message
+    /// split). Exact divisions — powers of two, exactly representable
+    /// quotients — stay points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn div_u64(&self, k: u64) -> Enclosure {
+        assert!(k != 0, "division by zero");
+        *self / Enclosure::from_u64(k)
+    }
+}
+
+impl std::ops::Neg for Enclosure {
+    type Output = Enclosure;
+    fn neg(self) -> Enclosure {
+        Enclosure {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
+    }
+}
+
+impl std::ops::Add for Enclosure {
+    type Output = Enclosure;
+    fn add(self, rhs: Enclosure) -> Enclosure {
+        Enclosure {
+            lo: sum_down(self.lo, rhs.lo),
+            hi: sum_up(self.hi, rhs.hi),
+        }
+    }
+}
+
+impl std::ops::Sub for Enclosure {
+    type Output = Enclosure;
+    fn sub(self, rhs: Enclosure) -> Enclosure {
+        self + (-rhs)
+    }
+}
+
+impl std::ops::Mul for Enclosure {
+    type Output = Enclosure;
+    fn mul(self, rhs: Enclosure) -> Enclosure {
+        let corners = [
+            corner_mul(self.lo, rhs.lo),
+            corner_mul(self.lo, rhs.hi),
+            corner_mul(self.hi, rhs.lo),
+            corner_mul(self.hi, rhs.hi),
+        ];
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (v, exact) in corners {
+            lo = lo.min(if exact { v } else { v.next_down() });
+            hi = hi.max(if exact { v } else { v.next_up() });
+        }
+        Enclosure { lo, hi }
+    }
+}
+
+impl std::ops::Div for Enclosure {
+    type Output = Enclosure;
+    /// Interval division; a divisor that touches zero yields
+    /// [`Enclosure::ENTIRE`] (certification fails, forcing escalation)
+    /// rather than panicking.
+    fn div(self, rhs: Enclosure) -> Enclosure {
+        if rhs.lo <= 0.0 && rhs.hi >= 0.0 {
+            return Enclosure::ENTIRE;
+        }
+        let corners = [
+            corner_div(self.lo, rhs.lo),
+            corner_div(self.lo, rhs.hi),
+            corner_div(self.hi, rhs.lo),
+            corner_div(self.hi, rhs.hi),
+        ];
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (v, exact) in corners.into_iter().flatten() {
+            lo = lo.min(if exact { v } else { v.next_down() });
+            hi = hi.max(if exact { v } else { v.next_up() });
+        }
+        Enclosure { lo, hi }
+    }
+}
+
+impl std::iter::Sum for Enclosure {
+    fn sum<I: Iterator<Item = Enclosure>>(iter: I) -> Enclosure {
+        iter.fold(Enclosure::zero(), |acc, e| acc + e)
+    }
+}
+
+/// An unnormalized rational `num/den` (`den > 0`, not necessarily
+/// coprime) — the escalated exact representation.
+///
+/// [`BigRational`] pays a full gcd on every operation to keep the
+/// canonical form its `Ord`/`Eq` need. During an escalated replay no
+/// comparison happens until the certification point, so this type defers
+/// normalization: `add`/`sub` cancel only the *denominator* gcd (which
+/// keeps a Push-Sum round's denominator at the lcm of the incoming
+/// message denominators instead of their product — linear instead of
+/// exponential bit growth), `mul` and `div_integer` cancel nothing, and
+/// one full gcd is paid in [`LazyRational::reduce`] at the end.
+#[derive(Clone, Debug)]
+pub struct LazyRational {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl LazyRational {
+    /// The zero value.
+    pub fn zero() -> LazyRational {
+        LazyRational {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// The unit value.
+    pub fn one() -> LazyRational {
+        LazyRational {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// An exact integer.
+    pub fn from_integer(v: impl Into<BigInt>) -> LazyRational {
+        LazyRational {
+            num: v.into(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// Adopt a canonical rational (already reduced; no gcd paid).
+    pub fn from_rational(q: &BigRational) -> LazyRational {
+        LazyRational {
+            num: q.numer().clone(),
+            den: q.denom().clone(),
+        }
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Lazy sum: cancels the denominator gcd only, skipping the second
+    /// numerator-side gcd a canonical add would pay.
+    pub fn add(&self, other: &LazyRational) -> LazyRational {
+        let g = self.den.gcd(&other.den);
+        if g.is_one() {
+            LazyRational {
+                num: &(&self.num * &other.den) + &(&other.num * &self.den),
+                den: &self.den * &other.den,
+            }
+        } else {
+            let ld = &self.den / &g;
+            let rd = &other.den / &g;
+            LazyRational {
+                num: &(&self.num * &rd) + &(&other.num * &ld),
+                den: &ld * &other.den,
+            }
+        }
+    }
+
+    /// Lazy difference.
+    pub fn sub(&self, other: &LazyRational) -> LazyRational {
+        self.add(&other.neg())
+    }
+
+    /// Lazy product: no cancellation at all.
+    pub fn mul(&self, other: &LazyRational) -> LazyRational {
+        LazyRational {
+            num: &self.num * &other.num,
+            den: &self.den * &other.den,
+        }
+    }
+
+    /// Lazy division by a positive integer: one limb multiply, no gcd.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn div_integer(&self, k: u64) -> LazyRational {
+        assert!(k != 0, "division by zero");
+        LazyRational {
+            num: self.num.clone(),
+            den: &self.den * &BigInt::from(k),
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> LazyRational {
+        LazyRational {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
+    }
+
+    /// Pay the deferred normalization: one full gcd, returning the
+    /// canonical [`BigRational`] certifications compare with.
+    pub fn reduce(&self) -> BigRational {
+        BigRational::new(self.num.clone(), self.den.clone())
+    }
+}
+
+impl std::iter::Sum for LazyRational {
+    fn sum<I: Iterator<Item = LazyRational>>(iter: I) -> LazyRational {
+        iter.fold(LazyRational::zero(), |acc, x| acc.add(&x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rat(n: i64, d: i64) -> BigRational {
+        BigRational::from_i64(n, d)
+    }
+
+    #[test]
+    fn point_ops_stay_points_when_exact() {
+        let a = Enclosure::point(0.5);
+        let b = Enclosure::point(0.25);
+        assert!((a + b).is_point());
+        assert_eq!((a + b).lo(), 0.75);
+        assert!((a - b).is_point());
+        assert!((a * b).is_point());
+        assert_eq!((a * b).lo(), 0.125);
+        assert!((a / b).is_point());
+        assert_eq!((a / b).lo(), 2.0);
+        assert!(Enclosure::point(1.0).div_u64(4).is_point());
+    }
+
+    #[test]
+    fn inexact_ops_bracket_the_real_value() {
+        // 0.1 + 0.2 is famously inexact.
+        let s = Enclosure::point(0.1) + Enclosure::point(0.2);
+        assert!(!s.is_point());
+        assert!(s.contains(0.1 + 0.2));
+        let exact = &BigRational::from_f64(0.1).unwrap() + &BigRational::from_f64(0.2).unwrap();
+        assert!(s.contains_rational(&exact));
+        // One third of a point is inexact but only two ulps wide.
+        let t = Enclosure::one().div_u64(3);
+        assert!(t.contains(1.0 / 3.0));
+        assert!(t.contains_rational(&rat(1, 3)));
+        assert!(t.width() <= 4.0 * f64::EPSILON);
+    }
+
+    #[test]
+    fn division_by_zero_straddling_interval_is_entire() {
+        let z = Enclosure::point(1.0) - Enclosure::one(); // exact zero point
+        assert_eq!(Enclosure::one() / z, Enclosure::ENTIRE);
+        // An inexact sum minus its rounded value brackets zero without
+        // being a zero point.
+        let straddle = Enclosure::point(0.1) + Enclosure::point(0.2) - Enclosure::point(0.1 + 0.2);
+        assert!(straddle.lo() < 0.0 && straddle.hi() > 0.0);
+        assert_eq!(Enclosure::one() / straddle, Enclosure::ENTIRE);
+        assert!(!Enclosure::ENTIRE.is_bounded());
+        assert_eq!(Enclosure::ENTIRE.sign_positive(), Certainty::Unknown);
+        assert!(Enclosure::ENTIRE.contains(f64::INFINITY));
+        assert!(!Enclosure::ENTIRE.contains(f64::NAN));
+    }
+
+    #[test]
+    fn certification_decisions() {
+        let e = Enclosure::point(0.5) + Enclosure::point(0.25);
+        assert_eq!(e.le(1.0), Certainty::Certain(true));
+        assert_eq!(e.le(0.5), Certainty::Certain(false));
+        assert_eq!(e.gt(0.0), Certainty::Certain(true));
+        assert_eq!(e.sign_positive(), Certainty::Certain(true));
+        assert_eq!((-e).sign_positive(), Certainty::Certain(false));
+        // A threshold inside the interval is undecidable.
+        let wide = Enclosure::point(0.1) + Enclosure::point(0.2);
+        assert_eq!(wide.le(0.1 + 0.2), Certainty::Unknown);
+        assert_eq!(Certainty::Unknown.known(), None);
+        assert!(Certainty::Certain(false).is_certain());
+    }
+
+    #[test]
+    fn from_rational_is_tight() {
+        // Representable values become points.
+        assert!(Enclosure::from_rational(&rat(3, 4)).is_point());
+        // Non-representable values become one-ulp brackets.
+        let third = Enclosure::from_rational(&rat(1, 3));
+        assert!(!third.is_point());
+        assert!(third.contains_rational(&rat(1, 3)));
+        assert!(third.width() <= 4.0 * f64::EPSILON);
+        // Overflowing values keep one finite endpoint.
+        let huge = BigRational::from_integer(&BigInt::one() << 2000);
+        let e = Enclosure::from_rational(&huge);
+        assert_eq!(e.hi(), f64::INFINITY);
+        assert!(e.contains_rational(&huge));
+        let tiny = -&huge;
+        let e = Enclosure::from_rational(&tiny);
+        assert_eq!(e.lo(), f64::NEG_INFINITY);
+        assert!(e.contains_rational(&tiny));
+    }
+
+    #[test]
+    fn integer_constructors_are_exact_or_bracketing() {
+        assert!(Enclosure::from_i64(1 << 53).is_point());
+        assert!(Enclosure::from_u64(1 << 53).is_point());
+        let big = (1u64 << 53) + 1;
+        let e = Enclosure::from_u64(big);
+        assert!(!e.is_point());
+        assert!(e.contains_rational(&BigRational::from_integer(BigInt::from(big))));
+        assert!(Enclosure::from_i64(-7).is_point());
+        assert_eq!(Enclosure::from_i64(-7).lo(), -7.0);
+    }
+
+    #[test]
+    fn lazy_rational_add_keeps_lcm_denominator() {
+        // 1/6 + 1/10 = (5 + 3)/30: the den-gcd add lands on lcm = 30,
+        // not the 60 a gcd-free cross-multiply would produce.
+        let a = LazyRational::from_rational(&rat(1, 6));
+        let b = LazyRational::from_rational(&rat(1, 10));
+        let s = a.add(&b);
+        assert_eq!(s.den, BigInt::from(30));
+        assert_eq!(s.reduce(), rat(4, 15));
+    }
+
+    #[test]
+    fn lazy_rational_matches_reference() {
+        let a = LazyRational::from_rational(&rat(3, 7));
+        let b = LazyRational::from_rational(&rat(-5, 21));
+        assert_eq!(a.add(&b).reduce(), &rat(3, 7) + &rat(-5, 21));
+        assert_eq!(a.sub(&b).reduce(), &rat(3, 7) - &rat(-5, 21));
+        assert_eq!(a.mul(&b).reduce(), &rat(3, 7) * &rat(-5, 21));
+        assert_eq!(a.div_integer(4).reduce(), rat(3, 7).div_integer(4));
+        assert_eq!(a.neg().reduce(), -&rat(3, 7));
+        assert!(LazyRational::zero().is_zero());
+        assert_eq!(LazyRational::one().reduce(), BigRational::one());
+    }
+
+    /// One random op applied to all three trajectories at once.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Add(i8),
+        Sub(i8),
+        Mul(i8),
+        DivInt(u8),
+    }
+
+    fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+        proptest::collection::vec(
+            (any::<u8>(), any::<i8>(), 1u8..=64u8).prop_map(|(sel, k, d)| match sel % 4 {
+                0 => Op::Add(k),
+                1 => Op::Sub(k),
+                2 => Op::Mul(k),
+                _ => Op::DivInt(d),
+            }),
+            0..24,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The tentpole differential: for a random op sequence, the
+        /// enclosure contains the BigRational ground truth AND the
+        /// round-to-nearest f64 trajectory, and the lazy-ℚ replay
+        /// reduces to the canonical ground truth exactly.
+        #[test]
+        fn enclosure_contains_ground_truth(start in -1000i64..1000, ops in arb_ops()) {
+            let mut enc = Enclosure::from_i64(start);
+            let mut exact = BigRational::from_integer(BigInt::from(start));
+            let mut lazy = LazyRational::from_integer(start);
+            let mut f = start as f64;
+            for op in &ops {
+                match *op {
+                    Op::Add(k) => {
+                        enc = enc + Enclosure::from_i64(k as i64);
+                        exact = &exact + &BigRational::from(k as i64);
+                        lazy = lazy.add(&LazyRational::from_integer(k as i64));
+                        f += k as f64;
+                    }
+                    Op::Sub(k) => {
+                        enc = enc - Enclosure::from_i64(k as i64);
+                        exact = &exact - &BigRational::from(k as i64);
+                        lazy = lazy.sub(&LazyRational::from_integer(k as i64));
+                        f -= k as f64;
+                    }
+                    Op::Mul(k) => {
+                        enc = enc * Enclosure::from_i64(k as i64);
+                        exact = &exact * &BigRational::from(k as i64);
+                        lazy = lazy.mul(&LazyRational::from_integer(k as i64));
+                        f *= k as f64;
+                    }
+                    Op::DivInt(k) => {
+                        enc = enc.div_u64(k as u64);
+                        exact = exact.div_integer(k as u64);
+                        lazy = lazy.div_integer(k as u64);
+                        f /= k as f64;
+                    }
+                }
+                prop_assert!(enc.contains_rational(&exact),
+                    "exact {exact:?} escaped {enc:?}");
+                prop_assert!(enc.contains(f), "f64 {f} escaped {enc:?}");
+            }
+            prop_assert_eq!(lazy.reduce(), exact);
+        }
+
+        /// Widths shrink under normalization: re-deriving the enclosure
+        /// from the reduced exact value is never wider than the
+        /// propagated enclosure, and still contains the value.
+        #[test]
+        fn width_shrinks_under_normalization(start in -1000i64..1000, ops in arb_ops()) {
+            let mut enc = Enclosure::from_i64(start);
+            let mut lazy = LazyRational::from_integer(start);
+            for op in &ops {
+                match *op {
+                    Op::Add(k) => {
+                        enc = enc + Enclosure::from_i64(k as i64);
+                        lazy = lazy.add(&LazyRational::from_integer(k as i64));
+                    }
+                    Op::Sub(k) => {
+                        enc = enc - Enclosure::from_i64(k as i64);
+                        lazy = lazy.sub(&LazyRational::from_integer(k as i64));
+                    }
+                    Op::Mul(k) => {
+                        enc = enc * Enclosure::from_i64(k as i64);
+                        lazy = lazy.mul(&LazyRational::from_integer(k as i64));
+                    }
+                    Op::DivInt(k) => {
+                        enc = enc.div_u64(k as u64);
+                        lazy = lazy.div_integer(k as u64);
+                    }
+                }
+            }
+            let exact = lazy.reduce();
+            let tightened = Enclosure::from_rational(&exact);
+            prop_assert!(tightened.width() <= enc.width());
+            prop_assert!(tightened.contains_rational(&exact));
+            prop_assert!(enc.contains_rational(&exact));
+        }
+
+        /// Endpoint soundness for a single op on arbitrary doubles
+        /// (drawn as raw bit patterns to cover subnormals and extreme
+        /// exponents).
+        #[test]
+        fn single_ops_are_sound(
+            abits in any::<u64>(),
+            bbits in any::<u64>(),
+        ) {
+            let (a, b) = (f64::from_bits(abits), f64::from_bits(bbits));
+            prop_assume!(a.is_finite() && b.is_finite());
+            let (ea, eb) = (Enclosure::point(a), Enclosure::point(b));
+            let (qa, qb) = (
+                BigRational::from_f64(a).unwrap(),
+                BigRational::from_f64(b).unwrap(),
+            );
+            prop_assert!((ea + eb).contains_rational(&(&qa + &qb)));
+            prop_assert!((ea + eb).contains(a + b));
+            prop_assert!((ea - eb).contains_rational(&(&qa - &qb)));
+            prop_assert!((ea * eb).contains_rational(&(&qa * &qb)));
+            prop_assert!((ea * eb).contains(a * b) || !(a * b).is_finite());
+            if b != 0.0 {
+                prop_assert!((ea / eb).contains_rational(&(&qa / &qb)));
+                prop_assert!((ea / eb).contains(a / b) || !(a / b).is_finite());
+            }
+        }
+    }
+}

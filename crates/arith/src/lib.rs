@@ -13,6 +13,9 @@
 //!   (needed to round Push-Sum outputs to the grid ℚ_N of §5.4),
 //! - [`QMatrix`]: dense rational matrices with reduced row echelon form,
 //!   rank, and kernel bases scaled to coprime integers,
+//! - [`interval`]: directed-rounding f64 enclosures ([`Enclosure`]) and
+//!   the lazily-normalized [`LazyRational`] — the certified backend's
+//!   "certify in f64, escalate to ℚ" ladder,
 //! - [`spectral`]: a Perron–Frobenius-style toolkit for non-negative
 //!   matrices (spectral radius, irreducibility) mirroring the paper's
 //!   rank-one argument,
@@ -42,6 +45,7 @@
 
 mod bigint;
 mod int_linalg;
+pub mod interval;
 mod linalg;
 mod rational;
 pub mod spectral;
@@ -49,6 +53,7 @@ pub mod stochastic;
 
 pub use bigint::{BigInt, ParseBigIntError, Sign};
 pub use int_linalg::IMatrix;
+pub use interval::{Certainty, Enclosure, LazyRational};
 pub use linalg::{KernelError, QMatrix};
 pub use rational::{BigRational, ParseRationalError};
 

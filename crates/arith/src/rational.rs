@@ -231,32 +231,68 @@ impl BigRational {
         }
     }
 
-    /// Approximate conversion to `f64`.
+    /// Correctly rounded conversion to `f64` (round-to-nearest-even).
     ///
-    /// Numerator and denominator are scaled to machine range
-    /// *independently* and the two exponents are recombined (ldexp
-    /// style), so lopsided values — a tiny numerator over a huge
-    /// denominator like `1/2^1000`, the shape late-round exact Push-Sum
-    /// residuals take — convert to the correct (sub)normal instead of
-    /// collapsing to `0.0`.
+    /// The nearest double to the exact rational value, with IEEE-754
+    /// tie-to-even at halfway points, gradual underflow through the
+    /// subnormal range (lopsided values like `1/2^1070` — the shape
+    /// late-round exact Push-Sum residuals take — convert to the exact
+    /// subnormal, not `0.0`), and saturation to `±inf` beyond f64
+    /// range. This is the semantics [`crate::interval::Enclosure`]'s
+    /// rational constructors and the conformance enclosure oracle rely
+    /// on: one integer division produces a 55-plus-bit quotient and a
+    /// sticky remainder, a single explicit round-to-nearest-even picks
+    /// the mantissa, and the final power-of-two scaling is exact — no
+    /// step rounds twice.
     pub fn to_f64(&self) -> f64 {
-        let nb = self.num.bits();
-        let db = self.den.bits();
-        if nb <= 900 && db <= 900 {
-            return self.num.to_f64() / self.den.to_f64();
+        if self.num.is_zero() {
+            return 0.0;
         }
-        let ns = nb.saturating_sub(64);
-        let ds = db.saturating_sub(64);
-        let n = (&self.num >> ns).to_f64();
-        let d = (&self.den >> ds).to_f64();
-        // n/d carries the top 64 bits of each side; 2^(ns-ds) restores
-        // the magnitudes. Beyond ±2400 the result saturates to ±inf or
-        // 0 regardless of the mantissas, so clamping is exact; the
-        // two-step multiply keeps each factor inside f64's exponent
-        // range so the only rounding happens on the final product.
-        let exp = (ns as i64 - ds as i64).clamp(-2400, 2400) as i32;
-        let h = exp / 2;
-        (n / d) * 2f64.powi(h) * 2f64.powi(exp - h)
+        let neg = self.num.is_negative();
+        let num = self.num.abs();
+        // The magnitude lies in [2^(e-1), 2^(e+1)).
+        let e = num.bits() as i64 - self.den.bits() as i64;
+        let mag = if e > 1026 {
+            f64::INFINITY
+        } else if e < -1080 {
+            0.0
+        } else {
+            // Scale so the integer quotient q = ⌊num·2^s / den⌋ carries
+            // 55 or 56 significant bits — at least two guard bits below
+            // any (sub)normal mantissa — and a sticky remainder.
+            let s = 55 - e;
+            let (sn, sd) = if s >= 0 {
+                (&num << s as usize, self.den.clone())
+            } else {
+                (num.clone(), &self.den << (-s) as usize)
+            };
+            let (q, r) = sn.div_rem(&sd);
+            let sticky = !r.is_zero();
+            let m = q.to_i64().expect("56-bit quotient fits i64") as u64;
+            let t = 64 - i64::from(m.leading_zeros());
+            let exp = t - 1 - s; // magnitude ∈ [2^exp, 2^(exp+1))
+                                 // Keep 53 bits for normals; fewer as the value sinks into
+                                 // the subnormal range (prec ≤ 0 ⇒ at most half the smallest
+                                 // subnormal: only an upward tie-break can survive).
+            let prec = (exp + 1075).clamp(0, 53);
+            let drop = (t - prec) as u32; // ≥ 2 by construction
+            let mut mant = m >> drop;
+            let round = (m >> (drop - 1)) & 1 == 1;
+            let rest = sticky || m & ((1u64 << (drop - 1)) - 1) != 0;
+            if round && (rest || mant & 1 == 1) {
+                mant += 1; // carry to 2^prec stays exact below
+            }
+            // mant·2^(drop−s) is exactly representable (or overflows to
+            // inf), so the two-step scaling never rounds a second time.
+            let exp2 = (i64::from(drop) - s) as i32;
+            let h = exp2.clamp(-1000, 1000);
+            mant as f64 * 2f64.powi(h) * 2f64.powi(exp2 - h)
+        };
+        if neg {
+            -mag
+        } else {
+            mag
+        }
     }
 
     /// Exact conversion from a finite `f64` (every finite float is a
@@ -852,6 +888,58 @@ mod tests {
         let above = BigRational::from_integer(&BigInt::one() << 2000);
         assert_eq!(above.to_f64(), f64::INFINITY);
         assert_eq!((-&above).to_f64(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn to_f64_is_correctly_rounded() {
+        // Regression: the old conversion truncated the scaled quotient
+        // (or divided two already-rounded f64s), so halfway and
+        // near-halfway quotients could land on the wrong neighbour.
+        // These pin round-to-nearest-even explicitly.
+        //
+        // 1/3 must be the nearest double, which (in exact arithmetic)
+        // differs from 1/3 by less than half an ulp in either direction.
+        let third = BigRational::from_i64(1, 3);
+        let f = third.to_f64();
+        let up = BigRational::from_f64(f.next_up()).unwrap();
+        let down = BigRational::from_f64(f.next_down()).unwrap();
+        let lifted = BigRational::from_f64(f).unwrap();
+        let err = (&lifted - &third).abs();
+        assert!(err <= (&up - &third).abs());
+        assert!(err <= (&down - &third).abs());
+        // Exact halfway between 1 and 1 + ulp ties to even (down, since
+        // 1.0's mantissa is even): (2^53 + 1) / 2^53.
+        let half_ulp =
+            BigRational::new((&BigInt::one() << 53) + BigInt::one(), &BigInt::one() << 53);
+        assert_eq!(half_ulp.to_f64(), 1.0);
+        // One sliver above that halfway point rounds up.
+        let above = BigRational::new(
+            (&BigInt::one() << 106) + (&BigInt::one() << 53) + BigInt::one(),
+            &BigInt::one() << 106,
+        );
+        assert_eq!(above.to_f64(), 1.0 + f64::EPSILON);
+        // Halfway with an odd kept mantissa ties up to even:
+        // (2^53 + 3) / 2^53 sits between 1 + ulp (odd) and 1 + 2·ulp.
+        let odd_half = BigRational::new(
+            (&BigInt::one() << 53) + BigInt::from(3),
+            &BigInt::one() << 53,
+        );
+        assert_eq!(odd_half.to_f64(), 1.0 + 2.0 * f64::EPSILON);
+        // Subnormal rounding: half the smallest subnormal ties to zero…
+        let half_min = BigRational::new(BigInt::one(), &BigInt::one() << 1075);
+        assert_eq!(half_min.to_f64(), 0.0);
+        // …one sliver above it rounds to the smallest subnormal…
+        let just_above = BigRational::new(
+            (&BigInt::one() << 1075) + BigInt::one(),
+            &BigInt::one() << 2150,
+        );
+        assert_eq!(just_above.to_f64(), f64::from_bits(1));
+        // …and 3·2^-1075 (halfway between subnormals 1 and 2) ties to
+        // the even neighbour 2·2^-1074.
+        let three_halves = BigRational::new(BigInt::from(3), &BigInt::one() << 1075);
+        assert_eq!(three_halves.to_f64(), f64::from_bits(2));
+        // Negative values mirror exactly.
+        assert_eq!((-&three_halves).to_f64(), -f64::from_bits(2));
     }
 
     #[test]

@@ -51,6 +51,37 @@ pub fn is_alpha_safe(a: &FMatrix, alpha: f64, zero_tol: f64) -> bool {
     })
 }
 
+/// Certified α-safety over entry enclosures: `Certain(true)` when every
+/// entry is provably a structural zero or provably `≥ α`,
+/// `Certain(false)` when some entry provably violates both, and
+/// `Unknown` when an enclosure straddles the α (or zero) boundary — the
+/// sign escalation point of the certified backend, where the caller
+/// re-decides the entry in exact arithmetic instead of trusting a
+/// `zero_tol` guess.
+pub fn alpha_safety_certified(entries: &[crate::Enclosure], alpha: f64) -> crate::Certainty {
+    use crate::Certainty;
+    let mut undecided = false;
+    for e in entries {
+        if e.is_point() && e.lo() == 0.0 {
+            // Provably a structural zero.
+        } else if e.ge(alpha) == Certainty::Certain(true) {
+            // Provably a safe weight.
+        } else if e.lo() > 0.0 && e.hi() < alpha {
+            // Provably positive yet provably below α: a genuine
+            // violation, certified without escalation.
+            return Certainty::Certain(false);
+        } else {
+            // Straddles the zero or the α boundary: escalate.
+            undecided = true;
+        }
+    }
+    if undecided {
+        Certainty::Unknown
+    } else {
+        Certainty::Certain(true)
+    }
+}
+
 /// Dobrushin's ergodic coefficient of a row-stochastic matrix
 /// (§5.3, eq. (1.5) of Dobrushin):
 ///
@@ -123,6 +154,38 @@ mod tests {
             }
         }
         m
+    }
+
+    #[test]
+    fn alpha_safety_certification() {
+        use crate::{Certainty, Enclosure};
+        // Exact zeros and provably-safe weights certify true.
+        let safe = [
+            Enclosure::zero(),
+            Enclosure::one().div_u64(3),
+            Enclosure::point(0.5),
+        ];
+        assert_eq!(
+            alpha_safety_certified(&safe, 0.25),
+            Certainty::Certain(true)
+        );
+        // A weight provably inside (0, α) certifies the violation.
+        let unsafe_ = [Enclosure::point(0.5).div_u64(8)];
+        assert_eq!(
+            alpha_safety_certified(&unsafe_, 0.25),
+            Certainty::Certain(false)
+        );
+        // An enclosure straddling α cannot be decided: escalate.
+        let straddling = [Enclosure::point(0.1) + Enclosure::point(0.2)];
+        assert_eq!(
+            alpha_safety_certified(&straddling, 0.1 + 0.2),
+            Certainty::Unknown
+        );
+        // An enclosure straddling zero (not a structural-zero point)
+        // cannot be decided either.
+        let near_zero =
+            [Enclosure::point(0.1) + Enclosure::point(0.2) - Enclosure::point(0.1 + 0.2)];
+        assert_eq!(alpha_safety_certified(&near_zero, 0.25), Certainty::Unknown);
     }
 
     #[test]

@@ -27,10 +27,13 @@
 //!                                  run a sweep with round-level telemetry:
 //!                                  records (with counters) on stdout, one
 //!                                  NDJSON line per round in the trace file
-//! kya check    [--matrix small|full] [--workers N] [--ndjson]
+//! kya check    [--matrix small|full] [--workers N] [--ndjson] [--only CHECK]
 //!                                  run the conformance matrix: differential
 //!                                  oracles keeping the execution paths and
 //!                                  arithmetic backends in agreement
+//!                                  (--only restricts to one oracle, e.g.
+//!                                  `--only backend` for the certified
+//!                                  enclosure oracle alone)
 //! kya profile  [--out FILE] [--smoke] [--threads LIST] [--probe-out FILE]
 //!              [--validate FILE]
 //!                                  run the seeded flat+boxed profile matrix
@@ -80,7 +83,7 @@ const USAGE: &str = "usage:
   kya sweep   [EXPERIMENT] [--workers N] [--ndjson | --json] [--engine boxed|flat|both]
               [sweep flags...]
   kya trace   [EXPERIMENT] [--trace-out FILE] [--residuals] [sweep flags...]
-  kya check   [--matrix small|full] [--workers N] [--ndjson]
+  kya check   [--matrix small|full] [--workers N] [--ndjson] [--only CHECK]
   kya profile [--out FILE] [--smoke] [--threads LIST] [--probe-out FILE]
               [--validate FILE]
 
@@ -628,7 +631,15 @@ fn cmd_check(args: &Args) -> Result<(), SpecError> {
             .map_err(|_| SpecError(format!("invalid worker count `{w}`")))?,
         None => 1,
     };
-    let results = kya_conformance::run(matrix, workers);
+    let only = match args.optional("only") {
+        Some(name) => Some(kya_conformance::CheckKind::parse(name).ok_or_else(|| {
+            SpecError(format!(
+                "unknown check `{name}` (paths|backend|relabel|mass|lift|churn|flat|probe)"
+            ))
+        })?),
+        None => None,
+    };
+    let results = kya_conformance::run_only(matrix, workers, only);
     if args.is_set("ndjson") {
         print!("{}", kya_conformance::to_ndjson(&results));
     } else {
@@ -677,7 +688,7 @@ fn cmd_profile(args: &Args) -> Result<(), SpecError> {
     };
     let default_threads = cfg.threads.clone();
     cfg.threads = args.usize_list_flag("threads", &default_threads)?;
-    if cfg.threads.iter().any(|&t| t == 0) {
+    if cfg.threads.contains(&0) {
         return Err(SpecError("--threads entries must be positive".into()));
     }
     if let Some(path) = args.optional("probe-out") {
@@ -774,7 +785,7 @@ fn run() -> Result<(), SpecError> {
             cmd_churn(&args)
         }
         "check" => {
-            args.reject_unknown(&kya_cmd, &["matrix", "workers", "ndjson"])?;
+            args.reject_unknown(&kya_cmd, &["matrix", "workers", "ndjson", "only"])?;
             cmd_check(&args)
         }
         "profile" => {

@@ -8,6 +8,11 @@
 
 use crate::fingerprint::Fingerprint;
 use crate::nets::{build_net, lift_ring};
+use kya_algos::certified::{
+    CertifiedFrequencyState, CertifiedPushSum, CertifiedPushSumFrequency, CertifiedPushSumState,
+    EscalationStats, LazyFrequencyState, LazyPushSumExact, LazyPushSumFrequencyExact,
+    LazyPushSumState,
+};
 use kya_algos::gossip::SetGossip;
 use kya_algos::lifting::check_lifting;
 use kya_algos::metropolis::Metropolis;
@@ -24,8 +29,8 @@ use kya_runtime::faults::{FaultPlan, FaultyExecution, FaultyNetwork, Lossy};
 use kya_runtime::metric::EuclideanMetric;
 use kya_runtime::telemetry::{CountingObserver, NullObserver};
 use kya_runtime::{
-    Algorithm, Broadcast, CountingProbe, Execution, FlatAlgorithm, FlatExecution, Isotropic,
-    RunConfig,
+    Algorithm, Backend, Broadcast, CountingProbe, Execution, FlatAlgorithm, FlatExecution,
+    Isotropic, RunConfig,
 };
 use std::cell::{Cell, RefCell};
 
@@ -34,7 +39,9 @@ use std::cell::{Cell, RefCell};
 pub enum CheckKind {
     /// (b) Byte-identical state streams across all execution paths.
     Paths,
-    /// (a) f64 vs exact `BigRational` within the derived tolerance.
+    /// (a) Every f64 output lies in a machine-checked interval enclosure
+    /// of the algorithm (directed rounding), escalating to lazy exact ℚ
+    /// replay when an enclosure cannot certify — no heuristic tolerance.
     Backend,
     /// (c) Vertex-relabeling equivariance.
     Relabel,
@@ -56,6 +63,36 @@ pub enum CheckKind {
 }
 
 impl CheckKind {
+    /// The check's CLI name, as accepted by `kya check --only`.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckKind::Paths => "paths",
+            CheckKind::Backend => "backend",
+            CheckKind::Relabel => "relabel",
+            CheckKind::Mass => "mass",
+            CheckKind::Lift => "lift",
+            CheckKind::Churn => "churn",
+            CheckKind::Flat => "flat",
+            CheckKind::Probe => "probe",
+        }
+    }
+
+    /// Parse a CLI check name (the inverse of [`CheckKind::name`]).
+    pub fn parse(s: &str) -> Option<CheckKind> {
+        [
+            CheckKind::Paths,
+            CheckKind::Backend,
+            CheckKind::Relabel,
+            CheckKind::Mass,
+            CheckKind::Lift,
+            CheckKind::Churn,
+            CheckKind::Flat,
+            CheckKind::Probe,
+        ]
+        .into_iter()
+        .find(|k| k.name() == s)
+    }
+
     /// Dispatch a cell to its oracle.
     pub fn run(self, ctx: &CellCtx) -> CellOutcome {
         match self {
@@ -71,14 +108,24 @@ impl CheckKind {
     }
 }
 
-/// The f64-vs-exact tolerance model (documented in EXPERIMENTS.md):
-/// every round performs an `O(n)`-term f64 accumulation, each operation
-/// contributing at most one ulp of relative error on magnitudes bounded
-/// by `scale`, and first-order error compounds linearly in the round
-/// count — `tol = c · rounds · n · ε_mach · scale` with safety factor
-/// `c = 8`.
+/// Heuristic rounding tolerance for the *non-backend* f64 oracles
+/// (relabel equivariance, self-healing mass): every round performs an
+/// `O(n)`-term f64 accumulation, each operation contributing at most one
+/// ulp of relative error on magnitudes bounded by `scale`, and
+/// first-order error compounds linearly in the round count —
+/// `tol = c · rounds · n · ε_mach · scale` with safety factor `c = 8`,
+/// floored at `32 · ε_mach · scale` so a degenerate cell (`rounds == 0`
+/// or `n == 0`) still tolerates the handful of roundings its setup and
+/// measurement perform instead of demanding bitwise equality by
+/// accident.
+///
+/// The backend oracle no longer uses this model at all: it certifies
+/// each f64 output against a machine-checked [`kya_arith::Enclosure`]
+/// (see [`CheckKind::Backend`]).
 pub fn f64_tolerance(rounds: u64, n: usize, scale: f64) -> f64 {
-    8.0 * rounds as f64 * n as f64 * f64::EPSILON * scale.max(1.0)
+    let scale = scale.max(1.0);
+    let linear = 8.0 * rounds as f64 * n as f64 * f64::EPSILON * scale;
+    linear.max(32.0 * f64::EPSILON * scale)
 }
 
 /// `splitmix64` finalizer — the same mixer the harness uses for cell
@@ -413,9 +460,28 @@ fn check_probe(ctx: &CellCtx) -> CellOutcome {
 }
 
 // ---------------------------------------------------------------------
-// (a) Backend agreement
+// (a) Backend agreement — certified enclosures, no tolerance
 // ---------------------------------------------------------------------
 
+/// The certified backend oracle. Per cell it runs the f64 algorithm and
+/// its certified twin ([`CertifiedPushSum`] / [`CertifiedPushSumFrequency`])
+/// side by side and demands every f64 output lie **inside** its
+/// machine-checked enclosure — a sound bound on every round-to-nearest
+/// trajectory (see `kya_arith::interval`), so there is no tolerance knob
+/// to tune and nothing for a genuine divergence to hide under.
+///
+/// When an enclosure cannot certify its comparison (unbounded interval:
+/// a weight that could not be proven positive), the cell *escalates*: it
+/// replays on the lazily-normalized exact twin ([`LazyPushSumExact`] /
+/// [`LazyPushSumFrequencyExact`]), audits that the exact ground truth
+/// also lies in the enclosure, and fails the uncertifiable f64 output —
+/// exactly the case the retired `f64_tolerance` comparison used to mask.
+/// The `exact` variant forces the escalated path on every cell (the cost
+/// baseline) and additionally pins the lazy replay bit-identical to the
+/// eager exact backend.
+///
+/// Certification and escalation counts land in the NDJSON details, so
+/// CI can watch the escalation rate (see `tests/escalation_guard.rs`).
 fn check_backend(ctx: &CellCtx) -> CellOutcome {
     let cell = ctx.cell;
     let net = match build_net(&cell.topology) {
@@ -425,83 +491,167 @@ fn check_backend(ctx: &CellCtx) -> CellOutcome {
     let n = net.n();
     let rounds = ctx.rounds();
     let vals = vals_u64(cell.cell_seed, n);
+    let backend = match cell.variant.as_str() {
+        // The bare axis means the default backend under test.
+        "" => Backend::Certified,
+        v => match Backend::parse(v) {
+            Some(Backend::F64) | None => {
+                return fail(format!("unknown backend variant `{v}`"));
+            }
+            Some(b) => b,
+        },
+    };
     match cell.algorithm.as_str() {
         "pushsum" => {
             let floats: Vec<f64> = vals.iter().map(|&v| v as f64).collect();
-            let ints: Vec<i64> = vals.iter().map(|&v| v as i64).collect();
             let mut approx = Execution::new(Isotropic(PushSum), PushSumState::averaging(&floats));
-            let mut exact =
-                Execution::new(Isotropic(PushSumExact), PushSumExactState::averaging(&ints));
+            let mut cert = Execution::new(
+                Isotropic(CertifiedPushSum),
+                CertifiedPushSumState::averaging(&floats),
+            );
             approx.drive(net.as_ref(), RunConfig::rounds(rounds));
-            exact.drive(net.as_ref(), RunConfig::rounds(rounds));
-            // The error is measured in exact arithmetic (the f64 output
-            // lifted exactly via `from_f64`), so the measurement itself
-            // cannot round away a violation.
-            let tol = f64_tolerance(rounds, n, 9.0);
-            let tol_q = BigRational::from_f64(tol).expect("tolerance is finite");
-            let mut max_err = BigRational::zero();
-            for (a, e) in approx.outputs().iter().zip(exact.outputs()) {
-                let Some(approx_q) = BigRational::from_f64(*a) else {
-                    return fail(format!("non-finite f64 output {a} vs exact {e}"));
-                };
-                let err = (&approx_q - e).abs();
-                if err > max_err {
-                    max_err = err;
+            cert.drive(net.as_ref(), RunConfig::rounds(rounds));
+            let enc = cert.outputs();
+            let approx_out = approx.outputs();
+            let mut stats = EscalationStats::default();
+            let mut max_width = 0.0f64;
+            for (v, (&f, e)) in approx_out.iter().zip(&enc).enumerate() {
+                stats.record(e.is_bounded());
+                if !e.contains(f) {
+                    return fail(format!(
+                        "agent {v}: f64 output {f:e} escapes its certified enclosure \
+                         [{:e}, {:e}]",
+                        e.lo(),
+                        e.hi()
+                    ));
+                }
+                if e.is_bounded() {
+                    max_width = max_width.max(e.width());
                 }
             }
-            if max_err > tol_q {
-                return fail(format!(
-                    "f64 deviates from exact by {:e} > tol {tol:e}",
-                    max_err.to_f64()
-                ));
+            if backend == Backend::Exact || stats.escalations > 0 {
+                let mut lazy = Execution::new(
+                    Isotropic(LazyPushSumExact),
+                    LazyPushSumState::averaging(&floats),
+                );
+                lazy.drive(net.as_ref(), RunConfig::rounds(rounds));
+                let ground = lazy.outputs();
+                let ints: Vec<i64> = vals.iter().map(|&v| v as i64).collect();
+                let mut eager =
+                    Execution::new(Isotropic(PushSumExact), PushSumExactState::averaging(&ints));
+                eager.drive(net.as_ref(), RunConfig::rounds(rounds));
+                if ground != eager.outputs() {
+                    return fail("lazy exact replay diverged from the eager exact backend");
+                }
+                for (v, (q, e)) in ground.iter().zip(&enc).enumerate() {
+                    if !e.contains_rational(q) {
+                        return fail(format!(
+                            "agent {v}: exact output escapes its enclosure — unsound interval"
+                        ));
+                    }
+                    if !e.is_bounded() {
+                        return fail(format!(
+                            "agent {v}: f64 output {:e} is uncertifiable (unbounded \
+                             enclosure; exact ground truth {:e})",
+                            approx_out[v],
+                            q.to_f64()
+                        ));
+                    }
+                }
             }
             CellOutcome::new()
                 .ok(true)
-                .detail("max_err", format!("{:e}", max_err.to_f64()))
+                .detail("backend", backend.as_str().to_string())
+                .detail("certifications", stats.certifications)
+                .detail("escalations", stats.escalations)
+                .detail("max_width", format!("{max_width:e}"))
         }
         "frequency" => {
             let mut approx = Execution::new(
                 Isotropic(PushSumFrequency::frequency()),
                 FrequencyState::initial(&vals),
             );
-            let mut exact = Execution::new(
-                Isotropic(PushSumFrequencyExact),
-                kya_algos::push_sum::ExactFrequencyState::initial(&vals),
+            let mut cert = Execution::new(
+                Isotropic(CertifiedPushSumFrequency),
+                CertifiedFrequencyState::initial(&vals),
             );
             approx.drive(net.as_ref(), RunConfig::rounds(rounds));
-            exact.drive(net.as_ref(), RunConfig::rounds(rounds));
-            // Frequencies are bounded by n, and the estimate is a ratio
-            // of two accumulated masses.
-            let tol = f64_tolerance(rounds, n, n as f64);
-            let tol_q = BigRational::from_f64(tol).expect("tolerance is finite");
-            let mut max_err = BigRational::zero();
-            for (a, e) in approx.outputs().iter().zip(exact.outputs()) {
-                if a.keys().ne(e.keys()) {
+            cert.drive(net.as_ref(), RunConfig::rounds(rounds));
+            let enc = cert.outputs();
+            let approx_out = approx.outputs();
+            let mut stats = EscalationStats::default();
+            let mut max_width = 0.0f64;
+            for (v, (a, em)) in approx_out.iter().zip(&enc).enumerate() {
+                if a.keys().ne(em.keys()) {
                     return fail(format!(
-                        "key sets differ: f64 {:?} vs exact {:?}",
+                        "agent {v}: key sets differ: f64 {:?} vs certified {:?}",
                         a.keys().collect::<Vec<_>>(),
-                        e.keys().collect::<Vec<_>>()
+                        em.keys().collect::<Vec<_>>()
                     ));
                 }
-                for (v, x) in a {
-                    let Some(x_q) = BigRational::from_f64(*x) else {
-                        return fail(format!("non-finite frequency for value {v}: {x}"));
-                    };
-                    let err = (&x_q - &e[v]).abs();
-                    if err > max_err {
-                        max_err = err;
+                for (val, e) in em {
+                    stats.record(e.is_bounded());
+                    let f = a[val];
+                    if !e.contains(f) {
+                        return fail(format!(
+                            "agent {v} value {val}: f64 frequency {f:e} escapes its \
+                             enclosure [{:e}, {:e}]",
+                            e.lo(),
+                            e.hi()
+                        ));
+                    }
+                    if e.is_bounded() {
+                        max_width = max_width.max(e.width());
                     }
                 }
             }
-            if max_err > tol_q {
-                return fail(format!(
-                    "frequency f64 deviates from exact by {:e} > tol {tol:e}",
-                    max_err.to_f64()
-                ));
+            if backend == Backend::Exact || stats.escalations > 0 {
+                let mut lazy = Execution::new(
+                    Isotropic(LazyPushSumFrequencyExact),
+                    LazyFrequencyState::initial(&vals),
+                );
+                lazy.drive(net.as_ref(), RunConfig::rounds(rounds));
+                let ground = lazy.outputs();
+                let mut eager = Execution::new(
+                    Isotropic(PushSumFrequencyExact),
+                    kya_algos::push_sum::ExactFrequencyState::initial(&vals),
+                );
+                eager.drive(net.as_ref(), RunConfig::rounds(rounds));
+                if ground != eager.outputs() {
+                    return fail(
+                        "lazy exact frequency replay diverged from the eager exact backend",
+                    );
+                }
+                for (v, (qm, em)) in ground.iter().zip(&enc).enumerate() {
+                    for (val, q) in qm {
+                        let Some(e) = em.get(val) else {
+                            return fail(format!(
+                                "agent {v}: exact value {val} missing from the certified run"
+                            ));
+                        };
+                        if !e.contains_rational(q) {
+                            return fail(format!(
+                                "agent {v} value {val}: exact frequency escapes its \
+                                 enclosure — unsound interval"
+                            ));
+                        }
+                    }
+                    for (val, e) in em {
+                        if !e.is_bounded() {
+                            return fail(format!(
+                                "agent {v} value {val}: f64 frequency is uncertifiable \
+                                 (weight sign unresolved by the enclosure)"
+                            ));
+                        }
+                    }
+                }
             }
             CellOutcome::new()
                 .ok(true)
-                .detail("max_err", format!("{:e}", max_err.to_f64()))
+                .detail("backend", backend.as_str().to_string())
+                .detail("certifications", stats.certifications)
+                .detail("escalations", stats.escalations)
+                .detail("max_width", format!("{max_width:e}"))
         }
         other => fail(format!("unknown backend algorithm `{other}`")),
     }
@@ -863,5 +1013,31 @@ fn check_churn(ctx: &CellCtx) -> CellOutcome {
                 .detail("frozen_agent_rounds", frozen_agent_rounds)
         }
         other => fail(format!("unknown churn algorithm `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_tolerance_is_floored_above_zero() {
+        // Regression: `f64_tolerance(0, n, scale)` used to return 0.0,
+        // turning every zero-round oracle comparison into an accidental
+        // demand for bitwise equality.
+        assert!(f64_tolerance(0, 8, 9.0) > 0.0);
+        assert!(f64_tolerance(20, 0, 9.0) > 0.0);
+        assert!(f64_tolerance(0, 0, 0.0) > 0.0);
+        // The floor is a small multiple of machine epsilon at the scale.
+        assert_eq!(f64_tolerance(0, 8, 1.0), 32.0 * f64::EPSILON);
+        assert_eq!(f64_tolerance(0, 8, 4.0), 128.0 * f64::EPSILON);
+        // Away from the degenerate corner the linear model is unchanged.
+        assert_eq!(
+            f64_tolerance(20, 8, 9.0),
+            8.0 * 20.0 * 8.0 * f64::EPSILON * 9.0
+        );
+        // Monotone in each argument.
+        assert!(f64_tolerance(40, 8, 9.0) > f64_tolerance(20, 8, 9.0));
+        assert!(f64_tolerance(20, 16, 9.0) > f64_tolerance(20, 8, 9.0));
     }
 }

@@ -9,8 +9,15 @@
 //!
 //! - **paths** — byte-identical state streams across all execution
 //!   entry points, every round ([`checks::CheckKind::Paths`]);
-//! - **backend** — f64 outputs within a derived tolerance of the exact
-//!   backend ([`checks::f64_tolerance`]);
+//! - **backend** — every f64 output lies inside a machine-checked
+//!   directed-rounding enclosure ([`kya_arith::Enclosure`]) computed by
+//!   the certified backend, escalating to lazily-normalized exact ℚ
+//!   replay when an enclosure cannot certify its comparison; the
+//!   `certified` variant runs the escalation-on-demand policy and the
+//!   `exact` variant forces the full-ℚ baseline on every cell
+//!   ([`checks::CheckKind::Backend`]). There is **no tolerance knob**:
+//!   the heuristic `f64_tolerance` model survives only in the relabel /
+//!   mass / churn oracles, where no certified twin runs;
 //! - **relabel** — vertex-relabeling equivariance (anonymity: renaming
 //!   agents must not change what they compute);
 //! - **mass** — exact mass conservation under graph faults, and bounded
@@ -152,6 +159,7 @@ pub fn specs(matrix: Matrix) -> Vec<(CheckKind, ExperimentSpec)> {
                 .sizes(sizes.clone())
                 .seeds(seeds.clone())
                 .algorithms(["pushsum", "frequency"])
+                .variants(["certified", "exact"])
                 .rounds(rounds)
                 .base_seed(0xc0f0_0002),
         ),
@@ -232,8 +240,20 @@ pub fn specs(matrix: Matrix) -> Vec<(CheckKind, ExperimentSpec)> {
 /// The returned sinks are in [`specs`] order; their NDJSON concatenation
 /// is byte-identical for every `workers` value.
 pub fn run(matrix: Matrix, workers: usize) -> Vec<(CheckKind, ResultSink)> {
+    run_only(matrix, workers, None)
+}
+
+/// Like [`run`], restricted to one check kind when `only` is set — the
+/// engine of `kya check --only <check>`, which lets CI run the expensive
+/// full-matrix backend oracle without paying for the other seven checks.
+pub fn run_only(
+    matrix: Matrix,
+    workers: usize,
+    only: Option<CheckKind>,
+) -> Vec<(CheckKind, ResultSink)> {
     specs(matrix)
         .into_iter()
+        .filter(|(kind, _)| only.is_none_or(|o| o == *kind))
         .map(|(kind, spec)| {
             let sink = Runner::new(&spec).workers(workers).run(|ctx| kind.run(ctx));
             (kind, sink)

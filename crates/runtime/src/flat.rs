@@ -49,6 +49,44 @@ const LANE_SAMPLE_TARGET: usize = 64;
 /// the executor's stack scratch buffers.
 pub const MAX_LANES: usize = 4;
 
+/// Largest structural degree a flat algorithm may carry in an f64 lane
+/// without rounding: every integer up to `2^53 - 1` is exactly
+/// representable, `2^53 + 1` is not.
+pub const MAX_EXACT_DEGREE: usize = (1 << 53) - 1;
+
+/// A structural degree too large to represent exactly as an f64 lane
+/// value (see [`exact_degree`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegreeOverflow(pub usize);
+
+impl std::fmt::Display for DegreeOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "degree {} exceeds 2^53 - 1 and is not exactly representable as f64",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for DegreeOverflow {}
+
+/// Convert a structural degree to its exact f64 representation, or fail
+/// when the integer would round.
+///
+/// Flat algorithms that tag messages with degrees (Metropolis) store
+/// them in f64 lanes; a degree at or above `2^53` would silently round
+/// and corrupt the weight `1/(1 + max(d_i, d_j))`. [`FlatExecution::new`]
+/// enforces this bound over the whole routing plan at construction, so
+/// inside a running flat algorithm `d as f64` is already exact.
+pub fn exact_degree(d: usize) -> Result<f64, DegreeOverflow> {
+    if d <= MAX_EXACT_DEGREE {
+        Ok(d as f64)
+    } else {
+        Err(DegreeOverflow(d))
+    }
+}
+
 /// An isotropic f64 algorithm in struct-of-arrays form, runnable by
 /// [`FlatExecution`].
 ///
@@ -99,8 +137,9 @@ impl<A: FlatAlgorithm> FlatExecution<A> {
     /// # Panics
     ///
     /// Panics if the column count or a column length mismatches, a lane
-    /// count is zero or exceeds [`MAX_LANES`], or a vertex lacks a
-    /// self-loop (§2.1).
+    /// count is zero or exceeds [`MAX_LANES`], a vertex lacks a
+    /// self-loop (§2.1), or a degree exceeds [`MAX_EXACT_DEGREE`] (the
+    /// [`exact_degree`] precondition of degree-tagged algorithms).
     pub fn new(algo: A, graph: &Digraph, columns: Vec<Vec<f64>>) -> FlatExecution<A> {
         assert!(
             (1..=MAX_LANES).contains(&A::STATE_LANES),
@@ -119,6 +158,11 @@ impl<A: FlatAlgorithm> FlatExecution<A> {
             assert!(graph.has_self_loop(v), "vertex {v} lacks a self-loop");
         }
         let plan = RoutingPlan::new(graph);
+        for v in 0..n {
+            if let Err(e) = exact_degree(plan.outdegree(v).max(plan.indegree(v))) {
+                panic!("vertex {v}: {e}");
+            }
+        }
         let slots = plan.slots();
         FlatExecution {
             algo,
@@ -678,5 +722,30 @@ mod tests {
     fn column_arity_checked() {
         let g = generators::directed_ring(3).with_self_loops();
         let _ = FlatExecution::new(OrderSum, &g, vec![vec![0.0; 2]]);
+    }
+
+    #[test]
+    fn exact_degree_boundary() {
+        // Every degree up to 2^53 - 1 converts exactly...
+        assert_eq!(exact_degree(0), Ok(0.0));
+        assert_eq!(exact_degree(MAX_EXACT_DEGREE), Ok(9007199254740991.0));
+        assert_eq!(
+            exact_degree(MAX_EXACT_DEGREE).unwrap() as usize,
+            MAX_EXACT_DEGREE
+        );
+        // ...and the first inexact integers are rejected rather than
+        // silently rounded (2^53 itself converts exactly, but 2^53 + 1
+        // would collapse onto it — the bound excludes the whole plateau).
+        assert_eq!(
+            exact_degree(MAX_EXACT_DEGREE + 1),
+            Err(DegreeOverflow(1 << 53))
+        );
+        assert_eq!(
+            exact_degree(MAX_EXACT_DEGREE + 2),
+            Err(DegreeOverflow((1 << 53) + 1))
+        );
+        assert!(exact_degree(usize::MAX).is_err());
+        let msg = DegreeOverflow(1 << 53).to_string();
+        assert!(msg.contains("2^53"), "unhelpful error: {msg}");
     }
 }

@@ -72,9 +72,9 @@ pub mod testing;
 pub use algorithm::{
     Algorithm, Broadcast, BroadcastAlgorithm, CommunicationModel, Isotropic, IsotropicAlgorithm,
 };
-pub use config::{FlatRunConfig, RunConfig};
+pub use config::{Backend, FlatRunConfig, RunConfig};
 pub use execution::Execution;
-pub use flat::{FlatAlgorithm, FlatExecution};
+pub use flat::{exact_degree, DegreeOverflow, FlatAlgorithm, FlatExecution, MAX_EXACT_DEGREE};
 pub use probe::{
     CountingProbe, FlatProbe, FlatProbeSummary, FlatRoundEvent, NullProbe, PhaseTimes,
     ShardCounters,
