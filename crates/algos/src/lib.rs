@@ -24,6 +24,12 @@
 //!   Metropolis and Lazy Metropolis weights under outdegree awareness,
 //!   and the fixed-weight `1/N` variant that needs only a bound on the
 //!   network size (§5);
+//! - [`quantized`]: the bounded-bandwidth twins — Push-Sum with b-bit
+//!   token shares and residual carry, Metropolis with antisymmetric
+//!   integer transfers — whose messages fit a
+//!   [`MessageCodec`](kya_runtime::MessageCodec) cap
+//!   structurally and whose token mass is conserved exactly in ℚ
+//!   (ROADMAP's bandwidth pillar);
 //! - [`certified`]: the certified middle rung between the `f64` and exact
 //!   variants — Push-Sum and Metropolis over directed-rounding
 //!   [`Enclosure`](kya_arith::Enclosure)s whose intervals certify the
@@ -44,6 +50,7 @@ pub mod lifting;
 pub mod metropolis;
 pub mod min_base;
 pub mod push_sum;
+pub mod quantized;
 pub mod views;
 
 pub use frequency::FibreCensus;

@@ -531,15 +531,28 @@ impl IsotropicAlgorithm for PushSumFrequencyExact {
 /// asymptotic convergence into finite-time exact computation
 /// (Corollary 5.3).
 ///
-/// Non-finite estimates (leader mode before weight arrives) round to 0.
+/// Non-finite estimates (leader mode before weight arrives) round to 0,
+/// and snapped values are clamped to `[0, 1]`: a frequency estimate that
+/// drifted slightly outside the unit interval (f64 cancellation can
+/// produce `-1e-12`, or `1 + 1e-12` for a value everyone holds) must not
+/// escape the frequency grid `ℚ_N ⊂ [0, 1]` as a negative or
+/// greater-than-one "frequency".
 pub fn round_to_grid(estimate: &FrequencyEstimate, bound: usize) -> BTreeMap<u64, BigRational> {
     let n = BigInt::from(bound.max(1));
+    let one = BigRational::one();
     estimate
         .iter()
         .map(|(&v, &x)| {
             let snapped = BigRational::from_f64(x)
                 .map(|r| r.best_approximation(&n))
                 .unwrap_or_else(BigRational::zero);
+            let snapped = if snapped.is_negative() {
+                BigRational::zero()
+            } else if snapped > one {
+                one.clone()
+            } else {
+                snapped
+            };
             (v, snapped)
         })
         .collect()
@@ -770,6 +783,31 @@ mod tests {
             assert!((est[&1] - 0.75).abs() < 1e-9);
             assert!((est[&9] - 0.25).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn rounding_clamps_to_unit_interval() {
+        // An estimate pushed slightly outside [0, 1] by f64 cancellation
+        // must snap back onto the frequency grid, never to a negative or
+        // greater-than-one rational.
+        let mut est = FrequencyEstimate::new();
+        est.insert(1, -1e-12); // tiny negative: snaps to 0, not -p/q
+        est.insert(2, -0.05); // would snap to -1/12 on N = 12 unclamped
+        est.insert(3, 1.0 + 1e-12); // tiny overshoot above 1
+        est.insert(4, 1.06); // would snap to 13/12 on N = 12 unclamped
+        est.insert(5, f64::INFINITY); // non-finite -> 0 (documented rule)
+        est.insert(6, f64::NAN);
+        let grid = round_to_grid(&est, 12);
+        assert_eq!(grid[&1], BigRational::zero());
+        assert_eq!(grid[&2], BigRational::zero());
+        assert_eq!(grid[&3], BigRational::one());
+        assert_eq!(grid[&4], BigRational::one());
+        assert_eq!(grid[&5], BigRational::zero());
+        assert_eq!(grid[&6], BigRational::zero());
+        // In-range estimates are untouched by the clamp.
+        let mut ok = FrequencyEstimate::new();
+        ok.insert(7, 0.3333333333);
+        assert_eq!(round_to_grid(&ok, 3)[&7], BigRational::from_i64(1, 3));
     }
 
     #[test]

@@ -998,6 +998,97 @@ mod tests {
         }
     }
 
+    /// Brute-force referee for `best_approximation`: scan *every*
+    /// denominator `q <= n` (only the two integers bracketing `x*q` can
+    /// be nearest for a given `q`), minimizing first the error, then the
+    /// reduced denominator, then the numerator. The denominator rule is
+    /// the documented tie-break; the numerator rule only disambiguates
+    /// the half-integer-on-`N = 1` corner where both candidates have
+    /// denominator 1.
+    fn brute_force_best(x: &BigRational, n: i64) -> BigRational {
+        let mut best: Option<(BigRational, BigRational)> = None;
+        for q in 1..=n {
+            let xq = x * &BigRational::from_integer(BigInt::from(q));
+            let lo = xq.floor();
+            for p in [lo.clone(), &lo + &BigInt::one()] {
+                let cand = BigRational::new(p, BigInt::from(q));
+                let err = (&cand - x).abs();
+                let take = match &best {
+                    None => true,
+                    Some((b, be)) => match err.cmp(be) {
+                        Ordering::Less => true,
+                        Ordering::Greater => false,
+                        Ordering::Equal => {
+                            cand.denom() < b.denom()
+                                || (cand.denom() == b.denom() && cand.numer() < b.numer())
+                        }
+                    },
+                };
+                if take {
+                    best = Some((cand, err));
+                }
+            }
+        }
+        best.expect("n >= 1").0
+    }
+
+    #[test]
+    fn best_approximation_tie_boundaries() {
+        // Exact-tie inputs: x is the midpoint of two adjacent grid
+        // fractions, so the "smaller denominator wins" rule decides.
+        //
+        // 1/4 on the N = 2 grid sits exactly between 0/1 and 1/2, and is
+        // the half-coefficient semiconvergent case (a = 4, t = 2 = a/2).
+        assert_eq!(rat(1, 4).best_approximation(&BigInt::from(2)), rat(0, 1));
+        // 3/4 ties between 1/2 and 1/1 (here t < a/2: the semiconvergent
+        // is rejected by the classical criterion, yet its distance ties).
+        assert_eq!(rat(3, 4).best_approximation(&BigInt::from(2)), rat(1, 1));
+        // 7/6 on N = 3 ties between 1/1 and 4/3.
+        assert_eq!(rat(7, 6).best_approximation(&BigInt::from(3)), rat(1, 1));
+        // Negative mirror: -1/4 ties between -1/2 and 0/1.
+        assert_eq!(rat(-1, 4).best_approximation(&BigInt::from(2)), rat(0, 1));
+        // 1/2 on the integer grid (N = 1): both neighbours 0/1 and 1/1
+        // have denominator 1; the floor-side convergent is returned.
+        assert_eq!(rat(1, 2).best_approximation(&BigInt::from(1)), rat(0, 1));
+        assert_eq!(rat(-1, 2).best_approximation(&BigInt::from(1)), rat(-1, 1));
+        // 1/2 on any grid with N >= 2 is exact (even and odd N alike).
+        for n in 2..=5i64 {
+            assert_eq!(rat(1, 2).best_approximation(&BigInt::from(n)), rat(1, 2));
+        }
+    }
+
+    #[test]
+    fn best_approximation_midpoint_ties_match_brute_force() {
+        // Every exact midpoint of adjacent grid fractions in [-2, 2] is a
+        // tie; the implementation must agree with the referee on all of
+        // them (this is where a wrong tie-break would hide: midpoints
+        // have denominator 2*q*q' > N, so the dense proptest below rarely
+        // produces them).
+        for n in 1..=10i64 {
+            let mut grid: Vec<BigRational> = Vec::new();
+            for q in 1..=n {
+                for p in -(2 * q)..=(2 * q) {
+                    grid.push(rat(p, q));
+                }
+            }
+            grid.sort();
+            grid.dedup();
+            for w in grid.windows(2) {
+                let mid = &(&w[0] + &w[1]) * &rat(1, 2);
+                if mid.denom() <= &BigInt::from(n) {
+                    continue;
+                }
+                let got = mid.best_approximation(&BigInt::from(n));
+                let want = brute_force_best(&mid, n);
+                assert_eq!(
+                    got, want,
+                    "midpoint of {} and {} on N = {n}: got {got}, referee {want}",
+                    w[0], w[1]
+                );
+            }
+        }
+    }
+
     #[test]
     fn ceil_round_pow() {
         assert_eq!(rat(7, 2).ceil(), BigInt::from(4));
@@ -1136,6 +1227,19 @@ mod tests {
             // Error is at most the distance to the floor integer.
             let floor = BigRational::from_integer(x.floor());
             prop_assert!((&best - &x).abs() <= (&floor - &x).abs() + BigRational::one());
+        }
+
+        /// Full differential check against the brute-force referee over
+        /// *all* denominators up to N — minimal error first, smaller
+        /// denominator on ties. Denominators up to 2000 exercise the
+        /// semiconvergent cutoff (including `t == a/2`) far beyond the
+        /// grid bound.
+        #[test]
+        fn best_approx_matches_brute_force(num in -4000i64..4000, den in 1i64..2000, n in 1i64..24) {
+            let x = rat(num, den);
+            let got = x.best_approximation(&BigInt::from(n));
+            let want = brute_force_best(&x, n);
+            prop_assert_eq!(got, want);
         }
     }
 

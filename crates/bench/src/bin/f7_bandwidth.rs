@@ -1,0 +1,3 @@
+fn main() -> std::process::ExitCode {
+    kya_bench::experiments::run_main("f7")
+}

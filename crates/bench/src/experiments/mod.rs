@@ -1,5 +1,5 @@
 //! The experiment registry: every evaluation binary (`table1`,
-//! `table2`, `f1`–`f6`, `f8`) is a thin shim over [`run_main`], which drives a
+//! `table2`, `f1`–`f8`) is a thin shim over [`run_main`], which drives a
 //! [`kya_harness::Runner`] sweep from a set of [`ExperimentSpec`]s.
 //!
 //! Shared flags (every experiment): `--workers N` (parallelism; output
@@ -13,6 +13,7 @@ pub mod f2;
 pub mod f4;
 pub mod f5;
 pub mod f6;
+pub mod f7;
 pub mod f8;
 pub mod flat;
 pub mod table1;
@@ -59,6 +60,7 @@ pub const EXPERIMENTS: &[&Experiment] = &[
     &f4::EXPERIMENT,
     &f5::EXPERIMENT,
     &f6::EXPERIMENT,
+    &f7::EXPERIMENT,
     &f8::EXPERIMENT,
     &flat::EXPERIMENT,
 ];
@@ -312,7 +314,7 @@ mod tests {
     #[test]
     fn registry_finds_all_experiments() {
         for name in [
-            "table1", "table2", "f1", "f2", "f4", "f5", "f6", "f8", "flat",
+            "table1", "table2", "f1", "f2", "f4", "f5", "f6", "f7", "f8", "flat",
         ] {
             assert!(find(name).is_some(), "{name} registered");
         }

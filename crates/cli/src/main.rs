@@ -20,6 +20,11 @@
 //!                                  averaging on an Angluin-style pairing
 //!                                  scheduler under a churn script, with a
 //!                                  churn-aware recovery report (F8)
+//! kya bandwidth --graph SPEC --values VALS [--bits B|inf] [--algo qpushsum|qmetropolis]
+//!              [--rounds R] [--json]
+//!                                  quantized averaging under a b-bit
+//!                                  bandwidth cap, with the byte ledger and
+//!                                  exact-ℚ token accounting (F7)
 //! kya sweep    [EXPERIMENT] [--workers N] [--ndjson | --json] [flags...]
 //!                                  run a registered experiment sweep on the
 //!                                  parallel harness; no EXPERIMENT lists them
@@ -58,6 +63,8 @@ use kya_algos::push_sum::{
     round_to_grid, total_mass, FrequencyState, PushSum, PushSumFrequency, PushSumState,
     SelfHealingPushSum,
 };
+use kya_algos::quantized::{QuantizedMetropolis, QuantizedPushSum};
+use kya_arith::{BigInt, BigRational};
 use kya_core::table::{render_table, NetworkKind};
 use kya_fibration::MinimumBase;
 use kya_graph::{connectivity, Digraph, RandomDynamicGraph, StaticGraph};
@@ -65,7 +72,7 @@ use kya_harness::{Args, CellOutcome, ChurnSpec, ExperimentSpec, PlanSpec, Runner
 use kya_runtime::churn::ChurnMasked;
 use kya_runtime::faults::{FaultyExecution, Lossy};
 use kya_runtime::metric::EuclideanMetric;
-use kya_runtime::{Broadcast, Execution, Isotropic, RunConfig};
+use kya_runtime::{BandwidthCap, Broadcast, ByteLedger, Execution, Isotropic, RunConfig};
 use spec::{parse_graph, parse_values, SpecError};
 use std::process::ExitCode;
 
@@ -80,6 +87,8 @@ const USAGE: &str = "usage:
   kya churn   --n N --values VALS [--fairness uniform|cover] [--churn SPEC]
               [--algo healing|metropolis] [--drop P] [--until H] [--rounds R]
               [--seed S] [--eps E] [--json]
+  kya bandwidth --graph SPEC --values VALS [--bits B|inf] [--algo qpushsum|qmetropolis]
+              [--rounds R] [--json]
   kya sweep   [EXPERIMENT] [--workers N] [--ndjson | --json] [--engine boxed|flat|both]
               [sweep flags...]
   kya trace   [EXPERIMENT] [--trace-out FILE] [--residuals] [sweep flags...]
@@ -94,7 +103,7 @@ value lists: 1,2,3 or 5x3,7 (repeat shorthand)
 crash specs: AGENT:FROM:UNTIL (crash-recover) or AGENT:FROM:- (crash-stop)
 churn specs: stable, or cAGENT:LEAVE:REJOIN[,...][+reset] (- = never rejoin),
              e.g. c1:10:30 or c1:10:30,2:20:45+reset
-sweeps:      table1 table2 f1 f2 f4 f5 f6 f8 flat (run `kya sweep` to list)";
+sweeps:      table1 table2 f1 f2 f4 f5 f6 f7 f8 flat (run `kya sweep` to list)";
 
 fn graph_and_values(args: &Args) -> Result<(Digraph, Vec<u64>), SpecError> {
     let g = parse_graph(args.required("graph")?)?;
@@ -255,6 +264,9 @@ fn cmd_pushsum(args: &Args) -> Result<(), SpecError> {
             .parse()
             .map_err(|_| SpecError("--bound must be a number".into()))?;
         println!("rounded to the grid Q_{bound}:");
+        // round_to_grid clamps to [0, 1] and sends non-finite estimates
+        // (leader mode before any weight arrives) to 0, so every printed
+        // frequency is a genuine grid point.
         for (v, f) in round_to_grid(&est, bound) {
             println!("  value {v}: {f}");
         }
@@ -403,6 +415,145 @@ fn cmd_faults(args: &Args) -> Result<(), SpecError> {
         report.events.dropped, report.events.duplicated, report.events.bounced_to_crashed
     );
     println!("{report}");
+    Ok(())
+}
+
+/// The deterministic `--json` record of one `kya bandwidth` run.
+#[derive(serde::Serialize)]
+struct BandwidthRecord {
+    graph: String,
+    algorithm: String,
+    cap: String,
+    rounds: u64,
+    n: usize,
+    outputs: Vec<f64>,
+    /// Exact token ratios in ℚ, one per agent — empty for `--bits inf`,
+    /// where the run is plain f64 and has no token ledger.
+    exact: Vec<String>,
+    mass_conserved: bool,
+    /// Max |output − input mean|, the convergence residual.
+    residual: f64,
+    bits_per_edge: u64,
+    total_bits: u64,
+    total_bytes: u64,
+}
+
+/// The F7 one-off: quantized Push-Sum or Metropolis on a static graph
+/// under a b-bit bandwidth cap, with the per-round byte ledger, exact-ℚ
+/// token accounting, and the convergence residual the cap costs.
+fn cmd_bandwidth(args: &Args) -> Result<(), SpecError> {
+    let (g, values) = graph_and_values(args)?;
+    if !connectivity::is_strongly_connected(&g) {
+        return Err(SpecError("graph is not strongly connected".into()));
+    }
+    let cap_s = args.optional("bits").unwrap_or("8");
+    let cap = BandwidthCap::parse(cap_s)
+        .ok_or_else(|| SpecError(format!("invalid --bits `{cap_s}` (1..=52, or `inf`)")))?;
+    let algo_name = args.optional("algo").unwrap_or("qpushsum");
+    let rounds = args.u64_flag("rounds", 200)?.max(1);
+    let g = g.with_self_loops();
+    let n = g.n();
+    let edges = g.edge_count() as u64;
+    let inputs: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+    let target = inputs.iter().sum::<f64>() / n as f64;
+    let ledger = ByteLedger::new();
+    let net = StaticGraph::new(g);
+
+    let (outputs, exact, mass_conserved) = match (algo_name, cap.codec()) {
+        ("qpushsum", Some(codec)) => {
+            let algo = QuantizedPushSum::new(codec.bits());
+            let inits = algo.initial(&inputs);
+            let before = QuantizedPushSum::total_tokens(&inits);
+            let mut exec = Execution::new(Isotropic(algo), inits);
+            exec.drive(&net, RunConfig::rounds(rounds).bandwidth(cap, &ledger));
+            let after = QuantizedPushSum::total_tokens(exec.states());
+            let exact: Vec<String> = exec
+                .states()
+                .iter()
+                .map(|s| {
+                    BigRational::new(BigInt::from(s.y as u64), BigInt::from(s.z as u64)).to_string()
+                })
+                .collect();
+            (exec.outputs(), exact, before == after)
+        }
+        ("qmetropolis", Some(codec)) => {
+            let bound = inputs.iter().copied().fold(1.0f64, f64::max);
+            let algo = QuantizedMetropolis::new(codec.bits(), bound);
+            let inits = algo.initial(&inputs);
+            let before = QuantizedMetropolis::total_tokens(&inits);
+            let mut exec = Execution::new(Isotropic(algo), inits);
+            exec.drive(&net, RunConfig::rounds(rounds).bandwidth(cap, &ledger));
+            let after = QuantizedMetropolis::total_tokens(exec.states());
+            let exact: Vec<String> = exec
+                .states()
+                .iter()
+                .map(|&x| {
+                    BigRational::new(BigInt::from(x as u64), BigInt::from(codec.levels()))
+                        .to_string()
+                })
+                .collect();
+            (exec.outputs(), exact, before == after)
+        }
+        // `--bits inf`: the unquantized algorithm with the cap rung as a
+        // pure observer — no tokens, so no exact column; the ledger
+        // still meters the full 64 bits per edge per round.
+        ("qpushsum", None) => {
+            let mut exec = Execution::new(Isotropic(PushSum), PushSumState::averaging(&inputs));
+            exec.drive(&net, RunConfig::rounds(rounds).bandwidth(cap, &ledger));
+            (exec.outputs(), Vec::new(), true)
+        }
+        ("qmetropolis", None) => {
+            let mut exec = Execution::new(Isotropic(Metropolis), inputs.clone());
+            exec.drive(&net, RunConfig::rounds(rounds).bandwidth(cap, &ledger));
+            (exec.outputs(), Vec::new(), true)
+        }
+        (other, _) => {
+            return Err(SpecError(format!(
+                "unknown --algo `{other}` (qpushsum|qmetropolis)"
+            )));
+        }
+    };
+    let residual = outputs
+        .iter()
+        .map(|x| (x - target).abs())
+        .fold(0.0f64, f64::max);
+    let record = BandwidthRecord {
+        graph: args.required("graph")?.to_string(),
+        algorithm: algo_name.to_string(),
+        cap: cap.label(),
+        rounds,
+        n,
+        outputs,
+        exact,
+        mass_conserved,
+        residual,
+        bits_per_edge: cap.bits_per_edge(),
+        total_bits: ledger.total_bits(),
+        total_bytes: ledger.total_bytes(),
+    };
+    if args.is_set("json") {
+        println!("{}", serde::to_json_string(&record));
+        return Ok(());
+    }
+    println!(
+        "{} averaging to {target} under cap {} ({} bits/edge/round), {rounds} rounds:",
+        record.algorithm, record.cap, record.bits_per_edge
+    );
+    for (v, x) in record.outputs.iter().enumerate() {
+        match record.exact.get(v) {
+            Some(r) => println!("  agent {v}: {x:.9}  (exact {r})"),
+            None => println!("  agent {v}: {x:.9}"),
+        }
+    }
+    println!(
+        "token mass conserved exactly: {}",
+        if record.mass_conserved { "yes" } else { "NO" }
+    );
+    println!("max |x_i - target|: {residual:.3e}");
+    println!(
+        "ledger: {edges} edges x {rounds} rounds x {} bits = {} bits ({} bytes)",
+        record.bits_per_edge, record.total_bits, record.total_bytes
+    );
     Ok(())
 }
 
@@ -634,7 +785,7 @@ fn cmd_check(args: &Args) -> Result<(), SpecError> {
     let only = match args.optional("only") {
         Some(name) => Some(kya_conformance::CheckKind::parse(name).ok_or_else(|| {
             SpecError(format!(
-                "unknown check `{name}` (paths|backend|relabel|mass|lift|churn|flat|probe)"
+                "unknown check `{name}` (paths|backend|relabel|mass|lift|churn|flat|probe|bandwidth)"
             ))
         })?),
         None => None,
@@ -783,6 +934,13 @@ fn run() -> Result<(), SpecError> {
                 ],
             )?;
             cmd_churn(&args)
+        }
+        "bandwidth" => {
+            args.reject_unknown(
+                &kya_cmd,
+                &["graph", "values", "bits", "algo", "rounds", "json"],
+            )?;
+            cmd_bandwidth(&args)
         }
         "check" => {
             args.reject_unknown(&kya_cmd, &["matrix", "workers", "ndjson", "only"])?;

@@ -21,20 +21,21 @@ use kya_algos::push_sum::{
     total_mass, FrequencyState, PushSum, PushSumExact, PushSumExactState, PushSumFrequency,
     PushSumFrequencyExact, PushSumState, SelfHealingPushSum,
 };
-use kya_arith::BigRational;
+use kya_algos::quantized::{QuantizedMetropolis, QuantizedPushSum};
+use kya_arith::{BigInt, BigRational};
 use kya_graph::{Digraph, DynamicGraph, StaticGraph};
 use kya_harness::{parse_graph, CellCtx, CellOutcome, ChurnSpec};
 use kya_runtime::churn::ChurnMasked;
 use kya_runtime::faults::{FaultPlan, FaultyExecution, FaultyNetwork, Lossy};
 use kya_runtime::metric::EuclideanMetric;
-use kya_runtime::telemetry::{CountingObserver, NullObserver};
+use kya_runtime::telemetry::{CountingObserver, NullObserver, Observer};
 use kya_runtime::{
-    Algorithm, Backend, Broadcast, CountingProbe, Execution, FlatAlgorithm, FlatExecution,
-    Isotropic, RunConfig,
+    Algorithm, Backend, BandwidthCap, Broadcast, ByteLedger, CountingProbe, Execution,
+    FlatAlgorithm, FlatExecution, FlatRunConfig, Isotropic, MessageCodec, RunConfig,
 };
 use std::cell::{Cell, RefCell};
 
-/// The six oracle kinds, in the fixed order `kya check` runs them.
+/// The oracle kinds, in the fixed order `kya check` runs them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CheckKind {
     /// (b) Byte-identical state streams across all execution paths.
@@ -60,6 +61,14 @@ pub enum CheckKind {
     /// and 4 threads, and the counters equal to the routing plan's
     /// ground truth.
     Probe,
+    /// (c) Bounded-bandwidth laws of the quantized variants: every
+    /// payload a `b`-bit cell broadcasts is a codeword (audited message
+    /// by message), token mass is conserved exactly in ℚ, the f64
+    /// trajectory coincides bitwise with the exact token ratios and
+    /// stays within the `ℚ_{2^b}` grid envelope, flat ≡ boxed bitwise
+    /// at 1/2/4 threads with identical byte ledgers, and the `b = ∞`
+    /// rung reproduces the uncapped run bitwise.
+    Bandwidth,
 }
 
 impl CheckKind {
@@ -74,6 +83,7 @@ impl CheckKind {
             CheckKind::Churn => "churn",
             CheckKind::Flat => "flat",
             CheckKind::Probe => "probe",
+            CheckKind::Bandwidth => "bandwidth",
         }
     }
 
@@ -88,6 +98,7 @@ impl CheckKind {
             CheckKind::Churn,
             CheckKind::Flat,
             CheckKind::Probe,
+            CheckKind::Bandwidth,
         ]
         .into_iter()
         .find(|k| k.name() == s)
@@ -104,6 +115,7 @@ impl CheckKind {
             CheckKind::Churn => check_churn(ctx),
             CheckKind::Flat => check_flat(ctx),
             CheckKind::Probe => check_probe(ctx),
+            CheckKind::Bandwidth => check_bandwidth(ctx),
         }
     }
 }
@@ -456,6 +468,330 @@ fn check_probe(ctx: &CellCtx) -> CellOutcome {
             .ok(true)
             .detail("digest", format!("{digest:016x}")),
         Err(e) => fail(e),
+    }
+}
+
+// ---------------------------------------------------------------------
+// (b'') Bounded bandwidth — quantized variants under b-bit caps
+// ---------------------------------------------------------------------
+
+/// Observer auditing the structural cap: every payload lane of every
+/// broadcast message must be a valid codeword (a nonnegative integer at
+/// most `2^b - 1`). Records the first violation instead of panicking so
+/// the cell fails with a deterministic NDJSON detail.
+struct CapAudit {
+    max: f64,
+    payload_lanes: usize,
+    violation: Option<String>,
+}
+
+impl CapAudit {
+    fn new(codec: MessageCodec, payload_lanes: usize) -> CapAudit {
+        CapAudit {
+            max: codec.max_codeword() as f64,
+            payload_lanes,
+            violation: None,
+        }
+    }
+}
+
+impl<A: Algorithm<Msg = (f64, f64)>> Observer<A> for CapAudit {
+    fn on_message(&mut self, round: u64, src: usize, _dst: usize, msg: &(f64, f64)) {
+        let lanes = [msg.0, msg.1];
+        for (l, &w) in lanes.iter().enumerate().take(self.payload_lanes) {
+            let is_codeword = w >= 0.0 && w.fract() == 0.0 && w <= self.max;
+            if !is_codeword && self.violation.is_none() {
+                self.violation = Some(format!(
+                    "round {round}: agent {src} lane {l} payload {w} is not a \
+                     codeword (max {})",
+                    self.max
+                ));
+            }
+        }
+    }
+}
+
+/// The `b = ∞` arm: the `bandwidth` rung with [`BandwidthCap::Unlimited`]
+/// must be a pure observer — the metered run is bitwise identical to the
+/// plain run (f64 `Debug` is shortest-roundtrip) and the ledger charges
+/// the full 64 bits per edge per round.
+fn unlimited_rung_is_pure<A>(
+    algo: A,
+    inits: Vec<A::State>,
+    g: &Digraph,
+    rounds: u64,
+) -> Result<u64, String>
+where
+    A: Algorithm + Clone + Sync,
+    A::State: Send + Sync,
+    A::Msg: Send + Sync,
+{
+    let net = StaticGraph::new(g.clone());
+    let mut plain = Execution::new(algo.clone(), inits.clone());
+    plain.drive(&net, RunConfig::rounds(rounds));
+    let ledger = ByteLedger::new();
+    let mut metered = Execution::new(algo, inits);
+    metered.drive(
+        &net,
+        RunConfig::rounds(rounds).bandwidth(BandwidthCap::Unlimited, &ledger),
+    );
+    if format!("{:?}", plain.states()) != format!("{:?}", metered.states()) {
+        return Err("b = inf rung changed the trajectory (must be a pure observer)".into());
+    }
+    let expected = rounds * g.edge_count() as u64 * 64;
+    if ledger.total_bits() != expected {
+        return Err(format!(
+            "b = inf ledger charged {} bits, expected {expected}",
+            ledger.total_bits()
+        ));
+    }
+    let mut fp = Fingerprint::new();
+    fp.absorb(plain.states());
+    Ok(fp.digest())
+}
+
+/// The shared capped-arm laws, after the algorithm-specific boxed run:
+/// exact ℚ token-mass conservation, the f64 output bitwise equal to the
+/// correctly-rounded exact token ratio, the ratio within the `ℚ_{2^b}`
+/// grid envelope of [`MessageCodec::snap`], and ledger totals equal to
+/// `rounds × edges × b` on both executors.
+#[allow(clippy::too_many_arguments)] // one flat law list, named inline
+fn capped_laws(
+    codec: MessageCodec,
+    ratios: &[(u64, u64)],
+    outputs: &[f64],
+    mass_before: BigRational,
+    mass_after: BigRational,
+    boxed_ledger: &ByteLedger,
+    flat_ledger: &ByteLedger,
+    edges: u64,
+    rounds: u64,
+) -> Result<BigRational, String> {
+    if mass_after != mass_before {
+        return Err(format!(
+            "exact token mass drifted: {mass_before} -> {mass_after}"
+        ));
+    }
+    let expected = rounds * edges * codec.bits() as u64;
+    if boxed_ledger.total_bits() != expected {
+        return Err(format!(
+            "boxed ledger charged {} bits, expected {expected}",
+            boxed_ledger.total_bits()
+        ));
+    }
+    if flat_ledger.total_bits() != boxed_ledger.total_bits() {
+        return Err(format!(
+            "flat ledger ({} bits) disagrees with boxed ledger ({} bits)",
+            flat_ledger.total_bits(),
+            boxed_ledger.total_bits()
+        ));
+    }
+    let exact: Vec<BigRational> = ratios
+        .iter()
+        .map(|&(num, den)| BigRational::new(BigInt::from(num), BigInt::from(den)))
+        .collect();
+    let mean = {
+        let num: BigRational = exact.iter().sum();
+        &num / &BigRational::from_integer(exact.len() as i64)
+    };
+    let mut max_err = BigRational::zero();
+    for (v, (r, &o)) in exact.iter().zip(outputs).enumerate() {
+        if r.to_f64().to_bits() != o.to_bits() {
+            return Err(format!(
+                "agent {v}: f64 output {o:e} escapes the exact ℚ trajectory {r}"
+            ));
+        }
+        let snapped = codec.snap(r);
+        if (r - &snapped).abs() > codec.grid_radius() {
+            return Err(format!(
+                "agent {v}: best_approximation left ratio {r} at distance > 1/2^{} \
+                 from the ℚ_{{2^{}}} grid",
+                codec.bits() + 1,
+                codec.bits()
+            ));
+        }
+        let err = (r - &mean).abs();
+        if err > max_err {
+            max_err = err;
+        }
+    }
+    Ok(max_err)
+}
+
+/// The bandwidth oracle family. Per cell (`qpushsum` / `qmetropolis` ×
+/// cap `b1`..`binf`):
+///
+/// - **structural cap** — a [`CapAudit`] observer rides the boxed run
+///   and verifies every broadcast payload lane is a codeword below
+///   `2^b` (degree lanes are structural metadata, not payload — see
+///   DESIGN.md decision 12);
+/// - **exact conservation** — total token mass over all agents,
+///   measured in exact ℚ, is invariant over the whole run;
+/// - **ℚ envelope** — each agent's f64 output equals the correctly
+///   rounded exact token ratio bitwise, and the ratio is within half a
+///   grid step of its [`MessageCodec::snap`] projection onto
+///   `ℚ_{2^b}` (the `best_approximation` grid);
+/// - **flat ≡ boxed** — bitwise state agreement at 1, 2 and 4 threads
+///   ([`flat_agree`]), with byte-identical ledgers from both executors;
+/// - **`b = ∞`** — the unquantized algorithm under an
+///   [`BandwidthCap::Unlimited`] rung is bitwise identical to the
+///   uncapped baseline ([`unlimited_rung_is_pure`]).
+fn check_bandwidth(ctx: &CellCtx) -> CellOutcome {
+    let cell = ctx.cell;
+    let g = match parse_graph(&cell.topology) {
+        Ok(g) => g.with_self_loops(),
+        Err(e) => return fail(e.0),
+    };
+    let n = g.n();
+    let edges = g.edge_count() as u64;
+    let rounds = ctx.rounds();
+    let seed = cell.cell_seed;
+    let values = vals_f64(seed, n);
+    let Some(cap) = BandwidthCap::parse(&cell.variant) else {
+        return fail(format!("unknown bandwidth variant `{}`", cell.variant));
+    };
+    match (cell.algorithm.as_str(), cap.codec()) {
+        ("qpushsum", None) => {
+            match unlimited_rung_is_pure(
+                Isotropic(PushSum),
+                PushSumState::averaging(&values),
+                &g,
+                rounds,
+            ) {
+                Ok(digest) => CellOutcome::new()
+                    .ok(true)
+                    .detail("digest", format!("{digest:016x}")),
+                Err(e) => fail(e),
+            }
+        }
+        ("qmetropolis", None) => {
+            match unlimited_rung_is_pure(Isotropic(Metropolis), values, &g, rounds) {
+                Ok(digest) => CellOutcome::new()
+                    .ok(true)
+                    .detail("digest", format!("{digest:016x}")),
+                Err(e) => fail(e),
+            }
+        }
+        ("qpushsum", Some(codec)) => {
+            let algo = QuantizedPushSum::new(codec.bits());
+            let inits = algo.initial(&values);
+            let (y0, z0) = QuantizedPushSum::total_tokens(&inits);
+            let ledger = ByteLedger::new();
+            let mut audit = CapAudit::new(codec, 2);
+            let mut boxed = Execution::new(Isotropic(algo), inits.clone());
+            boxed.drive(
+                &StaticGraph::new(g.clone()),
+                RunConfig::rounds(rounds)
+                    .observer(&mut audit)
+                    .bandwidth(cap, &ledger),
+            );
+            if let Some(v) = audit.violation {
+                return fail(v);
+            }
+            let digest = match flat_agree(
+                Isotropic(algo),
+                algo,
+                inits.clone(),
+                |s: &PushSumState| vec![s.y, s.z],
+                &g,
+                rounds,
+            ) {
+                Ok(d) => d,
+                Err(e) => return fail(e),
+            };
+            let flat_ledger = ByteLedger::new();
+            let mut flat = FlatExecution::new(algo, &g, PushSumState::columns(&inits));
+            flat.drive(FlatRunConfig::rounds(rounds).bandwidth(cap, &flat_ledger));
+            let (y1, z1) = QuantizedPushSum::total_tokens(boxed.states());
+            let scale = BigInt::from(codec.levels());
+            let ratios: Vec<(u64, u64)> = boxed
+                .states()
+                .iter()
+                .map(|s| (s.y as u64, s.z as u64))
+                .collect();
+            // The conserved quantity is the token pair; fold both sums
+            // into one ℚ mass `Σy / 2^b` (z is checked via the ratios).
+            if z1 != z0 {
+                return fail(format!("z tokens drifted: {z0} -> {z1}"));
+            }
+            match capped_laws(
+                codec,
+                &ratios,
+                &boxed.outputs(),
+                BigRational::new(BigInt::from(y0), scale.clone()),
+                BigRational::new(BigInt::from(y1), scale),
+                &ledger,
+                &flat_ledger,
+                edges,
+                rounds,
+            ) {
+                Ok(qerr) => CellOutcome::new()
+                    .ok(true)
+                    .detail("digest", format!("{digest:016x}"))
+                    .detail("bits", ledger.total_bits())
+                    .detail("qerr", qerr.to_string()),
+                Err(e) => fail(e),
+            }
+        }
+        ("qmetropolis", Some(codec)) => {
+            let algo = QuantizedMetropolis::new(codec.bits(), 1.25);
+            let inits = algo.initial(&values);
+            let t0 = QuantizedMetropolis::total_tokens(&inits);
+            let ledger = ByteLedger::new();
+            // Lane 1 is the degree tag — structural metadata, audited
+            // lanes are the value payload only.
+            let mut audit = CapAudit::new(codec, 1);
+            let mut boxed = Execution::new(Isotropic(algo), inits.clone());
+            boxed.drive(
+                &StaticGraph::new(g.clone()),
+                RunConfig::rounds(rounds)
+                    .observer(&mut audit)
+                    .bandwidth(cap, &ledger),
+            );
+            if let Some(v) = audit.violation {
+                return fail(v);
+            }
+            let digest = match flat_agree(
+                Isotropic(algo),
+                algo,
+                inits.clone(),
+                |s: &f64| vec![*s],
+                &g,
+                rounds,
+            ) {
+                Ok(d) => d,
+                Err(e) => return fail(e),
+            };
+            let flat_ledger = ByteLedger::new();
+            let mut flat = FlatExecution::new(algo, &g, QuantizedMetropolis::columns(&inits));
+            flat.drive(FlatRunConfig::rounds(rounds).bandwidth(cap, &flat_ledger));
+            let t1 = QuantizedMetropolis::total_tokens(boxed.states());
+            let scale = BigInt::from(codec.levels());
+            let ratios: Vec<(u64, u64)> = boxed
+                .states()
+                .iter()
+                .map(|&x| (x as u64, codec.levels()))
+                .collect();
+            match capped_laws(
+                codec,
+                &ratios,
+                &boxed.outputs(),
+                BigRational::new(BigInt::from(t0), scale.clone()),
+                BigRational::new(BigInt::from(t1), scale),
+                &ledger,
+                &flat_ledger,
+                edges,
+                rounds,
+            ) {
+                Ok(qerr) => CellOutcome::new()
+                    .ok(true)
+                    .detail("digest", format!("{digest:016x}"))
+                    .detail("bits", ledger.total_bits())
+                    .detail("qerr", qerr.to_string()),
+                Err(e) => fail(e),
+            }
+        }
+        (other, _) => fail(format!("unknown bandwidth algorithm `{other}`")),
     }
 }
 

@@ -35,7 +35,14 @@
 //! - **probe** — the deterministic probe stream of a probed flat run
 //!   (merged shard counters plus strided bit-exact sample digests)
 //!   byte-identical at 1, 2 and 4 threads, with counters matching the
-//!   routing plan's ground truth ([`checks::CheckKind::Probe`]).
+//!   routing plan's ground truth ([`checks::CheckKind::Probe`]);
+//! - **bandwidth** — the bounded-bandwidth laws of the quantized
+//!   variants: every payload lane a codeword below `2^b` (audited
+//!   message by message), token mass conserved exactly in ℚ, f64
+//!   outputs bitwise equal to exact token ratios inside the `ℚ_{2^b}`
+//!   grid envelope, flat ≡ boxed with byte-identical ledgers, and the
+//!   `b = ∞` rung bitwise identical to the uncapped baseline
+//!   ([`checks::CheckKind::Bandwidth`]).
 //!
 //! The matrix reuses [`ExperimentSpec`]/[`Runner`]/[`ResultSink`], so
 //! results are **byte-identical at any worker count** — `kya check
@@ -226,11 +233,24 @@ pub fn specs(matrix: Matrix) -> Vec<(CheckKind, ExperimentSpec)> {
             CheckKind::Probe,
             ExperimentSpec::new("conformance-probe")
                 .topologies(["ring:{n}", "instar:{n}", "random:{n}:{n}:{seed}"])
-                .sizes(sizes)
-                .seeds(seeds)
+                .sizes(sizes.clone())
+                .seeds(seeds.clone())
                 .algorithms(["pushsum", "metropolis"])
                 .rounds(rounds)
                 .base_seed(0xc0f0_0008),
+        ),
+        (
+            // Symmetric topologies only: the quantized Metropolis
+            // conservation law needs every link to be bidirectional.
+            CheckKind::Bandwidth,
+            ExperimentSpec::new("conformance-bandwidth")
+                .topologies(["biring:{n}", "complete:{n}", "path:{n}"])
+                .sizes(sizes)
+                .seeds(seeds)
+                .algorithms(["qpushsum", "qmetropolis"])
+                .variants(["b1", "b2", "b4", "b8", "binf"])
+                .rounds(rounds)
+                .base_seed(0xc0f0_0009),
         ),
     ]
 }
@@ -245,7 +265,7 @@ pub fn run(matrix: Matrix, workers: usize) -> Vec<(CheckKind, ResultSink)> {
 
 /// Like [`run`], restricted to one check kind when `only` is set — the
 /// engine of `kya check --only <check>`, which lets CI run the expensive
-/// full-matrix backend oracle without paying for the other seven checks.
+/// full-matrix backend oracle without paying for the other checks.
 pub fn run_only(
     matrix: Matrix,
     workers: usize,
@@ -302,6 +322,7 @@ mod tests {
                 CheckKind::Churn,
                 CheckKind::Flat,
                 CheckKind::Probe,
+                CheckKind::Bandwidth,
             ]
         );
         for (_, spec) in &specs {

@@ -91,6 +91,28 @@ pub trait Algorithm {
     /// The state after receiving `inbox` (`δ(q, multiset)`).
     fn transition(&self, state: &Self::State, inbox: &[Self::Msg]) -> Self::State;
 
+    /// [`Algorithm::transition`], additionally told the agent's own
+    /// outdegree for the round being folded.
+    ///
+    /// An output-port-aware automaton already observed `outdegree` when
+    /// its round-`t` sending function ran; splitting `σ`/`δ` into two
+    /// callbacks artificially lost that information at transition time.
+    /// Executors always call this variant with the current round
+    /// graph's outdegree. The default ignores it and forwards to
+    /// [`Algorithm::transition`], so existing algorithms are
+    /// unaffected; quantized algorithms with a residual carry
+    /// (`kya_algos::quantized`) override it to recompute the shares
+    /// they just sent.
+    fn transition_with_outdegree(
+        &self,
+        state: &Self::State,
+        outdegree: usize,
+        inbox: &[Self::Msg],
+    ) -> Self::State {
+        let _ = outdegree;
+        self.transition(state, inbox)
+    }
+
     /// The agent's current output.
     fn output(&self, state: &Self::State) -> Self::Output;
 }
@@ -111,6 +133,20 @@ pub trait IsotropicAlgorithm {
     /// The state after receiving `inbox` (a multiset; see
     /// [`Algorithm::transition`]).
     fn transition(&self, state: &Self::State, inbox: &[Self::Msg]) -> Self::State;
+
+    /// Transition additionally told the round's outdegree (see
+    /// [`Algorithm::transition_with_outdegree`]): legitimate in this
+    /// model because the sending function `σ: Q x ℕ -> M` already
+    /// observes it. Defaults to ignoring the outdegree.
+    fn transition_with_outdegree(
+        &self,
+        state: &Self::State,
+        outdegree: usize,
+        inbox: &[Self::Msg],
+    ) -> Self::State {
+        let _ = outdegree;
+        self.transition(state, inbox)
+    }
 
     /// The agent's current output.
     fn output(&self, state: &Self::State) -> Self::Output;
@@ -157,6 +193,15 @@ impl<A: IsotropicAlgorithm> Algorithm for Isotropic<A> {
         self.0.transition(state, inbox)
     }
 
+    fn transition_with_outdegree(
+        &self,
+        state: &Self::State,
+        outdegree: usize,
+        inbox: &[Self::Msg],
+    ) -> Self::State {
+        self.0.transition_with_outdegree(state, outdegree, inbox)
+    }
+
     fn output(&self, state: &Self::State) -> Self::Output {
         self.0.output(state)
     }
@@ -164,6 +209,9 @@ impl<A: IsotropicAlgorithm> Algorithm for Isotropic<A> {
 
 /// Adapter embedding a [`BroadcastAlgorithm`] into the general model: the
 /// graph-invariance condition `σ(q, k)[ℓ] = σ(q, 1)[1]` of §2.2.
+/// `Broadcast` deliberately keeps the default
+/// [`Algorithm::transition_with_outdegree`]: a simple-broadcast
+/// automaton must not observe its outdegree at any point.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Broadcast<A>(pub A);
 

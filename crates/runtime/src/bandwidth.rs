@@ -1,0 +1,343 @@
+//! Bounded-bandwidth communication: b-bit message codecs and the
+//! per-round byte ledger.
+//!
+//! The paper's four communication models all assume unbounded-size
+//! messages; this module adds the orthogonal **bandwidth axis**: every
+//! broadcast is capped at `b` bits per payload lane per round
+//! (`b ∈ {1, 2, 4, 8}`), or left uncapped ([`BandwidthCap::Unlimited`],
+//! the `b = ∞` rung, which must reproduce uncapped runs bitwise).
+//!
+//! The division of labour is deliberate:
+//!
+//! - **Algorithms enforce** the cap *structurally*: a quantized variant
+//!   (`kya_algos::quantized`) only ever emits codewords below `2^b`, so
+//!   no executor-side truncation — which would silently corrupt state —
+//!   can occur. [`MessageCodec`] is the shared encode/decode primitive:
+//!   `decode ∘ encode` is the identity on every valid codeword.
+//! - **Executors meter** the cap: [`RunConfig::bandwidth`] /
+//!   [`FlatRunConfig::bandwidth`](crate::FlatRunConfig::bandwidth)
+//!   thread a [`ByteLedger`] through the drive loop, charging
+//!   `edges × bits-per-edge` each round, so a sweep can report the
+//!   exact number of bits a cap admits — identically for the boxed and
+//!   the flat executor, at any thread count.
+//!
+//! The cap lives in [`RunConfig`] rather than in the algorithm because
+//! bandwidth is a property of the *channel*, not of the automaton: the
+//! same quantized algorithm can be metered under different ledgers, and
+//! the `b = ∞` rung is a pure observer on an unmodified run.
+//!
+//! [`RunConfig`]: crate::RunConfig
+//! [`RunConfig::bandwidth`]: crate::RunConfig::bandwidth
+
+use kya_arith::{BigInt, BigRational};
+use std::cell::Cell;
+
+/// Maximum cap width: a codeword must stay exactly representable in an
+/// f64 message lane (integers up to `2^53 - 1`), and 52 bits already
+/// exceeds any quantization level the experiments sweep.
+pub const MAX_CAP_BITS: u32 = 52;
+
+/// A per-round bandwidth cap: `b` bits per payload lane per edge, or
+/// unlimited (the `b = ∞` rung of the F7 sweep).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BandwidthCap {
+    /// Payload lanes carry codewords below `2^bits`.
+    Bits(u32),
+    /// No cap: full f64 lanes (64 bits), the uncapped baseline.
+    Unlimited,
+}
+
+impl BandwidthCap {
+    /// Parse a cap from its spec-axis spelling: `"1"`, `"2"`, ...,
+    /// `"b1"`, `"b8"`, `"inf"`, `"binf"`, `"unlimited"`.
+    pub fn parse(s: &str) -> Option<BandwidthCap> {
+        let s = s.strip_prefix('b').unwrap_or(s);
+        match s {
+            "inf" | "unlimited" => Some(BandwidthCap::Unlimited),
+            _ => match s.parse::<u32>() {
+                Ok(b) if (1..=MAX_CAP_BITS).contains(&b) => Some(BandwidthCap::Bits(b)),
+                _ => None,
+            },
+        }
+    }
+
+    /// The canonical variant-axis label: `"b1"`, `"b8"`, `"binf"`.
+    pub fn label(self) -> String {
+        match self {
+            BandwidthCap::Bits(b) => format!("b{b}"),
+            BandwidthCap::Unlimited => "binf".into(),
+        }
+    }
+
+    /// The cap width in bits, or `None` when unlimited.
+    pub fn bits(self) -> Option<u32> {
+        match self {
+            BandwidthCap::Bits(b) => Some(b),
+            BandwidthCap::Unlimited => None,
+        }
+    }
+
+    /// Number of distinct codewords a capped lane can carry (`2^b`), or
+    /// `None` when unlimited.
+    pub fn levels(self) -> Option<u64> {
+        self.bits().map(|b| 1u64 << b)
+    }
+
+    /// Bits the ledger charges per edge per round: `b` under a cap, the
+    /// 64 bits of a raw f64 lane when unlimited.
+    pub fn bits_per_edge(self) -> u64 {
+        match self {
+            BandwidthCap::Bits(b) => b as u64,
+            BandwidthCap::Unlimited => 64,
+        }
+    }
+
+    /// The codec enforcing this cap, or `None` when unlimited (run the
+    /// plain algorithm: `b = ∞` must reproduce uncapped runs bitwise).
+    pub fn codec(self) -> Option<MessageCodec> {
+        self.bits().map(MessageCodec::new)
+    }
+}
+
+impl std::fmt::Display for BandwidthCap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl std::str::FromStr for BandwidthCap {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<BandwidthCap, String> {
+        BandwidthCap::parse(s)
+            .ok_or_else(|| format!("unknown bandwidth cap `{s}` (1..={MAX_CAP_BITS} or inf)"))
+    }
+}
+
+/// A deterministic `b`-bit codec: codewords are the integers below
+/// `2^b`.
+///
+/// - [`encode`](MessageCodec::encode) **saturates**: any value above
+///   the largest codeword clamps to it (deterministic, monotone — never
+///   wraps, which would scramble token counts).
+/// - [`decode`](MessageCodec::decode) masks to `b` bits, so
+///   `decode(encode(w)) == w` for every valid codeword `w < 2^b` (the
+///   round-trip identity pinned by proptests).
+/// - [`snap`](MessageCodec::snap) projects an exact rational onto the
+///   grid `ℚ_{2^b}` via
+///   [`BigRational::best_approximation`] — the ℚ-measured quantization
+///   envelope of the conformance `bandwidth` oracle and the F7 error
+///   column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MessageCodec {
+    bits: u32,
+}
+
+impl MessageCodec {
+    /// A codec of `bits` bits per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= MAX_CAP_BITS`.
+    pub fn new(bits: u32) -> MessageCodec {
+        assert!(
+            (1..=MAX_CAP_BITS).contains(&bits),
+            "codec width {bits} outside 1..={MAX_CAP_BITS}"
+        );
+        MessageCodec { bits }
+    }
+
+    /// The codec width in bits.
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// The largest codeword, `2^b - 1`.
+    pub fn max_codeword(self) -> u64 {
+        (1u64 << self.bits) - 1
+    }
+
+    /// The quantization scale `2^b`: token counts per unit of mass, and
+    /// the denominator bound of the [`snap`](MessageCodec::snap) grid.
+    pub fn levels(self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// Encode a value into a codeword: identity below `2^b`, saturating
+    /// at `2^b - 1` above.
+    pub fn encode(self, value: u64) -> u64 {
+        value.min(self.max_codeword())
+    }
+
+    /// Decode a codeword: mask to `b` bits (identity on valid
+    /// codewords).
+    pub fn decode(self, word: u64) -> u64 {
+        word & self.max_codeword()
+    }
+
+    /// Encode a magnitude at coarser granularity: drop the low `shift`
+    /// bits first, then saturate. `decode_shifted` recovers a multiple
+    /// of `2^shift` — the quantized-Metropolis value channel, where the
+    /// token count outgrows `b` bits and only the top window travels.
+    pub fn encode_shifted(self, value: u64, shift: u32) -> u64 {
+        self.encode(value >> shift)
+    }
+
+    /// Inverse of [`encode_shifted`](MessageCodec::encode_shifted) up
+    /// to the dropped low bits: codeword back to a `2^shift`-granular
+    /// magnitude.
+    pub fn decode_shifted(self, word: u64, shift: u32) -> u64 {
+        self.decode(word) << shift
+    }
+
+    /// Snap an exact rational to the quantization grid `ℚ_{2^b}`: the
+    /// nearest rational with denominator at most `2^b` (ties to the
+    /// smaller denominator — [`BigRational::best_approximation`]).
+    pub fn snap(self, x: &BigRational) -> BigRational {
+        x.best_approximation(&BigInt::from(self.levels()))
+    }
+
+    /// Worst-case distance from any real in `[0, 1]` to the grid
+    /// `ℚ_{2^b}`, as an exact rational: half a grid step, `1/2^(b+1)`.
+    pub fn grid_radius(self) -> BigRational {
+        BigRational::new(BigInt::one(), BigInt::from(self.levels()) * BigInt::from(2))
+    }
+}
+
+/// The per-run bandwidth ledger: total bits admitted onto the channel,
+/// charged once per executed round by the drive loops.
+///
+/// Interior-mutable (`Cell`) so a shared `&ByteLedger` can ride inside
+/// [`RunConfig`](crate::RunConfig) /
+/// [`FlatRunConfig`](crate::FlatRunConfig) without threading `&mut`
+/// through the executor; all charging happens on the coordinating
+/// thread, never inside worker shards. Deliberately **not** a
+/// [`CellReport`](crate::CellReport) field: the report's NDJSON schema
+/// is pinned byte-for-byte by the determinism CI jobs, and the ledger
+/// is a per-run side channel, not a per-cell metric.
+#[derive(Debug, Default)]
+pub struct ByteLedger {
+    bits: Cell<u64>,
+    rounds: Cell<u64>,
+}
+
+impl ByteLedger {
+    /// A fresh, empty ledger.
+    pub fn new() -> ByteLedger {
+        ByteLedger::default()
+    }
+
+    /// Charge one executed round: `edges` messages of `bits_per_edge`
+    /// bits each.
+    pub fn charge_round(&self, edges: u64, bits_per_edge: u64) {
+        self.bits.set(self.bits.get() + edges * bits_per_edge);
+        self.rounds.set(self.rounds.get() + 1);
+    }
+
+    /// Total bits charged so far.
+    pub fn total_bits(&self) -> u64 {
+        self.bits.get()
+    }
+
+    /// Total bytes charged so far (bits rounded up to whole bytes).
+    pub fn total_bytes(&self) -> u64 {
+        self.bits.get().div_ceil(8)
+    }
+
+    /// Number of rounds charged.
+    pub fn rounds(&self) -> u64 {
+        self.rounds.get()
+    }
+
+    /// Reset both counters to zero (reuse across runs in a sweep).
+    pub fn reset(&self) {
+        self.bits.set(0);
+        self.rounds.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_parses_all_spellings() {
+        assert_eq!(BandwidthCap::parse("1"), Some(BandwidthCap::Bits(1)));
+        assert_eq!(BandwidthCap::parse("b8"), Some(BandwidthCap::Bits(8)));
+        assert_eq!(BandwidthCap::parse("inf"), Some(BandwidthCap::Unlimited));
+        assert_eq!(BandwidthCap::parse("binf"), Some(BandwidthCap::Unlimited));
+        assert_eq!(
+            BandwidthCap::parse("unlimited"),
+            Some(BandwidthCap::Unlimited)
+        );
+        assert_eq!(BandwidthCap::parse("0"), None);
+        assert_eq!(BandwidthCap::parse("53"), None);
+        assert_eq!(BandwidthCap::parse("speedy"), None);
+        for cap in ["b1", "b2", "b4", "b8", "binf"] {
+            let parsed = BandwidthCap::parse(cap).unwrap();
+            assert_eq!(parsed.label(), cap, "label round-trips");
+        }
+    }
+
+    #[test]
+    fn cap_accounting() {
+        assert_eq!(BandwidthCap::Bits(4).bits_per_edge(), 4);
+        assert_eq!(BandwidthCap::Unlimited.bits_per_edge(), 64);
+        assert_eq!(BandwidthCap::Bits(8).levels(), Some(256));
+        assert_eq!(BandwidthCap::Unlimited.levels(), None);
+        assert!(BandwidthCap::Unlimited.codec().is_none());
+        assert_eq!(BandwidthCap::Bits(2).codec(), Some(MessageCodec::new(2)));
+    }
+
+    #[test]
+    fn codec_saturates_and_masks() {
+        let c = MessageCodec::new(4);
+        assert_eq!(c.max_codeword(), 15);
+        assert_eq!(c.encode(9), 9);
+        assert_eq!(c.encode(15), 15);
+        assert_eq!(c.encode(16), 15, "saturates, never wraps");
+        assert_eq!(c.encode(u64::MAX), 15);
+        assert_eq!(c.decode(9), 9);
+        for w in 0..16 {
+            assert_eq!(c.decode(c.encode(w)), w, "round-trip identity");
+        }
+    }
+
+    #[test]
+    fn codec_shifted_windows() {
+        let c = MessageCodec::new(4);
+        // 0b1011_0110 >> 3 = 0b1_0110 saturates to 15; << 3 back.
+        assert_eq!(c.encode_shifted(0b1011_0110, 3), 15);
+        assert_eq!(c.encode_shifted(0b0110_0110, 3), 0b1100);
+        assert_eq!(c.decode_shifted(0b1100, 3), 0b0110_0000);
+    }
+
+    #[test]
+    fn codec_snap_uses_best_approximation() {
+        let c = MessageCodec::new(2); // grid Q_4
+        let x = BigRational::from_i64(333, 1000);
+        assert_eq!(c.snap(&x), BigRational::from_i64(1, 3));
+        assert_eq!(c.grid_radius(), BigRational::from_i64(1, 8));
+    }
+
+    #[test]
+    fn ledger_charges_per_round() {
+        let ledger = ByteLedger::new();
+        ledger.charge_round(10, 4);
+        ledger.charge_round(10, 4);
+        assert_eq!(ledger.total_bits(), 80);
+        assert_eq!(ledger.total_bytes(), 10);
+        assert_eq!(ledger.rounds(), 2);
+        ledger.charge_round(3, 1);
+        assert_eq!(ledger.total_bits(), 83);
+        assert_eq!(ledger.total_bytes(), 11, "bytes round up");
+        ledger.reset();
+        assert_eq!((ledger.total_bits(), ledger.rounds()), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn codec_rejects_zero_width() {
+        let _ = MessageCodec::new(0);
+    }
+}

@@ -27,6 +27,7 @@
 //! `RunConfig` spelling; see DESIGN.md for the migration table.
 
 use crate::algorithm::Algorithm;
+use crate::bandwidth::{BandwidthCap, ByteLedger};
 use crate::churn::Membership;
 use crate::metric::{EuclideanMetric, Metric};
 use crate::telemetry::Observer;
@@ -105,6 +106,7 @@ pub struct RunConfig<'a, A: Algorithm> {
     pub(crate) eps: f64,
     pub(crate) confirm: Option<u64>,
     pub(crate) invariant: Option<InvariantFn<'a, A::State>>,
+    pub(crate) bandwidth: Option<(BandwidthCap, &'a ByteLedger)>,
 }
 
 impl<'a, A: Algorithm> RunConfig<'a, A> {
@@ -120,6 +122,7 @@ impl<'a, A: Algorithm> RunConfig<'a, A> {
             eps: 0.0,
             confirm: None,
             invariant: None,
+            bandwidth: None,
         }
     }
 
@@ -194,6 +197,20 @@ impl<'a, A: Algorithm> RunConfig<'a, A> {
         self.invariant = Some(f);
         self
     }
+
+    /// Meter the run under a bandwidth cap: each round, `ledger` is
+    /// charged `edges × cap.bits_per_edge()` bits of channel traffic.
+    ///
+    /// Metering only — the cap is *enforced* structurally by running a
+    /// quantized algorithm whose codewords fit the cap (see
+    /// `kya_runtime::bandwidth`); truncating messages in the executor
+    /// would silently corrupt state. [`BandwidthCap::Unlimited`] makes
+    /// this rung a pure observer: the run is bitwise identical to one
+    /// without it.
+    pub fn bandwidth(mut self, cap: BandwidthCap, ledger: &'a ByteLedger) -> Self {
+        self.bandwidth = Some((cap, ledger));
+        self
+    }
 }
 
 /// [`RunConfig`]'s flat twin, consumed by
@@ -214,6 +231,7 @@ pub struct FlatRunConfig<'a> {
     pub(crate) dist: Option<DistanceFn<'a, f64>>,
     pub(crate) eps: f64,
     pub(crate) confirm: Option<u64>,
+    pub(crate) bandwidth: Option<(BandwidthCap, &'a ByteLedger)>,
 }
 
 impl<'a> FlatRunConfig<'a> {
@@ -225,6 +243,7 @@ impl<'a> FlatRunConfig<'a> {
             dist: None,
             eps: 0.0,
             confirm: None,
+            bandwidth: None,
         }
     }
 
@@ -259,6 +278,14 @@ impl<'a> FlatRunConfig<'a> {
     /// ε-ball for `confirm` consecutive rounds.
     pub fn confirm(mut self, confirm: u64) -> Self {
         self.confirm = Some(confirm);
+        self
+    }
+
+    /// Meter the run under a bandwidth cap — the flat spelling of
+    /// [`RunConfig::bandwidth`]: each round, `ledger` is charged one
+    /// `cap.bits_per_edge()` charge per routing-plan slot (= per edge).
+    pub fn bandwidth(mut self, cap: BandwidthCap, ledger: &'a ByteLedger) -> Self {
+        self.bandwidth = Some((cap, ledger));
         self
     }
 }

@@ -156,7 +156,9 @@ impl<A: Algorithm> Execution<A> {
             }
         }
         for (v, inbox) in inboxes.into_iter().enumerate() {
-            self.states[v] = self.algo.transition(&self.states[v], &inbox);
+            self.states[v] =
+                self.algo
+                    .transition_with_outdegree(&self.states[v], graph.outdegree(v), &inbox);
         }
         obs.on_round_end(self.round, &self.algo, &self.states);
     }
@@ -198,6 +200,7 @@ impl<A: Algorithm> Execution<A> {
             eps,
             confirm,
             invariant,
+            bandwidth,
         } = cfg;
         let start = self.round;
         let mut distances = Vec::new();
@@ -208,6 +211,9 @@ impl<A: Algorithm> Execution<A> {
                 self.apply_rejoins(membership, reinit);
             }
             let g = net.graph_ref(self.round + 1);
+            if let Some((cap, ledger)) = bandwidth {
+                ledger.charge_round(g.edge_count() as u64, cap.bits_per_edge());
+            }
             match (&mut observer, threads) {
                 (None, 1) => self.step(&g),
                 (None, t) => self.step_parallel(&g, t),
@@ -409,7 +415,9 @@ impl<A: Algorithm> Execution<A> {
         let inboxes_ref = &inboxes;
         let next: Vec<A::State> = run_sharded(&ranges, |r| {
             r.clone()
-                .map(|v| algo.transition(&states[v], &inboxes_ref[v]))
+                .map(|v| {
+                    algo.transition_with_outdegree(&states[v], graph.outdegree(v), &inboxes_ref[v])
+                })
                 .collect()
         });
         self.states = next;
@@ -487,7 +495,9 @@ impl<A: Algorithm> Execution<A> {
         let inboxes_ref = &inboxes;
         let next: Vec<A::State> = run_sharded(&ranges, |r| {
             r.clone()
-                .map(|v| algo.transition(&states[v], &inboxes_ref[v]))
+                .map(|v| {
+                    algo.transition_with_outdegree(&states[v], graph.outdegree(v), &inboxes_ref[v])
+                })
                 .collect()
         });
         self.states = next;

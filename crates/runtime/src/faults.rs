@@ -461,6 +461,15 @@ impl<A: Algorithm> Algorithm for Lossy<A> {
         self.0.transition(state, inbox)
     }
 
+    fn transition_with_outdegree(
+        &self,
+        state: &Self::State,
+        outdegree: usize,
+        inbox: &[Self::Msg],
+    ) -> Self::State {
+        self.0.transition_with_outdegree(state, outdegree, inbox)
+    }
+
     fn output(&self, state: &Self::State) -> Self::Output {
         self.0.output(state)
     }
@@ -693,7 +702,9 @@ impl<A: FaultAware> FaultyExecution<A> {
             if frozen[v] {
                 continue;
             }
-            let mut next = self.algo.transition(&self.states[v], &inbox);
+            let mut next =
+                self.algo
+                    .transition_with_outdegree(&self.states[v], graph.outdegree(v), &inbox);
             if !lost.is_empty() {
                 next = self.algo.reabsorb(&next, &lost);
             }
@@ -731,6 +742,7 @@ impl<A: FaultAware> FaultyExecution<A> {
             eps,
             confirm,
             invariant,
+            bandwidth,
         } = cfg;
         assert_eq!(
             threads, 1,
@@ -746,6 +758,9 @@ impl<A: FaultAware> FaultyExecution<A> {
                 self.apply_rejoins(membership, reinit);
             }
             let g = net.graph_ref(self.round + 1);
+            if let Some((cap, ledger)) = bandwidth {
+                ledger.charge_round(g.edge_count() as u64, cap.bits_per_edge());
+            }
             match &mut observer {
                 Some(o) => self.step_observed(&g, o),
                 None => self.step(&g),

@@ -111,6 +111,23 @@ pub trait FlatAlgorithm: Sync {
     /// order) into `next` (`STATE_LANES` lanes).
     fn transition(&self, state: &[f64], inbox: &[f64], next: &mut [f64]);
 
+    /// [`FlatAlgorithm::transition`], additionally told the agent's own
+    /// outdegree — the flat spelling of
+    /// [`Algorithm::transition_with_outdegree`](crate::Algorithm::transition_with_outdegree).
+    /// The executor always calls this variant with the routing plan's
+    /// outdegree; the default ignores it, so plain flat algorithms are
+    /// unaffected while quantized residual-carry algorithms override.
+    fn transition_with_outdegree(
+        &self,
+        state: &[f64],
+        outdegree: usize,
+        inbox: &[f64],
+        next: &mut [f64],
+    ) {
+        let _ = outdegree;
+        self.transition(state, inbox, next);
+    }
+
     /// Project an agent's output from its state lanes.
     fn output(&self, state: &[f64]) -> f64;
 }
@@ -452,12 +469,18 @@ impl<A: FlatAlgorithm> FlatExecution<A> {
             dist,
             eps,
             confirm,
+            bandwidth,
         } = cfg;
         let start = self.round;
         let mut distances = Vec::new();
         let mut entered: Option<u64> = None;
         let mut executed: u64 = 0;
         while executed < rounds {
+            if let Some((cap, ledger)) = bandwidth {
+                // One send slot per edge: the same per-round charge as
+                // the boxed drive's `edge_count()`.
+                ledger.charge_round(self.plan.slots() as u64, cap.bits_per_edge());
+            }
             self.step_probed(threads, probe);
             executed += 1;
             if let Some(dist) = &dist {
@@ -600,8 +623,9 @@ fn gather_transition_range<A: FlatAlgorithm, P: FlatProbe>(
         for (l, col) in cols.iter().enumerate() {
             state[l] = col[v];
         }
-        algo.transition(
+        algo.transition_with_outdegree(
             &state[..A::STATE_LANES],
+            plan.outdegree(v),
             &arena[local],
             &mut out[..A::STATE_LANES],
         );

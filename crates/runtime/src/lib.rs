@@ -58,6 +58,7 @@
 
 pub mod adversary;
 mod algorithm;
+pub mod bandwidth;
 pub mod churn;
 mod config;
 mod execution;
@@ -72,6 +73,7 @@ pub mod testing;
 pub use algorithm::{
     Algorithm, Broadcast, BroadcastAlgorithm, CommunicationModel, Isotropic, IsotropicAlgorithm,
 };
+pub use bandwidth::{BandwidthCap, ByteLedger, MessageCodec};
 pub use config::{Backend, FlatRunConfig, RunConfig};
 pub use execution::Execution;
 pub use flat::{exact_degree, DegreeOverflow, FlatAlgorithm, FlatExecution, MAX_EXACT_DEGREE};

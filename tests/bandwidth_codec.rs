@@ -1,0 +1,87 @@
+//! Property tests for the [`MessageCodec`] laws at **every** width
+//! `b ∈ 1..=52`: `decode ∘ encode` is the identity on in-range words,
+//! `encode` saturates (never truncates) out-of-range values, the
+//! shifted window variants agree with shift-then-encode, and the ℚ_N
+//! grid projection stays within half a grid step.
+
+use kya_arith::{BigInt, BigRational};
+use kya_runtime::{BandwidthCap, MessageCodec};
+use proptest::prelude::*;
+
+proptest! {
+    /// In-range words survive the round trip unchanged, at every width.
+    #[test]
+    fn encode_decode_is_identity_in_range(bits in 1u32..=52, word in any::<u64>()) {
+        let codec = MessageCodec::new(bits);
+        let w = word & codec.max_codeword();
+        prop_assert_eq!(codec.decode(codec.encode(w)), w, "b={}", bits);
+    }
+
+    /// Out-of-range values saturate to the largest codeword — the codec
+    /// never wraps or truncates high bits into a smaller-looking value.
+    #[test]
+    fn encode_saturates(bits in 1u32..=52, value in any::<u64>()) {
+        let codec = MessageCodec::new(bits);
+        let w = codec.encode(value);
+        prop_assert!(w <= codec.max_codeword());
+        if value > codec.max_codeword() {
+            prop_assert_eq!(w, codec.max_codeword(), "b={}", bits);
+        } else {
+            prop_assert_eq!(w, value, "b={}", bits);
+        }
+    }
+
+    /// The shifted window is shift-then-encode: the round trip recovers
+    /// the value with its low `shift` bits zeroed, saturated at the
+    /// window's top.
+    #[test]
+    fn shifted_window_round_trip(
+        bits in 1u32..=52,
+        shift in 0u32..12,
+        value in any::<u64>(),
+    ) {
+        let codec = MessageCodec::new(bits);
+        let value = value >> 11; // keep value << shift from overflowing
+        let w = codec.encode_shifted(value, shift);
+        prop_assert!(w <= codec.max_codeword());
+        let back = codec.decode_shifted(w, shift);
+        let expected = (value >> shift).min(codec.max_codeword()) << shift;
+        prop_assert_eq!(back, expected, "b={} shift={}", bits, shift);
+    }
+
+    /// `snap` lands on the ℚ_{2^b} grid within half a grid step — the
+    /// `best_approximation` contract the conformance envelope relies on.
+    #[test]
+    fn snap_stays_within_grid_radius(
+        bits in 1u32..=16,
+        num in 0i64..10_000,
+        den in 1i64..10_000,
+    ) {
+        let codec = MessageCodec::new(bits);
+        let x = BigRational::from_i64(num % den.max(1), den);
+        let snapped = codec.snap(&x);
+        let dist = (&x - &snapped).abs();
+        prop_assert!(
+            dist <= codec.grid_radius(),
+            "b={}: |{} - {}| = {} > 1/2^{}", bits, x, snapped, dist, bits + 1
+        );
+        // And the snapped value really lives in ℚ_{2^b}: its reduced
+        // denominator is bounded by the level count (the grid is "all
+        // rationals with denominator <= 2^b", not the dyadic lattice —
+        // snap(333/1000) at b = 2 is 1/3, not 1/4).
+        prop_assert!(
+            snapped.denom() <= &BigInt::from(codec.levels()),
+            "b={}: snap left Q_N: {}", bits, snapped
+        );
+    }
+}
+
+#[test]
+fn cap_parse_round_trips_through_labels() {
+    for cap in (1..=52)
+        .map(BandwidthCap::Bits)
+        .chain([BandwidthCap::Unlimited])
+    {
+        assert_eq!(BandwidthCap::parse(&cap.label()), Some(cap));
+    }
+}

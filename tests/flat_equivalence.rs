@@ -8,6 +8,7 @@
 
 use kya_algos::metropolis::Metropolis;
 use kya_algos::push_sum::{PushSum, PushSumState};
+use kya_algos::quantized::{QuantizedMetropolis, QuantizedPushSum};
 use kya_graph::generators;
 use kya_runtime::{Execution, FlatExecution, Isotropic, RunConfig};
 use proptest::prelude::*;
@@ -71,6 +72,75 @@ proptest! {
                 prop_assert_eq!(
                     flat.lane(0)[v].to_bits(), s.to_bits(),
                     "agent {} at {} threads", v, threads
+                );
+            }
+        }
+    }
+
+    /// Quantized Push-Sum: integer token lanes (y and z) match the
+    /// boxed residual-carry path bit for bit under every cap, at 1, 2,
+    /// and 4 threads — both sides route the round outdegree through
+    /// `transition_with_outdegree`, so the u64 token arithmetic replays
+    /// identically.
+    #[test]
+    fn flat_quantized_pushsum_is_bitwise_boxed(
+        n in 3usize..20,
+        extra in 0usize..24,
+        seed in 0u64..1000,
+        rounds in 1u64..12,
+        bsel in 0usize..4,
+    ) {
+        let bits = [1u32, 2, 4, 8][bsel];
+        let g = generators::random_strongly_connected(n, extra, seed).with_self_loops();
+        let values: Vec<f64> = (0..n).map(|i| ((i as u64 * 37 + seed) % 11) as f64).collect();
+        let algo = QuantizedPushSum::new(bits);
+        let states = algo.initial(&values);
+
+        let mut boxed = Execution::new(Isotropic(algo), states.clone());
+        boxed.drive(&kya_graph::StaticGraph::new(g.clone()), RunConfig::rounds(rounds));
+
+        for threads in [1usize, 2, 4] {
+            let mut flat = FlatExecution::new(algo, &g, PushSumState::columns(&states));
+            flat.run(rounds, threads);
+            for (v, s) in boxed.states().iter().enumerate() {
+                prop_assert_eq!(
+                    flat.lane(0)[v].to_bits(), s.y.to_bits(),
+                    "y lane, agent {} at {} threads, b={}", v, threads, bits
+                );
+                prop_assert_eq!(
+                    flat.lane(1)[v].to_bits(), s.z.to_bits(),
+                    "z lane, agent {} at {} threads, b={}", v, threads, bits
+                );
+            }
+        }
+    }
+
+    /// Quantized Metropolis: the antisymmetric integer transfers land on
+    /// the same token counts on both executors under every cap.
+    #[test]
+    fn flat_quantized_metropolis_is_bitwise_boxed(
+        n in 3usize..20,
+        extra in 0usize..24,
+        seed in 0u64..1000,
+        rounds in 1u64..10,
+        bsel in 0usize..4,
+    ) {
+        let bits = [1u32, 2, 4, 8][bsel];
+        let g = generators::random_strongly_connected(n, extra, seed).with_self_loops();
+        let values: Vec<f64> = (0..n).map(|i| ((i as u64 * 53 + seed) % 11) as f64).collect();
+        let algo = QuantizedMetropolis::new(bits, 11.0);
+        let states = algo.initial(&values);
+
+        let mut boxed = Execution::new(Isotropic(algo), states.clone());
+        boxed.drive(&kya_graph::StaticGraph::new(g.clone()), RunConfig::rounds(rounds));
+
+        for threads in [1usize, 2, 4] {
+            let mut flat = FlatExecution::new(algo, &g, QuantizedMetropolis::columns(&states));
+            flat.run(rounds, threads);
+            for (v, s) in boxed.states().iter().enumerate() {
+                prop_assert_eq!(
+                    flat.lane(0)[v].to_bits(), s.to_bits(),
+                    "agent {} at {} threads, b={}", v, threads, bits
                 );
             }
         }
